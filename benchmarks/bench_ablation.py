@@ -1,0 +1,26 @@
+"""Ablations over the design choices DESIGN.md calls out."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_artifact
+from repro.experiments.ablation import render_ablation, run_ablation
+
+
+def test_ablation(benchmark, artifact_dir):
+    rows = benchmark.pedantic(
+        run_ablation, kwargs={"num_tasks": 4}, rounds=1, iterations=1
+    )
+    save_artifact(artifact_dir, "ablation.txt", render_ablation(rows))
+
+    by_variant = {(r.study, r.variant): r for r in rows}
+
+    # Dispatch-time LS must not lose to the literal static plan: reacting
+    # to actual completion times only removes idle waiting.
+    dynamic = by_variant[("dispatch model", "dispatch-time (LS)")]
+    static = by_variant[("dispatch model", "static plan (Figure 3 literal)")]
+    assert dynamic.seconds <= static.seconds * 1.02
+
+    # T = inf (remap nothing) must match plain LS timing closely.
+    none_remapped = by_variant[("re-layout threshold", "T = inf (remap nothing)")]
+    plain = by_variant[("re-layout threshold", "no re-layout (LS)")]
+    assert abs(none_remapped.seconds - plain.seconds) / plain.seconds < 0.02

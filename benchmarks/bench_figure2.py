@@ -1,0 +1,36 @@
+"""Figure 2 — the Section-2 sharing-matrix example, regenerated exactly.
+
+The benchmark times the Presburger-based sharing analysis on the paper's
+Prog1 example and asserts the published numbers: the 3000/2000/1000/0
+band matrix, and the good mapping's 8000 shared elements versus 0 for
+the poor one.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_artifact
+from repro.experiments.figure2 import (
+    figure2_mappings,
+    figure2_sharing_matrix,
+    mapping_sharing_total,
+    render_figure2,
+)
+
+
+def test_figure2_sharing_matrix(benchmark, artifact_dir):
+    matrix = benchmark(figure2_sharing_matrix)
+    for i in range(8):
+        for j in range(8):
+            expected = {0: 3000, 1: 2000, 2: 1000}.get(abs(i - j), 0)
+            assert matrix.shared(f"P{i}", f"P{j}") == expected
+    save_artifact(artifact_dir, "figure2.txt", render_figure2())
+
+
+def test_figure2_mappings(benchmark):
+    mappings = benchmark(figure2_mappings)
+    matrix = figure2_sharing_matrix()
+    assert mapping_sharing_total(mappings["good"], matrix) == 8000
+    assert mapping_sharing_total(mappings["poor"], matrix) == 0
+    assert mappings["good"] == [
+        ["P0", "P1"], ["P2", "P3"], ["P4", "P5"], ["P6", "P7"],
+    ]

@@ -1,0 +1,38 @@
+"""Figure 6 — execution times of the applications in isolation.
+
+Regenerates the paper's grouped bars for RS/RRS/LS/LSM on the Table-2
+machine and asserts the two published observations:
+
+1. the locality-aware strategies beat the baselines overall;
+2. LS and LSM stay close when applications run in isolation.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_artifact
+from repro.experiments.figure6 import render_figure6, run_figure6
+
+
+def test_figure6(benchmark, artifact_dir):
+    comparisons = benchmark.pedantic(run_figure6, rounds=1, iterations=1)
+    save_artifact(artifact_dir, "figure6.txt", render_figure6(comparisons))
+
+    total = {name: 0.0 for name in ("RS", "RRS", "LS", "LSM")}
+    for comparison in comparisons:
+        for name in total:
+            total[name] += comparison.seconds(name)
+
+    # Observation 1: LS and LSM beat RS and RRS on the suite.
+    assert total["LS"] < total["RS"]
+    assert total["LS"] < total["RRS"]
+    assert total["LSM"] < total["RS"]
+    assert total["LSM"] < total["RRS"]
+
+    # Observation 2: LS ~ LSM in isolation (sharing dominates conflicts).
+    assert abs(total["LSM"] - total["LS"]) / total["LS"] < 0.15
+
+    # Per-application: the locality-aware strategies never lose badly.
+    for comparison in comparisons:
+        assert comparison.seconds("LS") < comparison.seconds("RS") * 1.10, (
+            comparison.label
+        )

@@ -1,0 +1,43 @@
+"""Figure 7 — completion times of the concurrent workload mixes.
+
+Regenerates the |T| = 1..6 cumulative-mix series and asserts the paper's
+observations:
+
+1. the locality-aware strategies keep winning as pressure grows;
+2. under multi-application pressure LSM gains over plain LS (the
+   re-layout removes cross-application conflict misses), unlike the
+   isolated runs where the two tie.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_artifact
+from repro.experiments.figure7 import render_figure7, run_figure7
+
+
+def test_figure7(benchmark, artifact_dir):
+    comparisons = benchmark.pedantic(run_figure7, rounds=1, iterations=1)
+    save_artifact(artifact_dir, "figure7.txt", render_figure7(comparisons))
+
+    # Pressure grows completion time for every scheduler.
+    for name in ("RS", "RRS", "LS", "LSM"):
+        series = [c.seconds(name) for c in comparisons]
+        assert series[-1] > series[0]
+
+    # Locality-aware scheduling wins at every multi-task point.
+    for comparison in comparisons[2:]:
+        assert comparison.seconds("LS") < comparison.seconds("RS"), comparison.label
+        assert comparison.seconds("LS") < comparison.seconds("RRS"), comparison.label
+        assert comparison.seconds("LSM") < comparison.seconds("RS"), comparison.label
+
+    # The LSM-vs-LS gap under full pressure is at least as large as in
+    # isolation (the paper's Figure-6/7 contrast).
+    isolated = comparisons[0]
+    loaded = comparisons[-1]
+    gain_isolated = isolated.seconds("LS") - isolated.seconds("LSM")
+    gain_loaded = loaded.seconds("LS") - loaded.seconds("LSM")
+    assert gain_loaded >= gain_isolated
+
+    # RRS degrades fastest under pressure (the shared queue migrates
+    # processes across cores every quantum).
+    assert loaded.seconds("RRS") > loaded.seconds("LS")

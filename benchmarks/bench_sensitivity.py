@@ -1,0 +1,37 @@
+"""Sensitivity sweeps — "savings are consistent across several simulation
+parameters" (Section 4).
+
+Sweeps cache size, associativity, core count, off-chip latency, and the
+RRS quantum around the Table-2 defaults on a three-application mix, and
+asserts the locality win (RS/LS speedup ≥ ~1) holds across the sweep.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_artifact
+from repro.experiments.sensitivity import render_sensitivity, run_sensitivity
+
+
+def test_sensitivity(benchmark, artifact_dir):
+    points = benchmark.pedantic(
+        run_sensitivity, kwargs={"num_tasks": 3}, rounds=1, iterations=1
+    )
+    save_artifact(artifact_dir, "sensitivity.txt", render_sensitivity(points))
+
+    losses = [
+        point
+        for point in points
+        if point.comparison.speedup("RS", "LS") < 0.97
+    ]
+    # The locality win must persist across (almost) the whole sweep: allow
+    # at most one marginal point.
+    assert len(losses) <= 1, [
+        (p.parameter, p.value, p.comparison.speedup("RS", "LS")) for p in losses
+    ]
+
+    # Larger caches reduce completion time for the locality scheduler
+    # (endpoints compared: changing the set count is not strictly
+    # monotone point-to-point).
+    cache_points = [p for p in points if p.parameter == "cache size"]
+    times = [p.comparison.seconds("LS") for p in cache_points]
+    assert times[-1] < times[0]

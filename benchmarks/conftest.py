@@ -1,0 +1,28 @@
+"""Shared benchmark infrastructure.
+
+Every figure-level benchmark runs the full experiment once (via
+``benchmark.pedantic``), asserts the paper's qualitative claims, and
+writes the rendered ASCII artefact to ``benchmarks/_artifacts/`` so the
+regenerated tables/figures survive the run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+ARTIFACT_DIR = pathlib.Path(__file__).parent / "_artifacts"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> pathlib.Path:
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+    return ARTIFACT_DIR
+
+
+def save_artifact(directory: pathlib.Path, name: str, content: str) -> None:
+    """Persist one rendered figure/table and echo it to stdout."""
+    path = directory / name
+    path.write_text(content + "\n")
+    print(f"\n{content}\n[artifact saved to {path}]")

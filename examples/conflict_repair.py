@@ -1,0 +1,66 @@
+"""The Figure-4/5 data re-layout, demonstrated on the pathological case.
+
+Reconstructs the scenario the paper's Figure 4 draws: arrays whose
+equal-index elements map to the same cache sets, so interleaved accesses
+thrash a 2-way cache.  Runs the conflict analysis, the Figure-5
+selection, and the Figure-4 half-page remap, and measures the miss rates
+before and after.
+
+Run:  python examples/conflict_repair.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cache import CacheGeometry, SetAssociativeCache
+from repro.memory import DataLayout, RemappedLayout, select_relayout
+from repro.presburger import PointSet
+from repro.programs import ArraySpec
+from repro.sharing import compute_conflict_matrix
+
+GEOMETRY = CacheGeometry(8192, 2, 32)
+ELEMENTS = 2048  # each array exactly cache-sized
+
+
+def measure(layout, arrays, sweeps: int = 4) -> float:
+    """Interleaved equal-index sweeps; returns the miss rate."""
+    cache = SetAssociativeCache(GEOMETRY)
+    idx = np.arange(ELEMENTS)
+    lines = np.empty(len(arrays) * ELEMENTS, dtype=np.int64)
+    for j, spec in enumerate(arrays):
+        lines[j :: len(arrays)] = GEOMETRY.lines_of(layout.addrs(spec.name, idx))
+    for _ in range(sweeps):
+        cache.run_trace(lines)
+    return cache.stats.miss_rate
+
+
+def main() -> None:
+    arrays = [ArraySpec(name, (ELEMENTS,)) for name in ("K1", "K2", "K3")]
+    # A page-granular allocator aligns the arrays to the cache page, so
+    # equal indices collide in the same set — Figure 4(a).
+    base = DataLayout.allocate(arrays, alignment=GEOMETRY.cache_page, stagger=0)
+
+    footprints = {spec.name: PointSet.from_flat(range(ELEMENTS)) for spec in arrays}
+    conflicts = compute_conflict_matrix(footprints, base, GEOMETRY)
+    print(conflicts.render())
+    print(f"\nmean pairwise conflicts (the paper's T): {conflicts.mean_pairwise():.0f}")
+
+    related = {("K1", "K2"), ("K1", "K3"), ("K2", "K3")}
+    decision = select_relayout(conflicts, GEOMETRY, related, threshold=0.0)
+    print("\nFigure-5 selection:")
+    for line in decision.log:
+        print(f"  {line}")
+
+    remapped = RemappedLayout(base, GEOMETRY, decision.b_offsets)
+    print(f"\nremapped arrays: {remapped.remapped_arrays}")
+
+    before = measure(base, arrays)
+    after = measure(remapped, arrays)
+    print(f"\nmiss rate, original layout (Fig 4a): {before:.3f}")
+    print(f"miss rate, remapped layout (Fig 4b): {after:.3f}")
+    print(f"conflict misses removed: {(1 - after / before) * 100:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup entry point.
+
+The canonical build metadata lives in ``pyproject.toml``; this file exists
+so that offline environments without the ``wheel`` package (which PEP 660
+editable installs require with older setuptools) can still install with
+``pip install -e . --no-build-isolation`` or ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

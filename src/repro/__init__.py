@@ -1,0 +1,63 @@
+"""repro — reproduction of *Locality-Aware Process Scheduling for Embedded
+MPSoCs* (Kandemir & Chen, DATE 2005).
+
+The package implements the paper's complete system:
+
+- :mod:`repro.presburger` — the integer-set machinery of Section 2;
+- :mod:`repro.programs` / :mod:`repro.procgraph` — the program and
+  process-graph model;
+- :mod:`repro.sharing` — sharing and conflict matrices;
+- :mod:`repro.memory` / :mod:`repro.cache` — layouts, the Figure-4/5
+  re-layout, and the L1 cache model;
+- :mod:`repro.sched` — the RS / RRS / LS / LSM schedulers;
+- :mod:`repro.sim` — the MPSoC simulator (the Simics substitute);
+- :mod:`repro.workloads` — the six Table-1 applications;
+- :mod:`repro.experiments` — harnesses regenerating every table/figure.
+
+Quickstart::
+
+    from repro import MachineConfig, MPSoCSimulator, LocalityScheduler
+    from repro.workloads import build_task
+    from repro.procgraph import ExtendedProcessGraph
+
+    epg = ExtendedProcessGraph.from_tasks([build_task("MxM")])
+    sim = MPSoCSimulator(MachineConfig.paper_default())
+    result = sim.run(epg, LocalityScheduler())
+    print(result.summary())
+"""
+
+from repro.cache import CacheGeometry, SetAssociativeCache
+from repro.procgraph import ExtendedProcessGraph, Process, ProcessGraph, Task
+from repro.sched import (
+    DynamicLocalityScheduler,
+    LocalityMappingScheduler,
+    LocalityScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+)
+from repro.sharing import SharingMatrix, compute_sharing_matrix
+from repro.sim import MachineConfig, MPSoCSimulator, SimulationResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheGeometry",
+    "DynamicLocalityScheduler",
+    "ExtendedProcessGraph",
+    "LocalityMappingScheduler",
+    "LocalityScheduler",
+    "MPSoCSimulator",
+    "MachineConfig",
+    "Process",
+    "ProcessGraph",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "SetAssociativeCache",
+    "SharingMatrix",
+    "SimulationResult",
+    "Task",
+    "__version__",
+    "compute_sharing_matrix",
+]

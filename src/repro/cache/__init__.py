@@ -1,0 +1,25 @@
+"""Cache substrate: geometry, set-associative LRU model, miss classification.
+
+The MPSoC in the paper gives each core a private L1 data cache (Table 2:
+8 KB, 2-way).  This package provides:
+
+- :class:`CacheGeometry` — size/associativity/line arithmetic, including
+  the paper's *cache page* (``size / associativity``);
+- :class:`SetAssociativeCache` — a cycle-cost-free LRU cache model with
+  hit/miss statistics, used per-core by the simulator;
+- :class:`MissClassifier` — compulsory/capacity/conflict classification
+  via an infinite-tag set and a fully-associative shadow cache.
+"""
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.sa_cache import SetAssociativeCache
+from repro.cache.stats import CacheStats
+from repro.cache.miss_classifier import MissClass, MissClassifier
+
+__all__ = [
+    "CacheGeometry",
+    "CacheStats",
+    "MissClass",
+    "MissClassifier",
+    "SetAssociativeCache",
+]

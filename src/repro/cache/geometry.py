@@ -1,0 +1,114 @@
+"""Cache geometry arithmetic.
+
+All address-to-set math lives here, including the paper's *cache page*:
+``cache page = cache size / associativity`` (the footnote in Section 3).
+Two addresses conflict in the cache exactly when they are congruent modulo
+the cache page but name different lines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_power_of_two, check_positive
+from repro.errors import ValidationError
+
+
+class CacheGeometry:
+    """Size / associativity / line-size arithmetic for one cache level."""
+
+    __slots__ = ("_size", "_assoc", "_line", "_num_sets", "_num_lines", "_page")
+
+    def __init__(self, size_bytes: int, associativity: int, line_size: int) -> None:
+        check_power_of_two("size_bytes", size_bytes)
+        check_power_of_two("associativity", associativity)
+        check_power_of_two("line_size", line_size)
+        if line_size > size_bytes:
+            raise ValidationError(
+                f"line size {line_size} exceeds cache size {size_bytes}"
+            )
+        num_lines = size_bytes // line_size
+        if associativity > num_lines:
+            raise ValidationError(
+                f"associativity {associativity} exceeds {num_lines} total lines"
+            )
+        self._size = size_bytes
+        self._assoc = associativity
+        self._line = line_size
+        self._num_lines = num_lines
+        self._num_sets = num_lines // associativity
+        self._page = size_bytes // associativity
+
+    @property
+    def size_bytes(self) -> int:
+        """Total capacity in bytes."""
+        return self._size
+
+    @property
+    def associativity(self) -> int:
+        """Ways per set."""
+        return self._assoc
+
+    @property
+    def line_size(self) -> int:
+        """Line (block) size in bytes."""
+        return self._line
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets."""
+        return self._num_sets
+
+    @property
+    def num_lines(self) -> int:
+        """Total number of lines (sets × ways)."""
+        return self._num_lines
+
+    @property
+    def cache_page(self) -> int:
+        """The paper's cache page: ``size / associativity``, in bytes."""
+        return self._page
+
+    # -- scalar address math ------------------------------------------------
+
+    def line_of(self, addr: int) -> int:
+        """The global line number an address belongs to."""
+        if addr < 0:
+            raise ValidationError(f"negative address {addr}")
+        return addr // self._line
+
+    def set_of(self, addr: int) -> int:
+        """The cache set an address maps to."""
+        return self.line_of(addr) % self._num_sets
+
+    def tag_of(self, addr: int) -> int:
+        """The tag stored for an address (line number / num_sets)."""
+        return self.line_of(addr) // self._num_sets
+
+    # -- vectorised address math ---------------------------------------------
+
+    def lines_of(self, addrs: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`line_of`."""
+        return np.asarray(addrs, dtype=np.int64) // self._line
+
+    def sets_of(self, addrs: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`set_of`."""
+        return self.lines_of(addrs) % self._num_sets
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CacheGeometry):
+            return NotImplemented
+        return (
+            self._size == other._size
+            and self._assoc == other._assoc
+            and self._line == other._line
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._size, self._assoc, self._line))
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheGeometry({self._size}B, {self._assoc}-way, "
+            f"{self._line}B lines, {self._num_sets} sets)"
+        )

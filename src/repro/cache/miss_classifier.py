@@ -1,0 +1,82 @@
+"""Compulsory / capacity / conflict miss classification.
+
+The paper's data-mapping phase targets *conflict* misses specifically.
+To verify that LSM actually removes them, the simulator can classify every
+miss using the classical three-C scheme:
+
+- **compulsory** — the line was never referenced before;
+- **capacity** — a fully-associative LRU cache of the same total capacity
+  would also have missed;
+- **conflict** — the fully-associative shadow cache *hits*, so the miss is
+  attributable to limited associativity / set conflicts.
+
+The shadow cache is an LRU over whole lines with the same line count as
+the real cache, maintained on every access (hit or miss).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from enum import Enum
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.stats import ClassifiedMisses
+from repro.errors import ValidationError
+
+
+class MissClass(Enum):
+    """The three-C classification of a cache miss."""
+
+    COMPULSORY = "compulsory"
+    CAPACITY = "capacity"
+    CONFLICT = "conflict"
+
+
+class MissClassifier:
+    """Classifies misses against a fully-associative LRU shadow cache."""
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        if not isinstance(geometry, CacheGeometry):
+            raise ValidationError(f"expected CacheGeometry, got {geometry!r}")
+        self._capacity = geometry.num_lines
+        self._shadow: OrderedDict[int, None] = OrderedDict()
+        self._seen: set[int] = set()
+        self.counts = ClassifiedMisses()
+
+    @property
+    def capacity_lines(self) -> int:
+        """Shadow cache capacity (same line count as the real cache)."""
+        return self._capacity
+
+    def observe(self, line: int, real_hit: bool) -> MissClass | None:
+        """Record one access; returns the miss class (None on a hit).
+
+        Must be called for *every* access, in order, so the shadow LRU
+        tracks the same reference stream as the real cache.
+        """
+        shadow = self._shadow
+        shadow_hit = line in shadow
+        if shadow_hit:
+            shadow.move_to_end(line)
+        else:
+            shadow[line] = None
+            if len(shadow) > self._capacity:
+                shadow.popitem(last=False)
+        if real_hit:
+            self._seen.add(line)
+            return None
+        if line not in self._seen:
+            self._seen.add(line)
+            self.counts.compulsory += 1
+            return MissClass.COMPULSORY
+        if shadow_hit:
+            self.counts.conflict += 1
+            return MissClass.CONFLICT
+        self.counts.capacity += 1
+        return MissClass.CAPACITY
+
+    def reset(self) -> None:
+        """Clear the shadow cache, reference history, and counters."""
+        self._shadow = OrderedDict()
+        self._seen = set()
+        self.counts = ClassifiedMisses()

@@ -1,0 +1,95 @@
+"""Command-line interface: regenerate any paper artefact from a shell.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro tables                 # Tables 1 and 2
+    python -m repro figure2                # the Section-2 worked example
+    python -m repro figure6 [--scale S]    # isolated applications
+    python -m repro figure7 [--max-tasks N] [--csv out.csv]
+    python -m repro sensitivity [--tasks N]
+    python -m repro ablation [--tasks N]
+
+Every subcommand prints the rendered ASCII artefact; ``--csv`` also
+writes the raw per-scheduler rows for post-processing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.experiments.ablation import render_ablation, run_ablation
+from repro.experiments.export import write_csv
+from repro.experiments.figure2 import render_figure2
+from repro.experiments.figure6 import render_figure6, run_figure6
+from repro.experiments.figure7 import render_figure7, run_figure7
+from repro.experiments.sensitivity import render_sensitivity, run_sensitivity
+from repro.experiments.tables import render_table1, render_table2
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Locality-Aware Process Scheduling for "
+            "Embedded MPSoCs' (DATE 2005): regenerate the paper's tables "
+            "and figures."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="print Tables 1 and 2")
+    sub.add_parser("figure2", help="print the Figure-2 worked example")
+
+    fig6 = sub.add_parser("figure6", help="run the isolated-application figure")
+    fig6.add_argument("--scale", type=float, default=1.0)
+    fig6.add_argument("--seed", type=int, default=0)
+    fig6.add_argument("--csv", type=str, default=None)
+
+    fig7 = sub.add_parser("figure7", help="run the concurrent-mix figure")
+    fig7.add_argument("--scale", type=float, default=1.0)
+    fig7.add_argument("--seed", type=int, default=0)
+    fig7.add_argument("--max-tasks", type=int, default=6)
+    fig7.add_argument("--csv", type=str, default=None)
+
+    sens = sub.add_parser("sensitivity", help="run the parameter sweeps")
+    sens.add_argument("--tasks", type=int, default=3)
+    sens.add_argument("--scale", type=float, default=1.0)
+
+    abl = sub.add_parser("ablation", help="run the design ablations")
+    abl.add_argument("--tasks", type=int, default=4)
+    abl.add_argument("--scale", type=float, default=1.0)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "tables":
+        print(render_table1())
+        print()
+        print(render_table2())
+    elif args.command == "figure2":
+        print(render_figure2())
+    elif args.command == "figure6":
+        comparisons = run_figure6(scale=args.scale, seed=args.seed)
+        print(render_figure6(comparisons))
+        if args.csv:
+            print(f"\n[csv written to {write_csv(comparisons, args.csv)}]")
+    elif args.command == "figure7":
+        comparisons = run_figure7(
+            scale=args.scale, seed=args.seed, max_tasks=args.max_tasks
+        )
+        print(render_figure7(comparisons))
+        if args.csv:
+            print(f"\n[csv written to {write_csv(comparisons, args.csv)}]")
+    elif args.command == "sensitivity":
+        print(render_sensitivity(run_sensitivity(num_tasks=args.tasks, scale=args.scale)))
+    elif args.command == "ablation":
+        print(render_ablation(run_ablation(num_tasks=args.tasks, scale=args.scale)))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

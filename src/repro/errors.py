@@ -1,0 +1,131 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised by this library derive from :class:`ReproError`, so
+callers can catch a single base class.  Subclasses are grouped by the
+subsystem that raises them; each carries a human-readable message and, where
+useful, structured attributes that tests and tooling can inspect.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong range, wrong shape, wrong type)."""
+
+
+class PresburgerError(ReproError):
+    """Base class for errors from the integer-set library."""
+
+
+class DimensionMismatchError(PresburgerError):
+    """Two sets or maps with incompatible dimensionality were combined."""
+
+    def __init__(self, expected: int, actual: int, context: str = "") -> None:
+        self.expected = expected
+        self.actual = actual
+        suffix = f" ({context})" if context else ""
+        super().__init__(
+            f"dimension mismatch: expected {expected}, got {actual}{suffix}"
+        )
+
+
+class UnboundedSetError(PresburgerError):
+    """An operation requiring a bounded set was applied to an unbounded one."""
+
+
+class ProgramModelError(ReproError):
+    """The program model (arrays, accesses, loop nests) was misused."""
+
+
+class UnknownArrayError(ProgramModelError, KeyError):
+    """An access or layout query referenced an array that was never declared."""
+
+    def __init__(self, name: str) -> None:
+        self.array_name = name
+        super().__init__(f"unknown array: {name!r}")
+
+
+class GraphError(ReproError):
+    """Base class for process-graph structural errors."""
+
+
+class CyclicDependenceError(GraphError):
+    """A process graph contains a dependence cycle and cannot be scheduled."""
+
+    def __init__(self, cycle: list[str]) -> None:
+        self.cycle = list(cycle)
+        super().__init__(f"dependence cycle detected: {' -> '.join(self.cycle)}")
+
+
+class DuplicateProcessError(GraphError):
+    """Two processes with the same id were added to one graph."""
+
+    def __init__(self, pid: str) -> None:
+        self.pid = pid
+        super().__init__(f"duplicate process id: {pid!r}")
+
+
+class UnknownProcessError(GraphError, KeyError):
+    """A graph operation referenced a process id that is not in the graph."""
+
+    def __init__(self, pid: str) -> None:
+        self.pid = pid
+        super().__init__(f"unknown process id: {pid!r}")
+
+
+class LayoutError(ReproError):
+    """Base class for memory-layout errors."""
+
+
+class OverlappingAllocationError(LayoutError):
+    """Two arrays were allocated overlapping address ranges."""
+
+
+class AddressRangeError(LayoutError, IndexError):
+    """An address or element index fell outside its array's range."""
+
+
+class SchedulingError(ReproError):
+    """Base class for scheduler failures."""
+
+
+class InfeasibleScheduleError(SchedulingError):
+    """No valid schedule exists (e.g. unsatisfiable dependences)."""
+
+
+class SimulationError(ReproError):
+    """Base class for simulator failures."""
+
+
+class EventOrderingError(SimulationError):
+    """The discrete-event engine observed time running backwards."""
+
+    def __init__(self, now: int, event_time: int) -> None:
+        self.now = now
+        self.event_time = event_time
+        super().__init__(
+            f"event scheduled in the past: now={now}, event time={event_time}"
+        )
+
+
+class WorkloadError(ReproError):
+    """A workload generator was configured inconsistently."""
+
+
+class UnknownWorkloadError(WorkloadError, KeyError):
+    """A workload name was not found in the suite registry."""
+
+    def __init__(self, name: str, known: list[str]) -> None:
+        self.name = name
+        self.known = list(known)
+        super().__init__(
+            f"unknown workload {name!r}; known workloads: {', '.join(known)}"
+        )
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was configured inconsistently."""

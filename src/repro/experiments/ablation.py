@@ -1,0 +1,101 @@
+"""Ablation studies over the design choices DESIGN.md calls out.
+
+Three ablations, each isolating one ingredient of the proposed system:
+
+1. **Dispatch model** — the paper's Figure-3 pseudocode as a literal
+   ahead-of-time plan (``LS-static``) versus the same selection rule
+   applied at dispatch time (``LS``).  Quantifies how much of LS's win
+   requires reacting to actual completion times.
+2. **Trim policy** — the initialisation step's prose ("remove the
+   maximum-sharing candidate") versus the pseudocode's literal
+   "minimized" select line.
+3. **Re-layout threshold** — LSM's Figure-5 threshold ``T`` swept around
+   the paper's default (the mean pairwise conflict count), including
+   ``T = ∞`` (no re-layout, i.e. plain LS) as the reference.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.procgraph.graph import ProcessGraph
+from repro.sched.locality import LocalityScheduler, StaticLocalityScheduler
+from repro.sched.locality_mapping import LocalityMappingScheduler
+from repro.sim.config import MachineConfig
+from repro.sim.simulator import MPSoCSimulator
+from repro.util.tables import AsciiTable
+from repro.workloads.suite import build_workload_mix
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    """One ablation measurement."""
+
+    study: str
+    variant: str
+    seconds: float
+    miss_rate: float
+
+
+def run_ablation(
+    num_tasks: int = 4,
+    scale: float = 1.0,
+    machine: MachineConfig | None = None,
+) -> list[AblationRow]:
+    """Run all three ablations over the |T|=num_tasks mix."""
+    machine = machine if machine is not None else MachineConfig.paper_default()
+    epg = build_workload_mix(num_tasks, scale=scale)
+    simulator = MPSoCSimulator(machine)
+    rows: list[AblationRow] = []
+
+    def measure(study: str, variant: str, scheduler) -> None:
+        result = simulator.run(epg, scheduler)
+        rows.append(
+            AblationRow(
+                study=study,
+                variant=variant,
+                seconds=result.seconds,
+                miss_rate=result.miss_rate,
+            )
+        )
+
+    # 1. dispatch model
+    measure("dispatch model", "dispatch-time (LS)", LocalityScheduler())
+    measure("dispatch model", "static plan (Figure 3 literal)", StaticLocalityScheduler())
+
+    # 2. trim policy (static form, where the trim step actually runs)
+    measure("trim policy", "max-sharing (prose)", StaticLocalityScheduler(trim="max-sharing"))
+    measure("trim policy", "min-sharing (pseudocode)", StaticLocalityScheduler(trim="min-sharing"))
+
+    # 3. re-layout threshold
+    measure("re-layout threshold", "no re-layout (LS)", LocalityScheduler())
+    measure(
+        "re-layout threshold",
+        "T = mean conflicts (paper)",
+        LocalityMappingScheduler(),
+    )
+    measure(
+        "re-layout threshold",
+        "T = 0 (remap everything related)",
+        LocalityMappingScheduler(conflict_threshold=0.0),
+    )
+    measure(
+        "re-layout threshold",
+        "T = inf (remap nothing)",
+        LocalityMappingScheduler(conflict_threshold=math.inf),
+    )
+    return rows
+
+
+def render_ablation(rows: list[AblationRow]) -> str:
+    """One table with all ablation measurements."""
+    table = AsciiTable(
+        ["study", "variant", "time (ms)", "miss rate"],
+        title="Ablation studies",
+    )
+    for row in rows:
+        table.add_row(
+            [row.study, row.variant, f"{row.seconds * 1e3:.3f}", f"{row.miss_rate:.4f}"]
+        )
+    return table.render()

@@ -1,0 +1,75 @@
+"""CSV export for experiment results.
+
+Every harness returns :class:`~repro.experiments.runner.SchedulerComparison`
+records; these helpers flatten them into CSV rows so results can be
+post-processed (plotting, regression tracking) outside this library.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Sequence
+
+from repro.errors import ExperimentError
+from repro.experiments.runner import SCHEDULER_ORDER, SchedulerComparison
+
+#: Columns written for each (workload, scheduler) pair.
+CSV_COLUMNS = (
+    "workload",
+    "scheduler",
+    "seconds",
+    "makespan_cycles",
+    "miss_rate",
+    "hits",
+    "misses",
+    "utilization",
+)
+
+
+def comparisons_to_rows(
+    comparisons: Sequence[SchedulerComparison],
+) -> list[dict[str, object]]:
+    """Flatten comparisons into one dict per (workload, scheduler)."""
+    rows: list[dict[str, object]] = []
+    for comparison in comparisons:
+        for name in SCHEDULER_ORDER:
+            if name not in comparison.results:
+                continue
+            result = comparison.results[name]
+            total = result.total_cache
+            rows.append(
+                {
+                    "workload": comparison.label,
+                    "scheduler": name,
+                    "seconds": result.seconds,
+                    "makespan_cycles": result.makespan_cycles,
+                    "miss_rate": result.miss_rate,
+                    "hits": total.hits,
+                    "misses": total.misses,
+                    "utilization": result.core_utilization(),
+                }
+            )
+    return rows
+
+
+def comparisons_to_csv(comparisons: Sequence[SchedulerComparison]) -> str:
+    """Render comparisons as a CSV string (header + one row per result)."""
+    rows = comparisons_to_rows(comparisons)
+    if not rows:
+        raise ExperimentError("no results to export")
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=CSV_COLUMNS)
+    writer.writeheader()
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def write_csv(
+    comparisons: Sequence[SchedulerComparison], path: str | Path
+) -> Path:
+    """Write comparisons to a CSV file; returns the path."""
+    path = Path(path)
+    path.write_text(comparisons_to_csv(comparisons))
+    return path

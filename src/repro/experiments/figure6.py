@@ -1,0 +1,63 @@
+"""Figure 6 — execution times of each application in isolation.
+
+For every Table-1 application, builds a single-task EPG and measures the
+completion time under RS, RRS, LS, and LSM on the Table-2 machine.  The
+paper's observations, which this harness regenerates qualitatively:
+
+1. the locality-aware strategies beat RS and RRS (the co-scheduled
+   processes all come from one application and share heavily, so cache
+   behaviour dominates);
+2. LS and LSM are close (intra-application conflicts are small relative
+   to the sharing effects).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import (
+    SCHEDULER_ORDER,
+    SchedulerComparison,
+    run_comparison,
+)
+from repro.procgraph.graph import ExtendedProcessGraph
+from repro.sim.config import MachineConfig
+from repro.util.tables import AsciiBarChart, AsciiTable
+from repro.workloads.suite import SUITE, build_task
+
+
+def run_figure6(
+    machine: MachineConfig | None = None,
+    scale: float = 1.0,
+    seed: int = 0,
+) -> list[SchedulerComparison]:
+    """Run every application in isolation; one comparison per app."""
+    comparisons = []
+    for spec in SUITE:
+        epg = ExtendedProcessGraph.from_tasks([build_task(spec.name, scale=scale)])
+        comparisons.append(
+            run_comparison(spec.name, epg, machine=machine, seed=seed)
+        )
+    return comparisons
+
+
+def render_figure6(comparisons: list[SchedulerComparison]) -> str:
+    """ASCII bar chart plus the underlying table (times in ms)."""
+    chart = AsciiBarChart(
+        SCHEDULER_ORDER,
+        title="Figure 6: execution time, applications in isolation (ms)",
+    )
+    table = AsciiTable(
+        ["application", *SCHEDULER_ORDER, "RS/LS", "RS/LSM"],
+        title="Figure 6 data",
+    )
+    for comparison in comparisons:
+        millis = [comparison.seconds(name) * 1e3 for name in SCHEDULER_ORDER]
+        chart.add_group(comparison.label, millis)
+        table.add_row(
+            [
+                comparison.label,
+                *[f"{m:.3f}" for m in millis],
+                f"{comparison.speedup('RS', 'LS'):.2f}x",
+                f"{comparison.speedup('RS', 'LSM'):.2f}x",
+            ]
+        )
+    return chart.render() + "\n\n" + table.render()

@@ -1,0 +1,96 @@
+"""Common experiment infrastructure.
+
+Every figure in the evaluation compares the same four schedulers over
+some workload; :func:`run_comparison` runs them over one EPG and returns
+a :class:`SchedulerComparison` with the per-scheduler results, keeping
+the individual harnesses small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ExperimentError
+from repro.procgraph.graph import ProcessGraph
+from repro.sched.base import Scheduler
+from repro.sched.locality import LocalityScheduler
+from repro.sched.locality_mapping import LocalityMappingScheduler
+from repro.sched.random_sched import RandomScheduler
+from repro.sched.round_robin import RoundRobinScheduler
+from repro.sim.config import MachineConfig
+from repro.sim.results import SimulationResult
+from repro.sim.simulator import MPSoCSimulator
+
+#: Scheduler order used in every figure (matches the paper's legends).
+SCHEDULER_ORDER = ("RS", "RRS", "LS", "LSM")
+
+
+def default_schedulers(seed: int = 0) -> list[Scheduler]:
+    """The paper's four strategies, in legend order."""
+    return [
+        RandomScheduler(seed=seed),
+        RoundRobinScheduler(),
+        LocalityScheduler(),
+        LocalityMappingScheduler(),
+    ]
+
+
+@dataclass
+class SchedulerComparison:
+    """Results of one workload under several schedulers."""
+
+    label: str
+    results: dict[str, SimulationResult] = field(default_factory=dict)
+
+    def seconds(self, scheduler_name: str) -> float:
+        """Completion time of one scheduler."""
+        if scheduler_name not in self.results:
+            raise ExperimentError(
+                f"no result for scheduler {scheduler_name!r} in {self.label!r}"
+            )
+        return self.results[scheduler_name].seconds
+
+    def miss_rate(self, scheduler_name: str) -> float:
+        """Aggregate miss rate of one scheduler."""
+        if scheduler_name not in self.results:
+            raise ExperimentError(
+                f"no result for scheduler {scheduler_name!r} in {self.label!r}"
+            )
+        return self.results[scheduler_name].miss_rate
+
+    def ordered_seconds(self) -> list[tuple[str, float]]:
+        """(scheduler, seconds) pairs in legend order."""
+        return [
+            (name, self.seconds(name))
+            for name in SCHEDULER_ORDER
+            if name in self.results
+        ]
+
+    def speedup(self, baseline: str, improved: str) -> float:
+        """``time(baseline) / time(improved)``."""
+        improved_time = self.seconds(improved)
+        if improved_time == 0:
+            raise ExperimentError(f"zero completion time for {improved!r}")
+        return self.seconds(baseline) / improved_time
+
+
+def run_comparison(
+    label: str,
+    epg: ProcessGraph,
+    machine: MachineConfig | None = None,
+    schedulers: list[Scheduler] | None = None,
+    seed: int = 0,
+) -> SchedulerComparison:
+    """Run one EPG under each scheduler on one machine."""
+    machine = machine if machine is not None else MachineConfig.paper_default()
+    schedulers = schedulers if schedulers is not None else default_schedulers(seed)
+    simulator = MPSoCSimulator(machine)
+    comparison = SchedulerComparison(label=label)
+    for scheduler in schedulers:
+        result = simulator.run(epg, scheduler)
+        if scheduler.name in comparison.results:
+            raise ExperimentError(
+                f"duplicate scheduler name {scheduler.name!r} in comparison"
+            )
+        comparison.results[scheduler.name] = result
+    return comparison

@@ -1,0 +1,83 @@
+"""Sensitivity sweeps — "our savings are consistent across several
+simulation parameters" (Section 4).
+
+Each sweep varies one machine parameter around the Table-2 default and
+re-runs a workload mix under all four schedulers, reporting the RS/LS
+speedup per point.  The paper's claim is regenerated if the locality win
+persists (speedup > 1) across the sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ExperimentError
+from repro.experiments.runner import SchedulerComparison, run_comparison
+from repro.sim.config import MachineConfig
+from repro.util.tables import AsciiTable
+from repro.util.units import KIB
+from repro.workloads.suite import build_workload_mix
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a parameter sweep."""
+
+    parameter: str
+    value: object
+    comparison: SchedulerComparison
+
+
+#: The default sweeps: (parameter name, config field, values).
+DEFAULT_SWEEPS: tuple[tuple[str, str, tuple], ...] = (
+    ("cache size", "cache_size_bytes", (4 * KIB, 8 * KIB, 16 * KIB, 32 * KIB)),
+    ("associativity", "cache_associativity", (1, 2, 4)),
+    ("cores", "num_cores", (4, 8, 16)),
+    ("off-chip latency", "memory_latency_cycles", (50, 75, 100, 150)),
+    ("RRS quantum", "quantum_cycles", (2_000, 8_000, 32_000)),
+)
+
+
+def run_sensitivity(
+    num_tasks: int = 3,
+    scale: float = 1.0,
+    seed: int = 0,
+    sweeps: tuple[tuple[str, str, tuple], ...] = DEFAULT_SWEEPS,
+) -> list[SweepPoint]:
+    """Run every sweep over the |T|=num_tasks mix."""
+    if num_tasks < 1:
+        raise ExperimentError(f"num_tasks must be >= 1, got {num_tasks}")
+    epg = build_workload_mix(num_tasks, scale=scale)
+    points = []
+    for parameter, field, values in sweeps:
+        for value in values:
+            machine = MachineConfig.paper_default().with_overrides(**{field: value})
+            comparison = run_comparison(
+                f"{parameter}={value}", epg, machine=machine, seed=seed
+            )
+            points.append(
+                SweepPoint(parameter=parameter, value=value, comparison=comparison)
+            )
+    return points
+
+
+def render_sensitivity(points: list[SweepPoint]) -> str:
+    """One table, grouped by parameter, with per-point RS/LS speedups."""
+    table = AsciiTable(
+        ["parameter", "value", "RS (ms)", "RRS (ms)", "LS (ms)", "LSM (ms)", "RS/LS"],
+        title="Sensitivity: locality-aware savings across simulation parameters",
+    )
+    for point in points:
+        comparison = point.comparison
+        table.add_row(
+            [
+                point.parameter,
+                str(point.value),
+                f"{comparison.seconds('RS') * 1e3:.3f}",
+                f"{comparison.seconds('RRS') * 1e3:.3f}",
+                f"{comparison.seconds('LS') * 1e3:.3f}",
+                f"{comparison.seconds('LSM') * 1e3:.3f}",
+                f"{comparison.speedup('RS', 'LS'):.2f}x",
+            ]
+        )
+    return table.render()

@@ -1,0 +1,38 @@
+"""Tables 1 and 2 — the applications and the simulation parameters.
+
+These are descriptive tables; the harness renders them from the live
+registry/config objects so the printed artefacts can never drift from
+the code that actually runs.
+"""
+
+from __future__ import annotations
+
+from repro.sim.config import MachineConfig
+from repro.util.tables import AsciiTable
+from repro.workloads.suite import SUITE
+
+
+def render_table1(scale: float = 1.0, include_counts: bool = True) -> str:
+    """Table 1: the applications (optionally with live process counts)."""
+    headers = ["Applications (Task)", "Brief Description"]
+    if include_counts:
+        headers.append("Processes")
+    table = AsciiTable(headers, title="Table 1: applications used in this study")
+    for spec in SUITE:
+        row: list[object] = [spec.name, spec.description]
+        if include_counts:
+            row.append(spec.build(scale=scale).num_processes)
+        table.add_row(row)
+    return table.render()
+
+
+def render_table2(machine: MachineConfig | None = None) -> str:
+    """Table 2: default simulation parameters."""
+    machine = machine if machine is not None else MachineConfig.paper_default()
+    table = AsciiTable(
+        ["Parameter", "Value"],
+        title="Table 2: default simulation parameters",
+    )
+    for parameter, value in machine.describe():
+        table.add_row([parameter, value])
+    return table.render()

@@ -1,0 +1,22 @@
+"""Memory layout substrate: allocation, the Figure-4 remap, Figure-5 selection.
+
+- :class:`DataLayout` — assigns every array a base address (the compiler's
+  ``addr(.)`` function from Section 3);
+- :class:`RemappedLayout` — overrides selected arrays with the paper's
+  half-cache-page interleaving transform
+  ``addr'(e) = 2·addr(e) − addr(e) mod (C/2) + b``;
+- :func:`select_relayout` — the greedy Figure-5 algorithm that picks which
+  arrays to transform and assigns their ``b`` offsets.
+"""
+
+from repro.memory.layout import DataLayout
+from repro.memory.remap import RemappedLayout, half_page_remap_offsets
+from repro.memory.relayout import RelayoutDecision, select_relayout
+
+__all__ = [
+    "DataLayout",
+    "RelayoutDecision",
+    "RemappedLayout",
+    "half_page_remap_offsets",
+    "select_relayout",
+]

@@ -1,0 +1,199 @@
+"""The Figure-5 greedy re-layout selection algorithm.
+
+Given the array conflict matrix, a threshold ``T`` (default: the mean
+pairwise conflict count, per the paper's experiments), and the *related
+pairs* — arrays accessed by the same process, or by a pair of processes
+scheduled successively on the same core — the algorithm repeatedly takes
+the worst-conflicting pair still involving an un-relaid array and assigns
+``b`` offsets so the two arrays land in opposite halves of every cache
+page (see :mod:`repro.memory.remap`).
+
+The paper's pseudocode leaves the very first pick unconstrained but
+requires later picks to involve at least one un-relaid array; we apply the
+"at least one un-relaid" rule uniformly, which is the only reading under
+which the loop always terminates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.cache.geometry import CacheGeometry
+from repro.errors import ValidationError
+from repro.sharing.conflicts import ConflictMatrix
+
+
+@dataclass
+class RelayoutDecision:
+    """The outcome of the Figure-5 selection pass."""
+
+    b_offsets: dict[str, int]
+    threshold: float
+    log: list[str] = field(default_factory=list)
+
+    @property
+    def num_remapped(self) -> int:
+        """How many arrays were selected for the Figure-4 transform."""
+        return len(self.b_offsets)
+
+
+def normalize_pair(name_a: str, name_b: str) -> tuple[str, str]:
+    """Canonical (sorted) form of an unordered array pair."""
+    return (name_a, name_b) if name_a <= name_b else (name_b, name_a)
+
+
+def related_array_pairs(
+    core_schedules: Sequence[Sequence[str]],
+    process_arrays: Mapping[str, Iterable[str]],
+) -> set[tuple[str, str]]:
+    """The pairs the Figure-5 guard admits for re-layout.
+
+    A pair ``(Ax, Ay)`` is *related* when the two arrays are accessed by
+    the same process, or by a pair of processes scheduled successively on
+    the same core — these are exactly the pairs whose conflicts hurt the
+    locality the scheduler tried to create.
+
+    ``core_schedules`` holds the ordered pid list per core;
+    ``process_arrays`` maps pid to the array names it touches.
+    """
+    pairs: set[tuple[str, str]] = set()
+    for pid, arrays in process_arrays.items():
+        arrays = sorted(set(arrays))
+        for i, name_a in enumerate(arrays):
+            for name_b in arrays[i + 1 :]:
+                pairs.add((name_a, name_b))
+    for schedule in core_schedules:
+        for prev_pid, next_pid in zip(schedule, schedule[1:]):
+            if prev_pid not in process_arrays or next_pid not in process_arrays:
+                raise ValidationError(
+                    f"schedule references unknown process "
+                    f"{prev_pid!r} or {next_pid!r}"
+                )
+            for name_a in set(process_arrays[prev_pid]):
+                for name_b in set(process_arrays[next_pid]):
+                    if name_a != name_b:
+                        pairs.add(normalize_pair(name_a, name_b))
+    return pairs
+
+
+def select_relayout(
+    conflicts: ConflictMatrix,
+    geometry: CacheGeometry,
+    related_pairs: set[tuple[str, str]],
+    threshold: float | None = None,
+    eligible_arrays: set[str] | None = None,
+    array_lines: Mapping[str, int] | None = None,
+    half_budget_lines: int | None = None,
+) -> RelayoutDecision:
+    """Run the Figure-5 greedy selection.
+
+    Returns the per-array ``b`` assignments (to feed a
+    :class:`~repro.memory.remap.RemappedLayout`).  ``threshold=None``
+    uses the paper's default: the mean conflict count across all pairs.
+
+    ``eligible_arrays`` restricts which arrays may be transformed.  The
+    Figure-4 remap confines an array to half the cache's sets, so an
+    array whose hot working set exceeds half the cache would *self*-thrash
+    after remapping; callers pass the set of arrays whose per-process
+    footprint fits (see
+    :meth:`repro.sched.locality_mapping.LocalityMappingScheduler.prepare`).
+    ``None`` means every array is eligible.
+
+    ``array_lines`` (distinct cache lines each array occupies) together
+    with ``half_budget_lines`` (default: half the cache's line count)
+    bounds how much data may be packed into each half: once a half's
+    budget is spent, further assignments to it are skipped.  Without the
+    budget, remapping *many* arrays doubles their line density per set
+    and the transform creates more conflicts than it removes.
+    """
+    if threshold is None:
+        threshold = conflicts.mean_pairwise()
+    if threshold < 0:
+        raise ValidationError(f"threshold must be non-negative, got {threshold}")
+    half_page = geometry.cache_page // 2
+    b_offsets: dict[str, int] = {}
+    log: list[str] = []
+    # Work on a mutable copy of the off-diagonal entries.
+    remaining = {
+        (a, b): count for a, b, count in conflicts.pairs_above(-1)
+    }
+    if eligible_arrays is not None:
+        dropped = [
+            pair
+            for pair in remaining
+            if pair[0] not in eligible_arrays or pair[1] not in eligible_arrays
+        ]
+        for pair in dropped:
+            count = remaining.pop(pair)
+            log.append(
+                f"skip {pair[0]}/{pair[1]} ({count}): working set too large "
+                f"for a half page"
+            )
+
+    def pick() -> tuple[str, str] | None:
+        candidates = [
+            (count, pair)
+            for pair, count in remaining.items()
+            if count > threshold
+            and not (pair[0] in b_offsets and pair[1] in b_offsets)
+        ]
+        if not candidates:
+            return None
+        # Max conflicts first; lexicographic pair order breaks ties.
+        candidates.sort(key=lambda item: (-item[0], item[1]))
+        return candidates[0][1]
+
+    if half_budget_lines is None:
+        half_budget_lines = geometry.num_lines // 2
+    budget_used = {0: 0, half_page: 0}
+
+    def lines_of(name: str) -> int:
+        if array_lines is None:
+            return 0  # budget disabled when sizes are unknown
+        return array_lines.get(name, 0)
+
+    def assign(name: str, b: int, count: int, context: str) -> bool:
+        cost = lines_of(name)
+        if budget_used[b] + cost > half_budget_lines:
+            log.append(
+                f"skip {name} ({count}): half b={b} budget exhausted "
+                f"({budget_used[b]}+{cost} > {half_budget_lines})"
+            )
+            return False
+        budget_used[b] += cost
+        b_offsets[name] = b
+        log.append(f"relayout {name} (b={b}) {context} ({count} conflicts)")
+        return True
+
+    while True:
+        pair = pick()
+        if pair is None:
+            break
+        name_a, name_b = pair
+        count = remaining.pop(pair)
+        if normalize_pair(name_a, name_b) not in related_pairs:
+            log.append(f"skip {name_a}/{name_b} ({count}): not related")
+            continue
+        if name_a in b_offsets:
+            assign(
+                name_b,
+                half_page - b_offsets[name_a],
+                count,
+                f"against fixed {name_a}",
+            )
+        elif name_b in b_offsets:
+            assign(
+                name_a,
+                half_page - b_offsets[name_b],
+                count,
+                f"against fixed {name_b}",
+            )
+        else:
+            if assign(name_a, 0, count, f"paired with {name_b}"):
+                if not assign(name_b, half_page, count, f"paired with {name_a}"):
+                    # Roll back a half-assigned pair: a lone array in one
+                    # half gains nothing and costs budget.
+                    budget_used[0] -= lines_of(name_a)
+                    del b_offsets[name_a]
+    return RelayoutDecision(b_offsets=b_offsets, threshold=float(threshold), log=log)

@@ -1,0 +1,40 @@
+"""Presburger-lite integer set library.
+
+The paper (Section 2) expresses iteration spaces, per-process data sets, and
+inter-process sharing sets in Presburger arithmetic.  This package provides
+the subset of that machinery the scheduler needs:
+
+- :class:`LinearExpr` — affine expressions over named integer variables;
+- :class:`Constraint` — equality, inequality, and modular constraints;
+- :class:`BasicSet` — a conjunction of constraints over a variable tuple;
+- :class:`IntegerSet` — a finite union of basic sets;
+- :class:`AffineMap` — affine maps between spaces (access functions);
+- :class:`PointSet` — an exact, enumerated set of integer points with fast
+  (numpy-backed) intersection/union/difference and cardinality.
+
+Symbolic objects describe sets; :meth:`BasicSet.enumerate` and
+:meth:`AffineMap.image` ground them into :class:`PointSet` values on which
+the sharing matrices of Section 2 are computed exactly.
+"""
+
+from repro.presburger.terms import LinearExpr, const, var
+from repro.presburger.constraints import Constraint
+from repro.presburger.sets import BasicSet, IntegerSet
+from repro.presburger.maps import AffineMap
+from repro.presburger.points import PointSet
+from repro.presburger.builders import box, interval, iteration_space, strided_interval
+
+__all__ = [
+    "AffineMap",
+    "BasicSet",
+    "Constraint",
+    "IntegerSet",
+    "LinearExpr",
+    "PointSet",
+    "box",
+    "const",
+    "interval",
+    "iteration_space",
+    "strided_interval",
+    "var",
+]

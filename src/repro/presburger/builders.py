@@ -1,0 +1,77 @@
+"""Convenience constructors for the common set shapes.
+
+Loop nests produce boxes, block partitions produce intervals, and cyclic
+partitions produce strided intervals; these helpers build the corresponding
+:class:`~repro.presburger.sets.BasicSet` objects without spelling out each
+constraint.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import ValidationError
+from repro.presburger.constraints import Constraint
+from repro.presburger.sets import BasicSet
+from repro.presburger.terms import var
+
+
+def interval(name: str, low: int, high: int) -> BasicSet:
+    """The 1-D set ``{[name]: low <= name < high}`` (half-open, like a loop).
+
+    >>> interval("i", 0, 4).count()
+    4
+    """
+    if high < low:
+        raise ValidationError(f"empty interval [{low}, {high}) is not allowed")
+    return BasicSet(
+        (name,),
+        [Constraint.ge(var(name), low), Constraint.lt(var(name), high)],
+    )
+
+
+def strided_interval(name: str, low: int, high: int, stride: int, phase: int = 0) -> BasicSet:
+    """``{[name]: low <= name < high && name ≡ phase (mod stride)}``.
+
+    Models a cyclic partition of a loop across processes.
+    """
+    if stride <= 0:
+        raise ValidationError(f"stride must be positive, got {stride}")
+    return interval(name, low, high).with_constraints(
+        Constraint.mod(var(name), stride, phase % stride)
+    )
+
+
+def box(bounds: Mapping[str, tuple[int, int]] | Sequence[tuple[str, int, int]]) -> BasicSet:
+    """A multi-dimensional half-open box.
+
+    Accepts either ``{"i": (0, 8), "j": (0, 3000)}`` or
+    ``[("i", 0, 8), ("j", 0, 3000)]``; dimension order follows the input
+    order.
+
+    >>> box({"i": (0, 2), "j": (0, 3)}).count()
+    6
+    """
+    if isinstance(bounds, Mapping):
+        triples = [(name, lo, hi) for name, (lo, hi) in bounds.items()]
+    else:
+        triples = [(name, lo, hi) for name, lo, hi in bounds]
+    if not triples:
+        raise ValidationError("a box needs at least one dimension")
+    names = [name for name, _, _ in triples]
+    constraints = []
+    for name, low, high in triples:
+        if high < low:
+            raise ValidationError(f"empty range [{low}, {high}) for {name!r}")
+        constraints.append(Constraint.ge(var(name), low))
+        constraints.append(Constraint.lt(var(name), high))
+    return BasicSet(names, constraints)
+
+
+def iteration_space(loop_bounds: Sequence[tuple[str, int, int]]) -> BasicSet:
+    """The iteration space of a perfect loop nest, outermost first.
+
+    ``iteration_space([("i1", 0, 8), ("i2", 0, 3000)])`` is the paper's
+    ``IS1 = {[i1,i2]: 0 <= i1 < 8 && 0 <= i2 < 3000}``.
+    """
+    return box(list(loop_bounds))

@@ -1,0 +1,166 @@
+"""Affine (linear + constant) integer expressions over named variables.
+
+A :class:`LinearExpr` is the atom of the Presburger-lite library: iteration
+bounds, array subscripts, and constraint left-hand sides are all affine
+expressions such as ``i1*1000 + i2`` from the paper's running example.
+
+Expressions are immutable and hashable; arithmetic operators build new
+expressions, so the paper's formulas transcribe directly::
+
+    d1 = var("i1") * 1000 + var("i2")
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.errors import ValidationError
+
+
+class LinearExpr:
+    """An affine expression: ``sum(coeff_v * v) + constant``.
+
+    Zero-coefficient terms are dropped in normalisation, so two expressions
+    that denote the same affine function compare (and hash) equal.
+    """
+
+    __slots__ = ("_coeffs", "_constant", "_hash")
+
+    def __init__(self, coeffs: Mapping[str, int] | None = None, constant: int = 0) -> None:
+        if not isinstance(constant, int) or isinstance(constant, bool):
+            raise ValidationError(f"constant must be an int, got {constant!r}")
+        normalised: dict[str, int] = {}
+        for name, coeff in (coeffs or {}).items():
+            if not isinstance(name, str) or not name:
+                raise ValidationError(f"variable name must be a non-empty str, got {name!r}")
+            if not isinstance(coeff, int) or isinstance(coeff, bool):
+                raise ValidationError(f"coefficient of {name!r} must be an int, got {coeff!r}")
+            if coeff != 0:
+                normalised[name] = coeff
+        self._coeffs = dict(sorted(normalised.items()))
+        self._constant = constant
+        self._hash = hash((tuple(self._coeffs.items()), constant))
+
+    @property
+    def coeffs(self) -> dict[str, int]:
+        """Mapping of variable name to (non-zero) coefficient."""
+        return dict(self._coeffs)
+
+    @property
+    def constant(self) -> int:
+        """The constant term."""
+        return self._constant
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        """The variables with non-zero coefficients, sorted by name."""
+        return tuple(self._coeffs)
+
+    def coefficient(self, name: str) -> int:
+        """The coefficient of ``name`` (0 if absent)."""
+        return self._coeffs.get(name, 0)
+
+    def is_constant(self) -> bool:
+        """True when the expression has no variable terms."""
+        return not self._coeffs
+
+    def evaluate(self, assignment: Mapping[str, int]) -> int:
+        """Evaluate under a full variable assignment.
+
+        Raises :class:`ValidationError` if any variable is unassigned.
+        """
+        total = self._constant
+        for name, coeff in self._coeffs.items():
+            if name not in assignment:
+                raise ValidationError(f"no value for variable {name!r}")
+            total += coeff * assignment[name]
+        return total
+
+    def substitute(self, bindings: Mapping[str, "LinearExpr | int"]) -> "LinearExpr":
+        """Replace variables with expressions (or ints), returning a new expr."""
+        result = LinearExpr(constant=self._constant)
+        for name, coeff in self._coeffs.items():
+            if name in bindings:
+                bound = bindings[name]
+                if isinstance(bound, int):
+                    bound = LinearExpr(constant=bound)
+                result = result + bound * coeff
+            else:
+                result = result + LinearExpr({name: coeff})
+        return result
+
+    def __add__(self, other: "LinearExpr | int") -> "LinearExpr":
+        other = _coerce(other)
+        coeffs = dict(self._coeffs)
+        for name, coeff in other._coeffs.items():
+            coeffs[name] = coeffs.get(name, 0) + coeff
+        return LinearExpr(coeffs, self._constant + other._constant)
+
+    def __radd__(self, other: int) -> "LinearExpr":
+        return self.__add__(other)
+
+    def __neg__(self) -> "LinearExpr":
+        return LinearExpr({n: -c for n, c in self._coeffs.items()}, -self._constant)
+
+    def __sub__(self, other: "LinearExpr | int") -> "LinearExpr":
+        return self + (-_coerce(other))
+
+    def __rsub__(self, other: int) -> "LinearExpr":
+        return (-self) + other
+
+    def __mul__(self, factor: int) -> "LinearExpr":
+        if not isinstance(factor, int) or isinstance(factor, bool):
+            raise ValidationError(f"can only scale by an int, got {factor!r}")
+        return LinearExpr(
+            {n: c * factor for n, c in self._coeffs.items()}, self._constant * factor
+        )
+
+    def __rmul__(self, factor: int) -> "LinearExpr":
+        return self.__mul__(factor)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LinearExpr):
+            return NotImplemented
+        return self._coeffs == other._coeffs and self._constant == other._constant
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __iter__(self) -> Iterator[tuple[str, int]]:
+        return iter(self._coeffs.items())
+
+    def __repr__(self) -> str:
+        parts = []
+        for name, coeff in self._coeffs.items():
+            if coeff == 1:
+                parts.append(name)
+            elif coeff == -1:
+                parts.append(f"-{name}")
+            else:
+                parts.append(f"{coeff}*{name}")
+        if self._constant or not parts:
+            parts.append(str(self._constant))
+        rendered = " + ".join(parts).replace("+ -", "- ")
+        return rendered
+
+
+def _coerce(value: "LinearExpr | int") -> LinearExpr:
+    if isinstance(value, LinearExpr):
+        return value
+    if isinstance(value, int) and not isinstance(value, bool):
+        return LinearExpr(constant=value)
+    raise ValidationError(f"expected LinearExpr or int, got {value!r}")
+
+
+def var(name: str) -> LinearExpr:
+    """The expression consisting of a single variable.
+
+    >>> var("i") * 2 + 1
+    2*i + 1
+    """
+    return LinearExpr({name: 1})
+
+
+def const(value: int) -> LinearExpr:
+    """A constant expression."""
+    return LinearExpr(constant=value)

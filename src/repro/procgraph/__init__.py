@@ -1,0 +1,29 @@
+"""Process graphs: tasks, processes, and dependence structure.
+
+The paper represents each task as a *process graph* (PG) whose nodes are
+processes and whose directed edges are execution dependences, and merges
+the per-task graphs (plus any inter-task dependences) into an *extended
+process graph* (EPG) that the scheduler consumes.
+
+- :class:`Process` — a schedulable unit owning one or more
+  :class:`~repro.programs.fragments.FragmentPiece` work items;
+- :class:`Task` — a named group of processes with intra-task dependences;
+- :class:`ProcessGraph` — the dependence DAG with ready-set/topological
+  utilities;
+- :class:`ExtendedProcessGraph` — the cross-task merge (EPG).
+"""
+
+from repro.procgraph.process import Process
+from repro.procgraph.task import Task
+from repro.procgraph.graph import ExtendedProcessGraph, ProcessGraph
+from repro.procgraph.builders import chain_task, fork_join_task, pipeline_task
+
+__all__ = [
+    "ExtendedProcessGraph",
+    "Process",
+    "ProcessGraph",
+    "Task",
+    "chain_task",
+    "fork_join_task",
+    "pipeline_task",
+]

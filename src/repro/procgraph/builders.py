@@ -1,0 +1,148 @@
+"""Builders for the common task shapes.
+
+The six workloads are assembled from three recurring dependence patterns:
+
+- :func:`chain_task` — a strict sequence of single-process stages;
+- :func:`fork_join_task` — a serial head, a parallel middle, a serial tail;
+- :func:`pipeline_task` — several phases, each block-partitioned over N
+  processes, with either *pointwise* (process ``k`` waits on process ``k``
+  of the previous phase) or *all-to-all* (barrier) dependences.
+
+Process ids are prefixed with the task name so a merged EPG never sees a
+collision.
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Sequence
+
+from repro.errors import ValidationError
+from repro.procgraph.process import Process
+from repro.procgraph.task import Task
+from repro.programs.fragments import ProgramFragment
+from repro.programs.partition import block_partition
+from repro.util.validation import check_positive
+
+DependencePattern = Literal["pointwise", "barrier"]
+
+
+def chain_task(name: str, fragments: Sequence[ProgramFragment]) -> Task:
+    """One process per fragment, executed strictly in order."""
+    fragments = list(fragments)
+    if not fragments:
+        raise ValidationError("chain_task needs at least one fragment")
+    processes = []
+    edges = []
+    for index, fragment in enumerate(fragments):
+        pid = f"{name}.{index}"
+        processes.append(Process(pid, name, [fragment.whole()]))
+        if index:
+            edges.append((f"{name}.{index - 1}", pid))
+    return Task(name, processes, edges)
+
+
+def fork_join_task(
+    name: str,
+    head: ProgramFragment | None,
+    parallel: ProgramFragment,
+    num_parallel: int,
+    tail: ProgramFragment | None = None,
+    loop_var: str | None = None,
+) -> Task:
+    """A serial head, ``num_parallel`` block-partitioned middles, a serial tail."""
+    check_positive("num_parallel", num_parallel)
+    processes = []
+    edges = []
+    head_pid = None
+    if head is not None:
+        head_pid = f"{name}.head"
+        processes.append(Process(head_pid, name, [head.whole()]))
+    middle_pids = []
+    for k, piece in enumerate(block_partition(parallel, num_parallel, loop_var)):
+        pid = f"{name}.par{k}"
+        middle_pids.append(pid)
+        processes.append(Process(pid, name, [piece]))
+        if head_pid is not None:
+            edges.append((head_pid, pid))
+    if tail is not None:
+        tail_pid = f"{name}.tail"
+        processes.append(Process(tail_pid, name, [tail.whole()]))
+        for pid in middle_pids:
+            edges.append((pid, tail_pid))
+    return Task(name, processes, edges)
+
+
+def pipeline_task(
+    name: str,
+    phases: Sequence[tuple[ProgramFragment, int]],
+    pattern: DependencePattern | Sequence[DependencePattern] = "pointwise",
+    loop_var: str | None = None,
+) -> Task:
+    """Multi-phase pipeline; each phase block-partitioned over its count.
+
+    With ``pattern="pointwise"`` process ``k`` of phase ``p`` depends on the
+    processes of phase ``p-1`` covering the same index range (proportional
+    mapping when the counts differ); with ``pattern="barrier"`` it depends
+    on every process of the previous phase.  A sequence of patterns (one
+    per phase transition) mixes the two — e.g. a transpose stage needs a
+    barrier while the stages around it are pointwise.
+    """
+    phases = list(phases)
+    if not phases:
+        raise ValidationError("pipeline_task needs at least one phase")
+    if isinstance(pattern, str):
+        if pattern not in ("pointwise", "barrier"):
+            raise ValidationError(f"unknown dependence pattern {pattern!r}")
+        patterns = [pattern] * max(len(phases) - 1, 0)
+    else:
+        patterns = list(pattern)
+        if len(patterns) != len(phases) - 1:
+            raise ValidationError(
+                f"{len(phases)} phases need {len(phases) - 1} transition "
+                f"patterns, got {len(patterns)}"
+            )
+    for transition in patterns:
+        if transition not in ("pointwise", "barrier"):
+            raise ValidationError(f"unknown dependence pattern {transition!r}")
+    processes: list[Process] = []
+    edges: list[tuple[str, str]] = []
+    previous_pids: list[str] = []
+    for phase_index, (fragment, count) in enumerate(phases):
+        check_positive(f"phase {phase_index} process count", count)
+        pieces = block_partition(fragment, count, loop_var)
+        current_pids = []
+        for k, piece in enumerate(pieces):
+            pid = f"{name}.ph{phase_index}.p{k}"
+            current_pids.append(pid)
+            processes.append(Process(pid, name, [piece]))
+        if previous_pids:
+            if patterns[phase_index - 1] == "barrier":
+                for to_pid in current_pids:
+                    for from_pid in previous_pids:
+                        edges.append((from_pid, to_pid))
+            else:
+                edges.extend(
+                    _pointwise_edges(previous_pids, current_pids)
+                )
+        previous_pids = current_pids
+    return Task(name, processes, edges)
+
+
+def _pointwise_edges(
+    previous: list[str], current: list[str]
+) -> list[tuple[str, str]]:
+    """Proportional index-range dependences between two phases.
+
+    Process ``k`` of the current phase covers the fraction
+    ``[k/len(current), (k+1)/len(current))`` of the phase's index space and
+    depends on every previous-phase process whose fraction overlaps it.
+    """
+    edges = []
+    n_prev = len(previous)
+    n_cur = len(current)
+    for k, to_pid in enumerate(current):
+        first = (k * n_prev) // n_cur
+        last = ((k + 1) * n_prev - 1) // n_cur
+        for j in range(first, min(last + 1, n_prev)):
+            edges.append((previous[j], to_pid))
+    return edges

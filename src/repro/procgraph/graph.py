@@ -1,0 +1,238 @@
+"""Dependence DAGs over processes: the PG and the EPG.
+
+A :class:`ProcessGraph` stores processes and directed dependence edges
+(``u -> v`` means ``v`` may start only after ``u`` completes) and provides
+the structural queries the schedulers and the simulator need: independent
+(source) processes, ready sets, topological order, and cycle detection.
+
+An :class:`ExtendedProcessGraph` is the same structure built by merging
+several tasks' graphs and adding inter-task dependences — the paper's EPG.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import (
+    CyclicDependenceError,
+    DuplicateProcessError,
+    UnknownProcessError,
+    ValidationError,
+)
+from repro.procgraph.process import Process
+
+
+class ProcessGraph:
+    """A DAG of :class:`Process` nodes with dependence edges."""
+
+    def __init__(self) -> None:
+        self._processes: dict[str, Process] = {}
+        self._successors: dict[str, set[str]] = {}
+        self._predecessors: dict[str, set[str]] = {}
+
+    # -- construction --------------------------------------------------------
+
+    def add_process(self, process: Process) -> None:
+        """Add a node; process ids must be unique."""
+        if not isinstance(process, Process):
+            raise ValidationError(f"expected a Process, got {type(process).__name__}")
+        if process.pid in self._processes:
+            raise DuplicateProcessError(process.pid)
+        self._processes[process.pid] = process
+        self._successors[process.pid] = set()
+        self._predecessors[process.pid] = set()
+
+    def add_edge(self, from_pid: str, to_pid: str) -> None:
+        """Add the dependence ``from -> to`` (``to`` waits for ``from``)."""
+        if from_pid not in self._processes:
+            raise UnknownProcessError(from_pid)
+        if to_pid not in self._processes:
+            raise UnknownProcessError(to_pid)
+        if from_pid == to_pid:
+            raise ValidationError(f"self-dependence on {from_pid!r} is not allowed")
+        self._successors[from_pid].add(to_pid)
+        self._predecessors[to_pid].add(from_pid)
+
+    # -- inspection ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._processes)
+
+    def __contains__(self, pid: str) -> bool:
+        return pid in self._processes
+
+    def __iter__(self) -> Iterator[Process]:
+        return iter(self._processes.values())
+
+    @property
+    def pids(self) -> tuple[str, ...]:
+        """All process ids, in insertion order."""
+        return tuple(self._processes)
+
+    def process(self, pid: str) -> Process:
+        """Look up a process by id."""
+        if pid not in self._processes:
+            raise UnknownProcessError(pid)
+        return self._processes[pid]
+
+    def processes(self) -> list[Process]:
+        """All processes, in insertion order."""
+        return list(self._processes.values())
+
+    def predecessors(self, pid: str) -> frozenset[str]:
+        """Direct dependences of ``pid``."""
+        if pid not in self._processes:
+            raise UnknownProcessError(pid)
+        return frozenset(self._predecessors[pid])
+
+    def successors(self, pid: str) -> frozenset[str]:
+        """Processes that directly depend on ``pid``."""
+        if pid not in self._processes:
+            raise UnknownProcessError(pid)
+        return frozenset(self._successors[pid])
+
+    @property
+    def num_edges(self) -> int:
+        """Total number of dependence edges."""
+        return sum(len(s) for s in self._successors.values())
+
+    def independent_processes(self) -> list[Process]:
+        """Processes with no incoming dependence edge (the paper's ``IN`` set)."""
+        return [
+            self._processes[pid]
+            for pid in self._processes
+            if not self._predecessors[pid]
+        ]
+
+    def ready_processes(self, completed: Iterable[str]) -> list[Process]:
+        """Processes whose every predecessor is in ``completed`` and which
+        are not themselves in ``completed``."""
+        done = set(completed)
+        unknown = done - set(self._processes)
+        if unknown:
+            raise UnknownProcessError(sorted(unknown)[0])
+        return [
+            self._processes[pid]
+            for pid in self._processes
+            if pid not in done and self._predecessors[pid] <= done
+        ]
+
+    def topological_order(self) -> list[Process]:
+        """Kahn topological order; raises on cycles."""
+        indegree = {pid: len(self._predecessors[pid]) for pid in self._processes}
+        queue = deque(pid for pid, deg in indegree.items() if deg == 0)
+        order = []
+        while queue:
+            pid = queue.popleft()
+            order.append(self._processes[pid])
+            for succ in self._successors[pid]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    queue.append(succ)
+        if len(order) != len(self._processes):
+            raise CyclicDependenceError(self._find_cycle())
+        return order
+
+    def validate_acyclic(self) -> None:
+        """Raise :class:`CyclicDependenceError` if the graph has a cycle."""
+        self.topological_order()
+
+    def _find_cycle(self) -> list[str]:
+        """Locate one dependence cycle for the error message (DFS)."""
+        WHITE, GREY, BLACK = 0, 1, 2
+        color = {pid: WHITE for pid in self._processes}
+        parent: dict[str, str] = {}
+
+        for root in self._processes:
+            if color[root] != WHITE:
+                continue
+            stack = [(root, iter(sorted(self._successors[root])))]
+            color[root] = GREY
+            while stack:
+                pid, children = stack[-1]
+                advanced = False
+                for child in children:
+                    if color[child] == WHITE:
+                        color[child] = GREY
+                        parent[child] = pid
+                        stack.append((child, iter(sorted(self._successors[child]))))
+                        advanced = True
+                        break
+                    if color[child] == GREY:
+                        cycle = [child, pid]
+                        node = pid
+                        while node != child:
+                            node = parent[node]
+                            cycle.append(node)
+                        cycle.reverse()
+                        return cycle
+                if not advanced:
+                    color[pid] = BLACK
+                    stack.pop()
+        return []
+
+    def critical_path_length(self, weights: Mapping[str, int] | None = None) -> int:
+        """Longest path through the DAG.
+
+        ``weights`` maps pid to a node weight (default 1 per process); the
+        result is the maximum weight sum along any dependence chain — a
+        lower bound on any schedule's makespan in "process slots".
+        """
+        longest: dict[str, int] = {}
+        total = 0
+        for process in self.topological_order():
+            weight = weights[process.pid] if weights is not None else 1
+            best_pred = max(
+                (longest[p] for p in self._predecessors[process.pid]), default=0
+            )
+            longest[process.pid] = best_pred + weight
+            total = max(total, longest[process.pid])
+        return total
+
+
+class ExtendedProcessGraph(ProcessGraph):
+    """The EPG: a merge of task graphs plus inter-task dependences."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._task_names: list[str] = []
+
+    @classmethod
+    def from_tasks(
+        cls,
+        tasks: Sequence["Task"],
+        inter_task_edges: Iterable[tuple[str, str]] = (),
+    ) -> "ExtendedProcessGraph":
+        """Merge tasks into one EPG and add the given cross-task edges.
+
+        Process ids must already be globally unique (the task builders
+        prefix ids with the task name to guarantee this).
+        """
+        from repro.procgraph.task import Task  # local import to avoid a cycle
+
+        epg = cls()
+        for task in tasks:
+            if not isinstance(task, Task):
+                raise ValidationError(f"expected a Task, got {type(task).__name__}")
+            epg._task_names.append(task.name)
+            for process in task.processes:
+                epg.add_process(process)
+            for from_pid, to_pid in task.edges:
+                epg.add_edge(from_pid, to_pid)
+        for from_pid, to_pid in inter_task_edges:
+            epg.add_edge(from_pid, to_pid)
+        epg.validate_acyclic()
+        return epg
+
+    @property
+    def task_names(self) -> tuple[str, ...]:
+        """Names of the merged tasks, in merge order."""
+        return tuple(self._task_names)
+
+    def processes_of_task(self, task_name: str) -> list[Process]:
+        """All processes belonging to one task."""
+        found = [p for p in self if p.task_name == task_name]
+        if not found:
+            raise ValidationError(f"no processes for task {task_name!r}")
+        return found

@@ -1,0 +1,92 @@
+"""A task: a named group of processes with intra-task dependences.
+
+The paper's workloads are *tasks* (applications); each is parallelised
+into 9–37 processes with dependence edges between phases.  A
+:class:`Task` is a lightweight container — the EPG does the real graph
+work — but it validates its own structure on construction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import DuplicateProcessError, UnknownProcessError, ValidationError
+from repro.procgraph.process import Process
+from repro.util.validation import check_type
+
+
+class Task:
+    """A named set of processes plus intra-task dependence edges."""
+
+    def __init__(
+        self,
+        name: str,
+        processes: Sequence[Process],
+        edges: Iterable[tuple[str, str]] = (),
+    ) -> None:
+        check_type("name", name, str)
+        if not name:
+            raise ValidationError("task name must be non-empty")
+        processes = list(processes)
+        if not processes:
+            raise ValidationError(f"task {name!r} needs at least one process")
+        seen: set[str] = set()
+        for process in processes:
+            if not isinstance(process, Process):
+                raise ValidationError(f"expected a Process, got {process!r}")
+            if process.pid in seen:
+                raise DuplicateProcessError(process.pid)
+            seen.add(process.pid)
+        edges = [(str(a), str(b)) for a, b in edges]
+        for from_pid, to_pid in edges:
+            if from_pid not in seen:
+                raise UnknownProcessError(from_pid)
+            if to_pid not in seen:
+                raise UnknownProcessError(to_pid)
+            if from_pid == to_pid:
+                raise ValidationError(f"self-dependence on {from_pid!r}")
+        self._name = name
+        self._processes = processes
+        self._edges = edges
+
+    @property
+    def name(self) -> str:
+        """Task name (the paper's application name, e.g. ``"MxM"``)."""
+        return self._name
+
+    @property
+    def processes(self) -> list[Process]:
+        """The task's processes, in creation order."""
+        return list(self._processes)
+
+    @property
+    def edges(self) -> list[tuple[str, str]]:
+        """Intra-task dependence edges as ``(from_pid, to_pid)`` pairs."""
+        return list(self._edges)
+
+    @property
+    def num_processes(self) -> int:
+        """Process count (the paper's tasks have 9–37)."""
+        return len(self._processes)
+
+    def process_graph(self) -> "ProcessGraph":
+        """This task's PG in isolation (validated acyclic)."""
+        from repro.procgraph.graph import ProcessGraph
+
+        graph = ProcessGraph()
+        for process in self._processes:
+            graph.add_process(process)
+        for from_pid, to_pid in self._edges:
+            graph.add_edge(from_pid, to_pid)
+        graph.validate_acyclic()
+        return graph
+
+    def total_footprint_bytes(self) -> int:
+        """Sum of per-process distinct-byte footprints (overlaps counted twice)."""
+        return sum(process.footprint_bytes() for process in self._processes)
+
+    def __repr__(self) -> str:
+        return (
+            f"Task({self._name}, processes={len(self._processes)}, "
+            f"edges={len(self._edges)})"
+        )

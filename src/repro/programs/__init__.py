@@ -1,0 +1,31 @@
+"""Program model: arrays, affine accesses, loop nests, and partitioning.
+
+The workloads in the paper are array-intensive loop nests.  This package
+models them precisely enough to drive everything downstream:
+
+- :class:`ArraySpec` — a named multi-dimensional array with element size;
+- :class:`AffineAccess` — one array reference with affine subscripts;
+- :class:`LoopNest` — a perfect loop nest (bounds, iteration space);
+- :class:`ProgramFragment` — a loop nest plus its accesses and per-iteration
+  compute cost (the paper's "Prog1"/"Prog2");
+- :class:`FragmentPiece` — a fragment restricted to a sub-iteration-space
+  (the per-process share after parallelisation);
+- :func:`block_partition` / :func:`cyclic_partition` — split a fragment
+  over N processes the way the paper's examples do.
+"""
+
+from repro.programs.arrays import ArraySpec
+from repro.programs.accesses import AffineAccess
+from repro.programs.loops import LoopNest
+from repro.programs.fragments import FragmentPiece, ProgramFragment
+from repro.programs.partition import block_partition, cyclic_partition
+
+__all__ = [
+    "AffineAccess",
+    "ArraySpec",
+    "FragmentPiece",
+    "LoopNest",
+    "ProgramFragment",
+    "block_partition",
+    "cyclic_partition",
+]

@@ -1,0 +1,126 @@
+"""Array declarations.
+
+An :class:`ArraySpec` is the static declaration of one program array: its
+name, shape, and element size.  It owns the row-major linearisation used to
+turn multi-dimensional subscripts into flat element offsets, which is the
+coordinate system shared by the sharing analysis, the memory layouts, and
+the cache simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import ValidationError
+from repro.presburger.terms import LinearExpr, const
+from repro.util.validation import check_positive, check_type
+
+
+class ArraySpec:
+    """A named dense array: ``name[shape[0]][shape[1]]...`` of fixed-size elements."""
+
+    __slots__ = ("_name", "_shape", "_element_size", "_strides")
+
+    def __init__(self, name: str, shape: Sequence[int], element_size: int = 4) -> None:
+        check_type("name", name, str)
+        if not name:
+            raise ValidationError("array name must be non-empty")
+        shape = tuple(shape)
+        if not shape:
+            raise ValidationError(f"array {name!r} needs at least one dimension")
+        for extent in shape:
+            check_positive(f"extent of {name!r}", extent)
+        check_positive("element_size", element_size)
+        self._name = name
+        self._shape = shape
+        self._element_size = int(element_size)
+        # Row-major strides, in elements.
+        strides = [1] * len(shape)
+        for d in range(len(shape) - 2, -1, -1):
+            strides[d] = strides[d + 1] * shape[d + 1]
+        self._strides = tuple(strides)
+
+    @property
+    def name(self) -> str:
+        """The array's name (unique within a workload)."""
+        return self._name
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Per-dimension extents."""
+        return self._shape
+
+    @property
+    def rank(self) -> int:
+        """Number of dimensions."""
+        return len(self._shape)
+
+    @property
+    def element_size(self) -> int:
+        """Element size in bytes."""
+        return self._element_size
+
+    @property
+    def strides(self) -> tuple[int, ...]:
+        """Row-major strides, in elements."""
+        return self._strides
+
+    @property
+    def num_elements(self) -> int:
+        """Total element count."""
+        return math.prod(self._shape)
+
+    @property
+    def size_bytes(self) -> int:
+        """Total size in bytes."""
+        return self.num_elements * self._element_size
+
+    def linearize(self, indices: Sequence[int]) -> int:
+        """Flat (row-major) element offset of a concrete subscript tuple."""
+        if len(indices) != self.rank:
+            raise ValidationError(
+                f"array {self._name!r} has rank {self.rank}, got {len(indices)} indices"
+            )
+        flat = 0
+        for index, extent, stride in zip(indices, self._shape, self._strides):
+            if not 0 <= index < extent:
+                raise ValidationError(
+                    f"index {index} out of range [0, {extent}) for array {self._name!r}"
+                )
+            flat += index * stride
+        return flat
+
+    def linearize_exprs(self, subscripts: Sequence[LinearExpr]) -> LinearExpr:
+        """Row-major flattening of symbolic subscripts into one affine expr.
+
+        This is the symbolic counterpart of :meth:`linearize`: it produces
+        the flat-offset expression used to build per-process data sets.
+        """
+        if len(subscripts) != self.rank:
+            raise ValidationError(
+                f"array {self._name!r} has rank {self.rank}, "
+                f"got {len(subscripts)} subscripts"
+            )
+        flat = const(0)
+        for subscript, stride in zip(subscripts, self._strides):
+            if not isinstance(subscript, LinearExpr):
+                raise ValidationError(f"subscript must be LinearExpr, got {subscript!r}")
+            flat = flat + subscript * stride
+        return flat
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ArraySpec):
+            return NotImplemented
+        return (
+            self._name == other._name
+            and self._shape == other._shape
+            and self._element_size == other._element_size
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._name, self._shape, self._element_size))
+
+    def __repr__(self) -> str:
+        dims = "][".join(str(d) for d in self._shape)
+        return f"ArraySpec({self._name}[{dims}], {self._element_size}B)"

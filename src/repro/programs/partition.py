@@ -1,0 +1,75 @@
+"""Partitioning a fragment's iterations over processes.
+
+The paper's examples split the outermost loop: process ``k`` of Prog1 gets
+``{[i1,i2]: i1 = k}``.  :func:`block_partition` generalises this to blocks
+of successive iterations of a chosen loop; :func:`cyclic_partition` deals
+iterations round-robin (stride ``n``) instead.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+from repro.presburger.constraints import Constraint
+from repro.presburger.terms import var
+from repro.programs.fragments import FragmentPiece, ProgramFragment
+from repro.util.validation import check_positive
+
+
+def block_partition(
+    fragment: ProgramFragment, num_pieces: int, loop_var: str | None = None
+) -> list[FragmentPiece]:
+    """Split ``loop_var`` (default: outermost) into contiguous blocks.
+
+    Iterations are divided as evenly as possible; the first
+    ``extent % num_pieces`` pieces receive one extra iteration.  Every
+    piece is non-empty, so ``num_pieces`` may not exceed the loop extent.
+    """
+    check_positive("num_pieces", num_pieces)
+    if loop_var is None:
+        loop_var = fragment.nest.variables[0]
+    low, high = fragment.nest.bounds_of(loop_var)
+    extent = high - low
+    if num_pieces > extent:
+        raise ValidationError(
+            f"cannot split loop {loop_var!r} of extent {extent} "
+            f"into {num_pieces} non-empty blocks"
+        )
+    base = extent // num_pieces
+    remainder = extent % num_pieces
+    pieces = []
+    start = low
+    for k in range(num_pieces):
+        size = base + (1 if k < remainder else 0)
+        stop = start + size
+        subset = fragment.nest.space().with_constraints(
+            Constraint.ge(var(loop_var), start),
+            Constraint.lt(var(loop_var), stop),
+        )
+        pieces.append(fragment.restrict(subset, label=f"p{k}"))
+        start = stop
+    return pieces
+
+
+def cyclic_partition(
+    fragment: ProgramFragment, num_pieces: int, loop_var: str | None = None
+) -> list[FragmentPiece]:
+    """Deal iterations of ``loop_var`` (default: outermost) round-robin.
+
+    Piece ``k`` receives the iterations with ``loop_var ≡ k (mod num_pieces)``.
+    """
+    check_positive("num_pieces", num_pieces)
+    if loop_var is None:
+        loop_var = fragment.nest.variables[0]
+    low, high = fragment.nest.bounds_of(loop_var)
+    if num_pieces > high - low:
+        raise ValidationError(
+            f"cannot deal loop {loop_var!r} of extent {high - low} "
+            f"over {num_pieces} non-empty pieces"
+        )
+    pieces = []
+    for k in range(num_pieces):
+        subset = fragment.nest.space().with_constraints(
+            Constraint.mod(var(loop_var), num_pieces, k)
+        )
+        pieces.append(fragment.restrict(subset, label=f"p{k}"))
+    return pieces

@@ -1,0 +1,19 @@
+"""Backwards-compatible alias for the dispatch-time locality scheduler.
+
+Early revisions of this library exposed the dynamic dispatch policy as a
+separate ``DynamicLocalityScheduler`` (LSD) while ``LocalityScheduler``
+was the static Figure-3 plan.  The dynamic policy is the faithful
+OS-level embodiment of the paper's scheduler, so it now *is*
+:class:`~repro.sched.locality.LocalityScheduler`; the static plan moved
+to :class:`~repro.sched.locality.StaticLocalityScheduler`.
+"""
+
+from __future__ import annotations
+
+from repro.sched.locality import LocalityScheduler
+
+
+class DynamicLocalityScheduler(LocalityScheduler):
+    """Alias of :class:`LocalityScheduler` kept for API stability."""
+
+    name = "LS"

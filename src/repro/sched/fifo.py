@@ -1,0 +1,62 @@
+"""FCFS: non-preemptive first-come-first-served (extension).
+
+The paper's Section 6 lists comparing against further OS scheduling
+strategies as future work.  FCFS is the natural fourth baseline: like RS
+it dispatches whenever a core idles and runs processes to completion,
+but it picks the ready process that became ready *earliest* (FIFO over
+release order, pid order within a release batch) — a deterministic,
+locality-oblivious policy between RS's randomness and RRS's preemption.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.sim.config import MachineConfig
+
+from typing import Sequence
+
+from repro.memory.layout import DataLayout
+from repro.procgraph.graph import ProcessGraph
+from repro.sched.base import PlanMode, Scheduler, SchedulerPlan
+
+
+class FifoScheduler(Scheduler):
+    """FCFS: dispatch the longest-waiting ready process, run to completion."""
+
+    name = "FCFS"
+
+    def prepare(
+        self,
+        epg: ProcessGraph,
+        machine: MachineConfig,
+        layout: DataLayout,
+    ) -> SchedulerPlan:
+        """Build the FIFO-dispatch plan.
+
+        Arrival order is tracked by observing the ready sets the simulator
+        presents: a pid's arrival stamp is the first dispatch round in
+        which it appeared.  Within a batch, pid order breaks ties.
+        """
+        arrival: dict[str, int] = {}
+        counter = [0]
+
+        def picker(
+            core_id: int,
+            ready: Sequence[str],
+            last_pid: str | None,
+            running: Sequence[str],
+        ) -> str:
+            counter[0] += 1
+            stamp = counter[0]
+            for pid in sorted(ready):
+                arrival.setdefault(pid, stamp)
+            return min(ready, key=lambda pid: (arrival[pid], pid))
+
+        return SchedulerPlan(
+            scheduler_name=self.name,
+            mode=PlanMode.DYNAMIC,
+            layout=layout,
+            picker=picker,
+        )

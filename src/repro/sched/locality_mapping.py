@@ -1,0 +1,148 @@
+"""LSM: locality-aware scheduling *with* data mapping (Sections 3–4).
+
+LSM dispatches exactly as LS does, and adds the compile-time data
+re-layout phase:
+
+1. predict the schedule with the literal Figure-3 plan (the re-layout is
+   a compile-time transformation, so it works from the *planned*
+   schedule, exactly as the paper describes);
+2. derive the *related pairs* from that plan — arrays accessed by one
+   process, or by two processes scheduled successively on the same core;
+3. build the array conflict matrix under the base layout;
+4. run the Figure-5 greedy selection with threshold ``T`` (default: the
+   mean pairwise conflict count, as in the paper's experiments);
+5. wrap the base layout in a :class:`~repro.memory.remap.RemappedLayout`
+   applying the Figure-4 transform to the selected arrays.
+
+The simulator generates every trace through the plan's layout, so the
+re-layout changes the cache behaviour exactly as a compiler changing
+``addr(.)`` would.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.sim.config import MachineConfig
+
+import numpy as np
+
+from repro.memory.layout import DataLayout
+from repro.memory.relayout import normalize_pair, related_array_pairs, select_relayout
+from repro.memory.remap import RemappedLayout
+from repro.procgraph.graph import ProcessGraph
+from repro.sched.base import PlanMode, Scheduler, SchedulerPlan
+from repro.sched.locality import TrimPolicy, figure3_schedule, make_locality_picker
+from repro.sharing.conflicts import compute_conflict_matrix
+from repro.sharing.matrix import compute_sharing_matrix
+from repro.presburger.points import PointSet
+
+
+def workload_footprints(epg: ProcessGraph) -> dict[str, PointSet]:
+    """Union of every process's footprint, per array (conflict-matrix input)."""
+    merged: dict[str, PointSet] = {}
+    for process in epg:
+        for name, points in process.data_sets().items():
+            if name in merged:
+                merged[name] = merged[name].union(points)
+            else:
+                merged[name] = points
+    return merged
+
+
+class LocalityMappingScheduler(Scheduler):
+    """LSM: the Figure-3 schedule plus the Figure-4/5 re-layout."""
+
+    name = "LSM"
+
+    def __init__(
+        self,
+        trim: TrimPolicy = "max-sharing",
+        conflict_threshold: float | None = None,
+    ) -> None:
+        self._trim = trim
+        self._threshold = conflict_threshold
+
+    def prepare(
+        self,
+        epg: ProcessGraph,
+        machine: MachineConfig,
+        layout: DataLayout,
+    ) -> SchedulerPlan:
+        """Plan with Figure 3, re-layout with Figures 4–5, dispatch like LS."""
+        sharing = compute_sharing_matrix(epg.processes())
+        planned_queues = figure3_schedule(
+            epg, sharing, machine.num_cores, trim=self._trim
+        )
+
+        geometry = machine.geometry()
+        process_arrays = {
+            process.pid: list(process.arrays) for process in epg
+        }
+        related = related_array_pairs(planned_queues, process_arrays)
+        # The planned queues under-predict cross-task successions (at run
+        # time any two tasks' processes may interleave on a core whenever
+        # dependences stall a chain), so arrays of different tasks are
+        # always treated as potentially successive.
+        task_arrays: dict[str, set[str]] = {}
+        for process in epg:
+            task_arrays.setdefault(process.task_name, set()).update(
+                process.arrays
+            )
+        task_names = sorted(task_arrays)
+        for i, task_a in enumerate(task_names):
+            for task_b in task_names[i + 1 :]:
+                for name_a in task_arrays[task_a]:
+                    for name_b in task_arrays[task_b]:
+                        related.add(normalize_pair(name_a, name_b))
+        footprints = workload_footprints(epg)
+        conflicts = compute_conflict_matrix(footprints, layout, geometry)
+        # The Figure-4 transform confines an array to half the cache, so
+        # only arrays whose largest per-process footprint fits in half the
+        # cache are eligible — remapping anything hotter would self-thrash.
+        half_capacity = geometry.size_bytes // 2
+        max_footprint: dict[str, int] = {}
+        for process in epg:
+            arrays = process.arrays
+            for name, points in process.data_sets().items():
+                touched = len(points) * arrays[name].element_size
+                max_footprint[name] = max(max_footprint.get(name, 0), touched)
+        eligible = {
+            name for name, touched in max_footprint.items()
+            if touched <= half_capacity
+        }
+        # Hot lines per array for the half-capacity budget: the largest
+        # number of distinct lines any single process touches on it (the
+        # block that must stay resident for the reuse LSM protects).
+        array_lines: dict[str, int] = {}
+        for process in epg:
+            for name, points in process.data_sets().items():
+                if points.is_empty():
+                    array_lines.setdefault(name, 0)
+                    continue
+                addrs = layout.addrs(name, points.flat())
+                hot = int(np.unique(geometry.lines_of(addrs)).size)
+                array_lines[name] = max(array_lines.get(name, 0), hot)
+        decision = select_relayout(
+            conflicts,
+            geometry,
+            related,
+            threshold=self._threshold,
+            eligible_arrays=eligible,
+            array_lines=array_lines,
+        )
+        remapped = RemappedLayout(layout, geometry, decision.b_offsets)
+        return SchedulerPlan(
+            scheduler_name=self.name,
+            mode=PlanMode.DYNAMIC,
+            layout=remapped,
+            picker=make_locality_picker(sharing),
+            metadata={
+                "sharing_matrix": sharing,
+                "conflict_matrix": conflicts,
+                "relayout": decision,
+                "planned_queues": planned_queues,
+                "trim": self._trim,
+            },
+        )

@@ -1,0 +1,62 @@
+"""RS: random scheduling (the paper's first baseline).
+
+"Each process is assigned to an available core randomly without any
+concern for data reuse.  Once scheduled, each process runs to completion."
+
+Implemented as a dynamic, non-preemptive plan: whenever a core goes idle,
+a uniformly random ready process is dispatched to it.  The randomness is
+seeded, so a given seed reproduces the identical schedule and cycle count.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.sim.config import MachineConfig
+
+from typing import Sequence
+
+from repro.memory.layout import DataLayout
+from repro.procgraph.graph import ProcessGraph
+from repro.sched.base import PlanMode, Scheduler, SchedulerPlan
+from repro.util.rng import DeterministicRng
+
+
+class RandomScheduler(Scheduler):
+    """RS: dispatch a random ready process whenever a core idles."""
+
+    name = "RS"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+
+    @property
+    def seed(self) -> int:
+        """The seed controlling dispatch randomness."""
+        return self._seed
+
+    def prepare(
+        self,
+        epg: ProcessGraph,
+        machine: MachineConfig,
+        layout: DataLayout,
+    ) -> SchedulerPlan:
+        """Build the random-dispatch plan."""
+        rng = DeterministicRng(self._seed, "random-scheduler")
+
+        def picker(
+            core_id: int,
+            ready: Sequence[str],
+            last_pid: str | None,
+            running: Sequence[str],
+        ) -> str:
+            return rng.choice(list(ready))
+
+        return SchedulerPlan(
+            scheduler_name=self.name,
+            mode=PlanMode.DYNAMIC,
+            layout=layout,
+            picker=picker,
+            metadata={"seed": self._seed},
+        )

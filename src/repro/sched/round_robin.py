@@ -1,0 +1,55 @@
+"""RRS: preemptive round-robin over one shared FIFO ready queue.
+
+"New processes are added to the tail of the queue, and the scheduler
+selects the first process from the ready queue, sets a timer, and
+schedules it.  When the timer is off, the process relinquishes the core
+voluntarily, and the next one in the queue is scheduled.  Note that all
+cores take their processes from a common ready queue."
+
+Because preempted processes re-enter the common tail, a process typically
+*resumes on a different core*, abandoning whatever cache state it had
+built — the locality-destroying behaviour the paper's introduction uses
+to motivate LS.  The quantum length comes from
+:attr:`repro.sim.config.MachineConfig.quantum_cycles`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.sim.config import MachineConfig
+
+from repro.errors import ValidationError
+from repro.memory.layout import DataLayout
+from repro.procgraph.graph import ProcessGraph
+from repro.sched.base import PlanMode, Scheduler, SchedulerPlan
+
+
+class RoundRobinScheduler(Scheduler):
+    """RRS: shared-FIFO preemptive round-robin."""
+
+    name = "RRS"
+
+    def __init__(self, quantum_cycles: int | None = None) -> None:
+        if quantum_cycles is not None and quantum_cycles <= 0:
+            raise ValidationError(
+                f"quantum_cycles must be positive, got {quantum_cycles}"
+            )
+        self._quantum = quantum_cycles
+
+    def prepare(
+        self,
+        epg: ProcessGraph,
+        machine: MachineConfig,
+        layout: DataLayout,
+    ) -> SchedulerPlan:
+        """Build the shared-queue plan (quantum defaults to the machine's)."""
+        quantum = self._quantum if self._quantum is not None else machine.quantum_cycles
+        return SchedulerPlan(
+            scheduler_name=self.name,
+            mode=PlanMode.SHARED_QUEUE,
+            layout=layout,
+            quantum_cycles=quantum,
+            metadata={"quantum_cycles": quantum},
+        )

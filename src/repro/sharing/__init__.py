@@ -1,0 +1,18 @@
+"""Inter-process data-sharing and array-conflict analysis (paper Section 2).
+
+- :class:`SharingMatrix` — pairwise shared bytes ``|SS(i,j)|`` between
+  processes (Figure 2a); drives the locality-aware scheduler.
+- :class:`ConflictMatrix` — pairwise cache-set contention between arrays
+  under a concrete layout and cache geometry; drives the Figure-5
+  re-layout selection.
+"""
+
+from repro.sharing.matrix import SharingMatrix, compute_sharing_matrix
+from repro.sharing.conflicts import ConflictMatrix, compute_conflict_matrix
+
+__all__ = [
+    "ConflictMatrix",
+    "SharingMatrix",
+    "compute_conflict_matrix",
+    "compute_sharing_matrix",
+]

@@ -1,0 +1,121 @@
+"""The array-conflict matrix driving the Figure-5 re-layout selection.
+
+The paper's ``M[1..n][1..n]`` counts cache conflicts between array pairs.
+We compute a deterministic static estimate: for each array, histogram the
+*distinct cache lines it occupies* over the cache sets (under the concrete
+layout); the conflict count of a pair is the dot product of their set
+histograms — the number of (line, line) pairs forced into the same set,
+i.e. the number of opportunities for a cross-array conflict eviction.
+This estimate is exact about *where* arrays collide (set congruence is
+fully determined by layout and geometry) while staying independent of the
+dynamic reference order, which is what a compile-time re-layout pass sees.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.cache.geometry import CacheGeometry
+from repro.errors import UnknownArrayError, ValidationError
+from repro.presburger.points import PointSet
+from repro.util.tables import format_matrix
+
+
+class ConflictMatrix:
+    """Symmetric matrix of pairwise set-collision counts between arrays."""
+
+    def __init__(self, names: Sequence[str], matrix: np.ndarray) -> None:
+        names = tuple(names)
+        matrix = np.asarray(matrix, dtype=np.int64)
+        if matrix.shape != (len(names), len(names)):
+            raise ValidationError(
+                f"matrix shape {matrix.shape} does not match {len(names)} arrays"
+            )
+        if not np.array_equal(matrix, matrix.T):
+            raise ValidationError("conflict matrix must be symmetric")
+        if (matrix < 0).any():
+            raise ValidationError("conflict counts cannot be negative")
+        self._names = names
+        self._index = {name: i for i, name in enumerate(names)}
+        self._matrix = matrix
+        self._matrix.setflags(write=False)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Array names, in matrix order."""
+        return self._names
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The raw (read-only) conflict-count matrix."""
+        return self._matrix
+
+    def index_of(self, name: str) -> int:
+        """Row/column index of an array."""
+        if name not in self._index:
+            raise UnknownArrayError(name)
+        return self._index[name]
+
+    def conflicts(self, name_a: str, name_b: str) -> int:
+        """Pairwise conflict count."""
+        return int(self._matrix[self.index_of(name_a), self.index_of(name_b)])
+
+    def mean_pairwise(self) -> float:
+        """Mean over all unordered distinct pairs — the paper's default ``T``."""
+        n = len(self._names)
+        if n < 2:
+            return 0.0
+        upper = self._matrix[np.triu_indices(n, k=1)]
+        return float(upper.mean())
+
+    def pairs_above(self, threshold: float) -> list[tuple[str, str, int]]:
+        """All unordered pairs with conflicts strictly above ``threshold``,
+        sorted by descending count (ties: name order)."""
+        n = len(self._names)
+        result = []
+        for i in range(n):
+            for j in range(i + 1, n):
+                value = int(self._matrix[i, j])
+                if value > threshold:
+                    result.append((self._names[i], self._names[j], value))
+        result.sort(key=lambda item: (-item[2], item[0], item[1]))
+        return result
+
+    def render(self, title: str = "Conflict matrix (set collisions)") -> str:
+        """ASCII rendering of the matrix."""
+        return format_matrix(
+            self._matrix.tolist(), list(self._names), list(self._names), title=title
+        )
+
+    def __repr__(self) -> str:
+        return f"ConflictMatrix({len(self._names)} arrays)"
+
+
+def compute_conflict_matrix(
+    footprints: Mapping[str, PointSet],
+    layout,
+    geometry: CacheGeometry,
+) -> ConflictMatrix:
+    """Build the conflict matrix from per-array accessed-element footprints.
+
+    ``footprints`` maps array name to the flat element offsets accessed by
+    the workload; ``layout`` is any object with ``addrs(name, indices)``
+    (a :class:`~repro.memory.layout.DataLayout` or
+    :class:`~repro.memory.remap.RemappedLayout`).
+    """
+    if not footprints:
+        raise ValidationError("cannot build a conflict matrix with zero arrays")
+    names = sorted(footprints)
+    histograms = np.zeros((len(names), geometry.num_sets), dtype=np.int64)
+    for row, name in enumerate(names):
+        points = footprints[name]
+        if points.is_empty():
+            continue
+        addrs = layout.addrs(name, points.flat())
+        lines = np.unique(geometry.lines_of(addrs))
+        sets = lines % geometry.num_sets
+        histograms[row] = np.bincount(sets, minlength=geometry.num_sets)
+    matrix = histograms @ histograms.T
+    return ConflictMatrix(names, matrix)

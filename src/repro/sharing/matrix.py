@@ -1,0 +1,146 @@
+"""The inter-process sharing matrix (paper Figure 2a).
+
+``M[i][j]`` is the size in bytes of the sharing set ``SS(i,j) = DS(i) ∩
+DS(j)``: the data touched by both process ``i`` and process ``j``.  The
+diagonal holds each process's own footprint (``SS(i,i) = DS(i)``), matching
+the paper's table.
+
+The matrix is computed exactly from the processes' enumerated data sets;
+pairs that touch no common array are skipped, which keeps construction
+near-linear for workload mixes whose tasks are data-disjoint.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import UnknownProcessError, ValidationError
+from repro.procgraph.process import Process
+from repro.util.tables import format_matrix
+
+
+class SharingMatrix:
+    """Symmetric matrix of pairwise shared bytes between processes."""
+
+    def __init__(self, pids: Sequence[str], matrix: np.ndarray) -> None:
+        pids = tuple(pids)
+        matrix = np.asarray(matrix, dtype=np.int64)
+        if matrix.shape != (len(pids), len(pids)):
+            raise ValidationError(
+                f"matrix shape {matrix.shape} does not match {len(pids)} pids"
+            )
+        if not np.array_equal(matrix, matrix.T):
+            raise ValidationError("sharing matrix must be symmetric")
+        if (matrix < 0).any():
+            raise ValidationError("sharing cannot be negative")
+        self._pids = pids
+        self._index = {pid: i for i, pid in enumerate(pids)}
+        self._matrix = matrix
+        self._matrix.setflags(write=False)
+
+    @property
+    def pids(self) -> tuple[str, ...]:
+        """Process ids, in matrix order."""
+        return self._pids
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The raw (read-only) byte matrix."""
+        return self._matrix
+
+    def index_of(self, pid: str) -> int:
+        """Row/column index of a process."""
+        if pid not in self._index:
+            raise UnknownProcessError(pid)
+        return self._index[pid]
+
+    def shared(self, pid_a: str, pid_b: str) -> int:
+        """``|SS(a,b)|`` in bytes."""
+        return int(self._matrix[self.index_of(pid_a), self.index_of(pid_b)])
+
+    def footprint(self, pid: str) -> int:
+        """The process's own footprint (the diagonal entry)."""
+        i = self.index_of(pid)
+        return int(self._matrix[i, i])
+
+    def total_sharing(self, pid: str, among: Sequence[str]) -> int:
+        """``Σ_q M[p][q]`` over ``q`` in ``among`` (excluding ``p`` itself).
+
+        This is the quantity the Figure-3 initialisation step minimises or
+        maximises when trimming the candidate set.
+        """
+        i = self.index_of(pid)
+        total = 0
+        for other in among:
+            j = self.index_of(other)
+            if j != i:
+                total += int(self._matrix[i, j])
+        return total
+
+    def best_partner(
+        self, pid: str, candidates: Sequence[str]
+    ) -> tuple[str | None, int]:
+        """The candidate with maximum sharing with ``pid`` (ties: pid order).
+
+        Returns ``(None, 0)`` when ``candidates`` is empty.
+        """
+        i = self.index_of(pid)
+        best: str | None = None
+        best_value = -1
+        for candidate in candidates:
+            value = int(self._matrix[i, self.index_of(candidate)])
+            if value > best_value:
+                best, best_value = candidate, value
+        if best is None:
+            return None, 0
+        return best, best_value
+
+    def render(self, title: str = "Sharing matrix (bytes)") -> str:
+        """ASCII rendering in the style of Figure 2(a)."""
+        return format_matrix(
+            self._matrix.tolist(), list(self._pids), list(self._pids), title=title
+        )
+
+    def __repr__(self) -> str:
+        return f"SharingMatrix({len(self._pids)} processes)"
+
+
+def compute_sharing_matrix(processes: Sequence[Process]) -> SharingMatrix:
+    """Build the exact sharing matrix for a set of processes.
+
+    Exploits array disjointness: a process pair contributes only if the two
+    processes reference at least one common array name.
+    """
+    processes = list(processes)
+    if not processes:
+        raise ValidationError("cannot build a sharing matrix for zero processes")
+    pids = [p.pid for p in processes]
+    if len(set(pids)) != len(pids):
+        raise ValidationError("duplicate process ids in sharing-matrix input")
+    n = len(processes)
+    matrix = np.zeros((n, n), dtype=np.int64)
+    data_sets = [p.data_sets() for p in processes]
+    element_sizes = [
+        {name: spec.element_size for name, spec in p.arrays.items()}
+        for p in processes
+    ]
+    for i in range(n):
+        matrix[i, i] = sum(
+            len(points) * element_sizes[i][name]
+            for name, points in data_sets[i].items()
+        )
+        for j in range(i + 1, n):
+            common = data_sets[i].keys() & data_sets[j].keys()
+            if not common:
+                continue
+            shared = 0
+            for name in common:
+                shared += (
+                    data_sets[i][name].intersection_size(data_sets[j][name])
+                    * element_sizes[i][name]
+                )
+            matrix[i, j] = shared
+            matrix[j, i] = shared
+    return SharingMatrix(pids, matrix)

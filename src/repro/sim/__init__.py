@@ -1,0 +1,30 @@
+"""The MPSoC simulation substrate (the paper used Simics; we build our own).
+
+- :class:`MachineConfig` — the Table-2 machine description;
+- :class:`ProcessTrace` / :func:`build_trace` — deterministic memory traces
+  from a process's affine accesses under a concrete layout;
+- :class:`MPSoCSimulator` — executes a :class:`~repro.sched.base.SchedulerPlan`
+  over an EPG, modelling per-core LRU caches, dependence-driven release,
+  and (for RRS) quantum preemption with a shared ready queue;
+- :class:`SimulationResult` — makespan, per-core and per-process records,
+  aggregate cache statistics.
+"""
+
+from repro.sim.config import MachineConfig
+from repro.sim.trace import ProcessTrace, build_trace
+from repro.sim.energy import EnergyBreakdown, EnergyModel, energy_of
+from repro.sim.results import CoreRecord, ProcessRecord, SimulationResult
+from repro.sim.simulator import MPSoCSimulator
+
+__all__ = [
+    "CoreRecord",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "energy_of",
+    "MPSoCSimulator",
+    "MachineConfig",
+    "ProcessRecord",
+    "ProcessTrace",
+    "SimulationResult",
+    "build_trace",
+]

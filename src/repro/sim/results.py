@@ -1,0 +1,187 @@
+"""Simulation result records.
+
+A :class:`SimulationResult` is the simulator's complete output: the
+makespan (the paper's "execution time" / "task completion time"), the
+realised per-core execution orders, per-process and per-core records, and
+aggregate cache statistics.  Results are plain data — every experiment
+harness and test consumes them through this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.stats import CacheStats, ClassifiedMisses
+from repro.errors import ValidationError
+
+
+@dataclass
+class ProcessRecord:
+    """Execution record of one process."""
+
+    pid: str
+    start_cycle: int
+    end_cycle: int
+    cores: list[int]  # every core the process ran on (RRS may migrate it)
+    hits: int
+    misses: int
+    preemptions: int = 0
+
+    @property
+    def duration_cycles(self) -> int:
+        """Wall-clock cycles from dispatch to completion (includes preempted waits)."""
+        return self.end_cycle - self.start_cycle
+
+    @property
+    def accesses(self) -> int:
+        """Memory accesses performed."""
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses per access."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def migrated(self) -> bool:
+        """True when the process ran on more than one core."""
+        return len(set(self.cores)) > 1
+
+
+@dataclass
+class CoreRecord:
+    """Execution record of one core."""
+
+    core_id: int
+    busy_cycles: int
+    executed_pids: list[str]  # dispatch order (repeats possible under RRS)
+    cache: CacheStats
+    classified: ClassifiedMisses | None = None
+
+    def idle_cycles(self, makespan: int) -> int:
+        """Cycles the core spent waiting within the makespan."""
+        return makespan - self.busy_cycles
+
+
+@dataclass
+class SimulationResult:
+    """Complete output of one simulation run."""
+
+    scheduler_name: str
+    makespan_cycles: int
+    clock_hz: float
+    processes: dict[str, ProcessRecord]
+    cores: list[CoreRecord]
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.makespan_cycles < 0:
+            raise ValidationError("makespan cannot be negative")
+        for record in self.cores:
+            if record.busy_cycles > self.makespan_cycles:
+                raise ValidationError(
+                    f"core {record.core_id} busy {record.busy_cycles} cycles "
+                    f"exceeds makespan {self.makespan_cycles}"
+                )
+
+    @property
+    def seconds(self) -> float:
+        """Completion time in seconds (the paper's reported metric)."""
+        return self.makespan_cycles / self.clock_hz
+
+    @property
+    def total_cache(self) -> CacheStats:
+        """Aggregate cache statistics across all cores."""
+        total = CacheStats()
+        for record in self.cores:
+            total = total.merged_with(record.cache)
+        return total
+
+    @property
+    def miss_rate(self) -> float:
+        """Aggregate miss rate across all cores."""
+        return self.total_cache.miss_rate
+
+    @property
+    def schedule(self) -> list[list[str]]:
+        """Realised dispatch order per core."""
+        return [list(record.executed_pids) for record in self.cores]
+
+    def core_utilization(self) -> float:
+        """Mean fraction of the makespan cores spent busy."""
+        if not self.cores or self.makespan_cycles == 0:
+            return 0.0
+        return sum(c.busy_cycles for c in self.cores) / (
+            len(self.cores) * self.makespan_cycles
+        )
+
+    def validate_against(self, epg) -> None:
+        """Structural sanity: every process ran exactly once and no process
+        started before its dependences completed.
+
+        Raises :class:`ValidationError` on any violation; used by the
+        integration tests as the simulator's ground-truth oracle.
+        """
+        expected = set(epg.pids)
+        ran = set(self.processes)
+        if ran != expected:
+            missing = expected - ran
+            extra = ran - expected
+            raise ValidationError(
+                f"process set mismatch: missing={sorted(missing)}, "
+                f"extra={sorted(extra)}"
+            )
+        for pid, record in self.processes.items():
+            for pred in epg.predecessors(pid):
+                pred_end = self.processes[pred].end_cycle
+                if record.start_cycle < pred_end:
+                    raise ValidationError(
+                        f"{pid} started at {record.start_cycle} before "
+                        f"predecessor {pred} finished at {pred_end}"
+                    )
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"[{self.scheduler_name}] {self.seconds:.4f}s "
+            f"({self.makespan_cycles} cycles), "
+            f"miss rate {self.miss_rate:.3f}, "
+            f"utilization {self.core_utilization():.2f}"
+        )
+
+    def gantt(self, width: int = 72) -> str:
+        """ASCII Gantt chart of per-core activity.
+
+        Each core gets one lane; every character cell covers
+        ``makespan / width`` cycles and shows the process that *started*
+        most recently within it (``.`` for idle).  Processes are labelled
+        ``a``–``z`` then ``A``–``Z`` in start order; the legend follows.
+        Preempted (shared-queue) runs are approximated by their
+        dispatch-to-completion span.
+        """
+        if width < 10:
+            raise ValidationError(f"gantt width must be >= 10, got {width}")
+        if self.makespan_cycles == 0 or not self.processes:
+            return "(empty schedule)"
+        alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+        by_start = sorted(self.processes.values(), key=lambda r: (r.start_cycle, r.pid))
+        labels = {
+            record.pid: alphabet[i % len(alphabet)]
+            for i, record in enumerate(by_start)
+        }
+        scale = self.makespan_cycles / width
+        lanes = []
+        for core in self.cores:
+            lane = ["."] * width
+            for record in by_start:
+                if core.core_id not in record.cores:
+                    continue
+                first = min(int(record.start_cycle / scale), width - 1)
+                last = min(int(max(record.end_cycle - 1, 0) / scale), width - 1)
+                for cell in range(first, last + 1):
+                    lane[cell] = labels[record.pid]
+            lanes.append(f"core {core.core_id}: " + "".join(lane))
+        legend = ", ".join(
+            f"{labels[record.pid]}={record.pid}" for record in by_start
+        )
+        return "\n".join(lanes) + f"\n  {legend}"

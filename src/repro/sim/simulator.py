@@ -1,0 +1,453 @@
+"""The MPSoC simulator: executes a scheduler plan over an EPG.
+
+Three drivers, one per :class:`~repro.sched.base.PlanMode`:
+
+- **static** (LS/LSM): fixed per-core queues, non-preemptive.  Because the
+  per-core caches are private and contents persist across processes, each
+  process's cache behaviour depends only on the *order* of processes on
+  its own core, so traces are resolved core-locally and start times
+  computed analytically from dependence completion times (a worklist pass
+  replaces a full event loop).
+- **dynamic** (RS/LSD): whenever a core goes idle, a picker callback
+  chooses among the ready processes; non-preemptive, event-driven.
+- **shared_queue** (RRS): one global FIFO, quantum preemption, processes
+  resume wherever a core frees up — faithfully migrating (and thereby
+  losing) cache state, per the paper's motivating scenario.
+
+Modelling notes (documented substitutions for Simics):
+
+- Caches are tag-only, true-LRU, write-allocate; dirty write-backs are
+  counted and optionally charged (`MachineConfig.charge_writebacks`).
+- No coherence traffic is modelled: the workloads are read-shared /
+  privately-written (as in the paper's examples), where coherence events
+  are negligible relative to the conflict/reuse effects under study.
+- A hit costs ``cache_hit_cycles``; a miss additionally costs
+  ``memory_latency_cycles``; each iteration charges its fragment's
+  compute cycles.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.cache.miss_classifier import MissClassifier
+from repro.cache.sa_cache import SetAssociativeCache
+from repro.cache.stats import CacheStats
+from repro.errors import (
+    InfeasibleScheduleError,
+    SchedulingError,
+    SimulationError,
+    ValidationError,
+)
+from repro.procgraph.graph import ProcessGraph
+from repro.sched.base import PlanMode, Scheduler, SchedulerPlan, default_layout
+from repro.sim.config import MachineConfig
+from repro.sim.engine import EventQueue
+from repro.sim.results import CoreRecord, ProcessRecord, SimulationResult
+from repro.sim.trace import ProcessTrace, build_trace
+
+
+class MPSoCSimulator:
+    """Simulates one machine configuration; reusable across runs."""
+
+    def __init__(self, config: MachineConfig | None = None) -> None:
+        self._config = config if config is not None else MachineConfig.paper_default()
+        if not isinstance(self._config, MachineConfig):
+            raise ValidationError(f"expected MachineConfig, got {config!r}")
+
+    @property
+    def config(self) -> MachineConfig:
+        """The simulated machine."""
+        return self._config
+
+    # -- public entry points -----------------------------------------------------
+
+    def run(
+        self,
+        epg: ProcessGraph,
+        scheduler: Scheduler,
+        layout=None,
+        validate: bool = True,
+    ) -> SimulationResult:
+        """Prepare the scheduler's plan and execute it."""
+        if not isinstance(scheduler, Scheduler):
+            raise ValidationError(f"expected a Scheduler, got {scheduler!r}")
+        epg.validate_acyclic()
+        base = layout if layout is not None else default_layout(epg, self._config)
+        plan = scheduler.prepare(epg, self._config, base)
+        return self.run_plan(epg, plan, validate=validate)
+
+    def run_plan(
+        self, epg: ProcessGraph, plan: SchedulerPlan, validate: bool = True
+    ) -> SimulationResult:
+        """Execute an already-prepared plan."""
+        geometry = self._config.geometry()
+        traces = {
+            process.pid: build_trace(process, plan.layout, geometry)
+            for process in epg
+        }
+        if plan.mode is PlanMode.STATIC:
+            result = self._run_static(epg, plan, traces)
+        elif plan.mode is PlanMode.DYNAMIC:
+            result = self._run_dynamic(epg, plan, traces)
+        else:
+            result = self._run_shared_queue(epg, plan, traces)
+        result.metadata.update(plan.metadata)
+        result.metadata["layout"] = plan.layout
+        if validate:
+            result.validate_against(epg)
+        return result
+
+    # -- cost helpers --------------------------------------------------------------
+
+    def _duration(self, trace: ProcessTrace, hits: int, misses: int) -> int:
+        config = self._config
+        return trace.cost_cycles(
+            hits, misses, config.cache_hit_cycles, config.miss_cycles
+        )
+
+    def _writeback_cycles(self, delta: CacheStats) -> int:
+        if self._config.charge_writebacks:
+            return delta.dirty_evictions * self._config.memory_latency_cycles
+        return 0
+
+    def _run_whole_trace(
+        self,
+        cache: SetAssociativeCache,
+        classifier: MissClassifier | None,
+        trace: ProcessTrace,
+    ) -> tuple[int, int]:
+        """Run a full trace; slow per-access path only when classifying."""
+        if classifier is None:
+            return cache.run_trace(trace.lines, trace.writes)
+        hits = 0
+        misses = 0
+        for line, is_write in zip(trace.lines.tolist(), trace.writes.tolist()):
+            hit = cache.access_line(line, is_write)
+            classifier.observe(line, hit)
+            if hit:
+                hits += 1
+            else:
+                misses += 1
+        return hits, misses
+
+    def _make_caches(
+        self,
+    ) -> tuple[list[SetAssociativeCache], list[MissClassifier] | None]:
+        geometry = self._config.geometry()
+        caches = [SetAssociativeCache(geometry) for _ in range(self._config.num_cores)]
+        if self._config.classify_misses:
+            classifiers = [MissClassifier(geometry) for _ in caches]
+        else:
+            classifiers = None
+        return caches, classifiers
+
+    # -- static driver (LS / LSM) ----------------------------------------------------
+
+    def _run_static(
+        self,
+        epg: ProcessGraph,
+        plan: SchedulerPlan,
+        traces: dict[str, ProcessTrace],
+    ) -> SimulationResult:
+        num_cores = self._config.num_cores
+        queues = plan.core_queues
+        if len(queues) != num_cores:
+            raise SchedulingError(
+                f"plan has {len(queues)} queues but machine has {num_cores} cores"
+            )
+        placed = [pid for queue in queues for pid in queue]
+        if sorted(placed) != sorted(epg.pids):
+            raise SchedulingError(
+                "static plan must place every process exactly once"
+            )
+        caches, classifiers = self._make_caches()
+        completion: dict[str, int] = {}
+        records: dict[str, ProcessRecord] = {}
+        next_index = [0] * num_cores
+        free_at = [0] * num_cores
+        busy = [0] * num_cores
+        remaining = len(placed)
+        while remaining:
+            progressed = False
+            for core in range(num_cores):
+                queue = queues[core]
+                while next_index[core] < len(queue):
+                    pid = queue[next_index[core]]
+                    preds = epg.predecessors(pid)
+                    if not all(p in completion for p in preds):
+                        break
+                    ready_at = max((completion[p] for p in preds), default=0)
+                    start = max(free_at[core], ready_at)
+                    trace = traces[pid]
+                    cache = caches[core]
+                    before = cache.stats.snapshot()
+                    classifier = classifiers[core] if classifiers else None
+                    hits, misses = self._run_whole_trace(cache, classifier, trace)
+                    delta = cache.stats.delta_since(before)
+                    duration = self._duration(trace, hits, misses)
+                    duration += self._writeback_cycles(delta)
+                    duration += self._config.context_switch_cycles
+                    completion[pid] = start + duration
+                    records[pid] = ProcessRecord(
+                        pid=pid,
+                        start_cycle=start,
+                        end_cycle=start + duration,
+                        cores=[core],
+                        hits=hits,
+                        misses=misses,
+                    )
+                    free_at[core] = start + duration
+                    busy[core] += duration
+                    next_index[core] += 1
+                    remaining -= 1
+                    progressed = True
+            if remaining and not progressed:
+                blocked = [
+                    queues[c][next_index[c]]
+                    for c in range(num_cores)
+                    if next_index[c] < len(queues[c])
+                ]
+                raise InfeasibleScheduleError(
+                    f"static schedule deadlocked; blocked heads: {blocked}"
+                )
+        makespan = max(completion.values(), default=0)
+        cores = [
+            CoreRecord(
+                core_id=core,
+                busy_cycles=busy[core],
+                executed_pids=list(queues[core]),
+                cache=caches[core].stats,
+                classified=classifiers[core].counts if classifiers else None,
+            )
+            for core in range(num_cores)
+        ]
+        return SimulationResult(
+            scheduler_name=plan.scheduler_name,
+            makespan_cycles=makespan,
+            clock_hz=self._config.clock_hz,
+            processes=records,
+            cores=cores,
+        )
+
+    # -- dynamic driver (RS / LSD) -----------------------------------------------------
+
+    def _run_dynamic(
+        self,
+        epg: ProcessGraph,
+        plan: SchedulerPlan,
+        traces: dict[str, ProcessTrace],
+    ) -> SimulationResult:
+        num_cores = self._config.num_cores
+        caches, classifiers = self._make_caches()
+        events = EventQueue()
+        pending = {pid: len(epg.predecessors(pid)) for pid in epg.pids}
+        ready = sorted(pid for pid, count in pending.items() if count == 0)
+        completed: set[str] = set()
+        idle: set[int] = set(range(num_cores))
+        last_pid: list[str | None] = [None] * num_cores
+        running: dict[int, str] = {}
+        busy = [0] * num_cores
+        executed: list[list[str]] = [[] for _ in range(num_cores)]
+        records: dict[str, ProcessRecord] = {}
+
+        def dispatch_idle_cores(now: int) -> None:
+            while ready and idle:
+                core = min(idle)
+                co_running = tuple(
+                    running[c] for c in sorted(running) if c != core
+                )
+                pid = plan.picker(core, tuple(ready), last_pid[core], co_running)
+                if pid not in ready:
+                    raise SchedulingError(
+                        f"picker returned {pid!r}, not in the ready set"
+                    )
+                ready.remove(pid)
+                idle.discard(core)
+                running[core] = pid
+                trace = traces[pid]
+                cache = caches[core]
+                classifier = classifiers[core] if classifiers else None
+                before = cache.stats.snapshot()
+                hits, misses = self._run_whole_trace(cache, classifier, trace)
+                delta = cache.stats.delta_since(before)
+                duration = self._duration(trace, hits, misses)
+                duration += self._writeback_cycles(delta)
+                duration += self._config.context_switch_cycles
+                records[pid] = ProcessRecord(
+                    pid=pid,
+                    start_cycle=now,
+                    end_cycle=now + duration,
+                    cores=[core],
+                    hits=hits,
+                    misses=misses,
+                )
+                busy[core] += duration
+                executed[core].append(pid)
+                last_pid[core] = pid
+                events.push(now + duration, ("done", core, pid))
+
+        dispatch_idle_cores(0)
+        makespan = 0
+        while events:
+            now, (kind, core, pid) = events.pop()
+            if kind != "done":
+                raise SimulationError(f"unexpected event {kind!r}")
+            completed.add(pid)
+            if running.get(core) == pid:
+                del running[core]
+            makespan = max(makespan, now)
+            for successor in sorted(epg.successors(pid)):
+                pending[successor] -= 1
+                if pending[successor] == 0:
+                    ready.append(successor)
+            ready.sort()
+            idle.add(core)
+            dispatch_idle_cores(now)
+        if len(completed) != len(epg):
+            raise InfeasibleScheduleError(
+                f"dynamic run finished with {len(epg) - len(completed)} "
+                f"processes never dispatched"
+            )
+        cores = [
+            CoreRecord(
+                core_id=core,
+                busy_cycles=busy[core],
+                executed_pids=executed[core],
+                cache=caches[core].stats,
+                classified=classifiers[core].counts if classifiers else None,
+            )
+            for core in range(num_cores)
+        ]
+        return SimulationResult(
+            scheduler_name=plan.scheduler_name,
+            makespan_cycles=makespan,
+            clock_hz=self._config.clock_hz,
+            processes=records,
+            cores=cores,
+        )
+
+    # -- shared-queue driver (RRS) --------------------------------------------------------
+
+    def _run_shared_queue(
+        self,
+        epg: ProcessGraph,
+        plan: SchedulerPlan,
+        traces: dict[str, ProcessTrace],
+    ) -> SimulationResult:
+        if self._config.classify_misses:
+            raise SimulationError(
+                "miss classification is not supported in shared-queue mode; "
+                "use a static or dynamic plan"
+            )
+        num_cores = self._config.num_cores
+        quantum = plan.quantum_cycles
+        config = self._config
+        caches, _ = self._make_caches()
+        events = EventQueue()
+        pending = {pid: len(epg.predecessors(pid)) for pid in epg.pids}
+        queue: deque[str] = deque(
+            sorted(pid for pid, count in pending.items() if count == 0)
+        )
+        cursor = {pid: 0 for pid in epg.pids}
+        hits_acc = {pid: 0 for pid in epg.pids}
+        misses_acc = {pid: 0 for pid in epg.pids}
+        preemptions = {pid: 0 for pid in epg.pids}
+        cores_of: dict[str, list[int]] = {pid: [] for pid in epg.pids}
+        first_dispatch: dict[str, int] = {}
+        completion: dict[str, int] = {}
+        idle: set[int] = set(range(num_cores))
+        busy = [0] * num_cores
+        executed: list[list[str]] = [[] for _ in range(num_cores)]
+
+        def dispatch(core: int, now: int) -> None:
+            if not queue:
+                idle.add(core)
+                return
+            pid = queue.popleft()
+            idle.discard(core)
+            if pid not in first_dispatch:
+                first_dispatch[pid] = now
+            trace = traces[pid]
+            cache = caches[core]
+            before = cache.stats.snapshot()
+            next_index, used, hits, misses = cache.run_trace_budget(
+                trace.lines,
+                trace.writes,
+                cursor[pid],
+                config.cache_hit_cycles,
+                config.miss_cycles,
+                trace.extra_cycles,
+                quantum,
+            )
+            used += self._writeback_cycles(cache.stats.delta_since(before))
+            used += config.context_switch_cycles
+            cursor[pid] = next_index
+            hits_acc[pid] += hits
+            misses_acc[pid] += misses
+            cores_of[pid].append(core)
+            executed[core].append(pid)
+            busy[core] += used
+            finished = next_index >= trace.num_accesses
+            kind = "done" if finished else "preempt"
+            events.push(now + used, (kind, core, pid))
+
+        def wake_idle(now: int) -> None:
+            while queue and idle:
+                dispatch(min(idle), now)
+
+        wake_idle(0)
+        makespan = 0
+        while events:
+            now, (kind, core, pid) = events.pop()
+            makespan = max(makespan, now)
+            if kind == "preempt":
+                preemptions[pid] += 1
+                queue.append(pid)
+                dispatch(core, now)
+                wake_idle(now)
+            elif kind == "done":
+                completion[pid] = now
+                for successor in sorted(epg.successors(pid)):
+                    pending[successor] -= 1
+                    if pending[successor] == 0:
+                        queue.append(successor)
+                dispatch(core, now)
+                wake_idle(now)
+            else:
+                raise SimulationError(f"unexpected event {kind!r}")
+        if len(completion) != len(epg):
+            raise InfeasibleScheduleError(
+                f"shared-queue run finished with "
+                f"{len(epg) - len(completion)} processes incomplete"
+            )
+        records = {
+            pid: ProcessRecord(
+                pid=pid,
+                start_cycle=first_dispatch[pid],
+                end_cycle=completion[pid],
+                cores=cores_of[pid],
+                hits=hits_acc[pid],
+                misses=misses_acc[pid],
+                preemptions=preemptions[pid],
+            )
+            for pid in epg.pids
+        }
+        cores = [
+            CoreRecord(
+                core_id=core,
+                busy_cycles=busy[core],
+                executed_pids=executed[core],
+                cache=caches[core].stats,
+            )
+            for core in range(num_cores)
+        ]
+        return SimulationResult(
+            scheduler_name=plan.scheduler_name,
+            makespan_cycles=makespan,
+            clock_hz=self._config.clock_hz,
+            processes=records,
+            cores=cores,
+        )

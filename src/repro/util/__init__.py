@@ -1,0 +1,36 @@
+"""Shared utilities: deterministic RNG, unit conversion, tables, validation."""
+
+from repro.util.rng import DeterministicRng, derive_seed
+from repro.util.tables import AsciiBarChart, AsciiTable, format_matrix
+from repro.util.units import (
+    KIB,
+    MIB,
+    cycles_to_seconds,
+    format_bytes,
+    format_seconds,
+    seconds_to_cycles,
+)
+from repro.util.validation import (
+    check_in_range,
+    check_positive,
+    check_power_of_two,
+    check_type,
+)
+
+__all__ = [
+    "AsciiBarChart",
+    "AsciiTable",
+    "DeterministicRng",
+    "KIB",
+    "MIB",
+    "check_in_range",
+    "check_positive",
+    "check_power_of_two",
+    "check_type",
+    "cycles_to_seconds",
+    "derive_seed",
+    "format_bytes",
+    "format_matrix",
+    "format_seconds",
+    "seconds_to_cycles",
+]

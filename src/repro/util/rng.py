@@ -1,0 +1,84 @@
+"""Deterministic random-number helpers.
+
+Every stochastic component in the library (the random scheduler, workload
+jitter, failure injection in tests) draws from a :class:`DeterministicRng`
+seeded explicitly, so that simulations are exactly reproducible: the same
+seed always yields the same schedule and the same cycle counts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+_SEED_MODULUS = 2**63 - 1
+
+
+def derive_seed(base_seed: int, *labels: str | int) -> int:
+    """Derive a stable child seed from ``base_seed`` and a label path.
+
+    Uses SHA-256 over the seed and labels so that independently labelled
+    streams (e.g. per-process jitter vs. scheduler tie-breaking) are
+    decorrelated but fully reproducible.
+
+    >>> derive_seed(42, "scheduler") == derive_seed(42, "scheduler")
+    True
+    >>> derive_seed(42, "scheduler") != derive_seed(42, "workload")
+    True
+    """
+    if not isinstance(base_seed, int):
+        raise ValidationError(f"seed must be an int, got {type(base_seed).__name__}")
+    digest = hashlib.sha256()
+    digest.update(str(base_seed).encode("utf-8"))
+    for label in labels:
+        digest.update(b"\x00")
+        digest.update(str(label).encode("utf-8"))
+    return int.from_bytes(digest.digest()[:8], "big") % _SEED_MODULUS
+
+
+class DeterministicRng:
+    """A thin, explicitly-seeded wrapper around :class:`numpy.random.Generator`.
+
+    The wrapper exists to (a) forbid accidental use of global RNG state and
+    (b) provide the handful of draw shapes the library needs with argument
+    validation.
+    """
+
+    def __init__(self, seed: int, *labels: str | int) -> None:
+        self._seed = derive_seed(seed, *labels)
+        self._generator = np.random.Generator(np.random.PCG64(self._seed))
+
+    @property
+    def seed(self) -> int:
+        """The derived seed this stream was created with."""
+        return self._seed
+
+    def child(self, *labels: str | int) -> "DeterministicRng":
+        """Create an independent, reproducible sub-stream."""
+        return DeterministicRng(self._seed, *labels)
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in ``[low, high)``."""
+        if high <= low:
+            raise ValidationError(f"empty randint range [{low}, {high})")
+        return int(self._generator.integers(low, high))
+
+    def choice(self, items: list):
+        """Uniformly choose one element of a non-empty list."""
+        if not items:
+            raise ValidationError("cannot choose from an empty list")
+        return items[self.randint(0, len(items))]
+
+    def shuffle(self, items: list) -> list:
+        """Return a new list with the items in a random order."""
+        order = self._generator.permutation(len(items))
+        return [items[int(i)] for i in order]
+
+    def uniform(self, low: float, high: float) -> float:
+        """Uniform float in ``[low, high)``."""
+        if high < low:
+            raise ValidationError(f"empty uniform range [{low}, {high})")
+        return float(self._generator.uniform(low, high))

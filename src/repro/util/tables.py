@@ -1,0 +1,139 @@
+"""ASCII rendering for experiment reports.
+
+The experiment harnesses print each paper table/figure as plain text:
+:class:`AsciiTable` for tabular data (Tables 1–2, figure data series) and
+:class:`AsciiBarChart` for the grouped bar charts of Figures 6 and 7.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import ValidationError
+
+
+class AsciiTable:
+    """A simple left/right-aligned text table with a header row.
+
+    >>> t = AsciiTable(["app", "time"])
+    >>> t.add_row(["MxM", "12.5"])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    app | time
+    ----+-----
+    MxM | 12.5
+    """
+
+    def __init__(self, headers: Sequence[str], title: str = "") -> None:
+        if not headers:
+            raise ValidationError("a table needs at least one column")
+        self.title = title
+        self._headers = [str(h) for h in headers]
+        self._rows: list[list[str]] = []
+
+    @property
+    def num_rows(self) -> int:
+        """Number of data rows added so far."""
+        return len(self._rows)
+
+    def add_row(self, cells: Iterable[object]) -> None:
+        """Append one row; cells are stringified, floats get 2 decimals."""
+        row = [self._format_cell(c) for c in cells]
+        if len(row) != len(self._headers):
+            raise ValidationError(
+                f"row has {len(row)} cells, table has {len(self._headers)} columns"
+            )
+        self._rows.append(row)
+
+    @staticmethod
+    def _format_cell(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.2f}"
+        return str(cell)
+
+    def render(self) -> str:
+        """Render the table to a string (no trailing newline)."""
+        widths = [len(h) for h in self._headers]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = " | ".join(h.ljust(w) for h, w in zip(self._headers, widths))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self._rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+class AsciiBarChart:
+    """Grouped horizontal bar chart, one group per category.
+
+    Mirrors the grouped-bar figures in the paper: each category (an
+    application, or a workload size |T|) has one bar per series (RS, RRS,
+    LS, LSM), scaled to a common maximum.
+    """
+
+    def __init__(self, series_names: Sequence[str], width: int = 50, title: str = "") -> None:
+        if not series_names:
+            raise ValidationError("a bar chart needs at least one series")
+        if width < 10:
+            raise ValidationError(f"chart width must be >= 10, got {width}")
+        self.title = title
+        self._series_names = [str(s) for s in series_names]
+        self._width = width
+        self._groups: list[tuple[str, list[float]]] = []
+
+    def add_group(self, category: str, values: Sequence[float]) -> None:
+        """Add one category with one value per series."""
+        values = [float(v) for v in values]
+        if len(values) != len(self._series_names):
+            raise ValidationError(
+                f"group has {len(values)} values, chart has "
+                f"{len(self._series_names)} series"
+            )
+        if any(v < 0 for v in values):
+            raise ValidationError("bar values must be non-negative")
+        self._groups.append((str(category), values))
+
+    def render(self) -> str:
+        """Render the chart to a string (no trailing newline)."""
+        if not self._groups:
+            return self.title or "(empty chart)"
+        peak = max(max(vals) for _, vals in self._groups) or 1.0
+        label_width = max(len(name) for name in self._series_names)
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        for category, values in self._groups:
+            lines.append(f"{category}:")
+            for name, value in zip(self._series_names, values):
+                bar = "#" * max(1, int(round(self._width * value / peak))) if value else ""
+                lines.append(f"  {name.ljust(label_width)} |{bar} {value:.2f}")
+        return "\n".join(lines)
+
+
+def format_matrix(
+    matrix: Sequence[Sequence[object]],
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    title: str = "",
+) -> str:
+    """Render a labelled matrix (used for sharing/conflict matrices).
+
+    The layout mirrors Figure 2(a): column labels across the top, one row
+    per process.
+    """
+    if len(matrix) != len(row_labels):
+        raise ValidationError(
+            f"{len(matrix)} matrix rows but {len(row_labels)} row labels"
+        )
+    table = AsciiTable(["", *col_labels], title=title)
+    for label, row in zip(row_labels, matrix):
+        if len(row) != len(col_labels):
+            raise ValidationError(
+                f"matrix row has {len(row)} entries but {len(col_labels)} column labels"
+            )
+        table.add_row([label, *row])
+    return table.render()

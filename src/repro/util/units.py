@@ -1,0 +1,65 @@
+"""Unit conversions used throughout the simulator and experiment reports.
+
+The paper reports execution times in seconds on a 200 MHz MPSoC; the
+simulator accounts in cycles.  These helpers keep the conversion in one
+place and render byte sizes and durations for the ASCII reports.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+
+KIB = 1024
+MIB = 1024 * 1024
+
+
+def cycles_to_seconds(cycles: int | float, clock_hz: float) -> float:
+    """Convert a cycle count to seconds at ``clock_hz``.
+
+    >>> cycles_to_seconds(200_000_000, 200e6)
+    1.0
+    """
+    if clock_hz <= 0:
+        raise ValidationError(f"clock frequency must be positive, got {clock_hz}")
+    if cycles < 0:
+        raise ValidationError(f"cycle count must be non-negative, got {cycles}")
+    return float(cycles) / float(clock_hz)
+
+
+def seconds_to_cycles(seconds: float, clock_hz: float) -> int:
+    """Convert seconds to a whole number of cycles at ``clock_hz`` (rounded)."""
+    if clock_hz <= 0:
+        raise ValidationError(f"clock frequency must be positive, got {clock_hz}")
+    if seconds < 0:
+        raise ValidationError(f"duration must be non-negative, got {seconds}")
+    return int(round(seconds * clock_hz))
+
+
+def format_bytes(n: int) -> str:
+    """Render a byte count with a binary suffix.
+
+    >>> format_bytes(8192)
+    '8.0 KiB'
+    """
+    if n < 0:
+        raise ValidationError(f"byte count must be non-negative, got {n}")
+    if n >= MIB:
+        return f"{n / MIB:.1f} MiB"
+    if n >= KIB:
+        return f"{n / KIB:.1f} KiB"
+    return f"{n} B"
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration compactly (µs/ms/s as appropriate).
+
+    >>> format_seconds(0.0005)
+    '500.0 us'
+    """
+    if seconds < 0:
+        raise ValidationError(f"duration must be non-negative, got {seconds}")
+    if seconds >= 1.0:
+        return f"{seconds:.2f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f} ms"
+    return f"{seconds * 1e6:.1f} us"

@@ -1,0 +1,42 @@
+"""The six Table-1 applications as synthetic task generators.
+
+Each module builds one task (application) as a process graph of affine
+loop nests, mirroring the published application's phase structure and
+data-sharing topology (see each module's docstring for the mapping).
+Process counts stay within the paper's stated 9–37 range; a ``scale``
+parameter grows or shrinks the array dimensions for quick tests versus
+full benchmark runs.
+
+All array names are prefixed with the task name, so tasks in a concurrent
+mix never share data — matching the paper's Figure-7 setup where
+"applications do not share data among them".
+"""
+
+from repro.workloads.base import WorkloadSpec, scaled
+from repro.workloads.medim04 import build_medim04
+from repro.workloads.mxm import build_mxm
+from repro.workloads.radar import build_radar
+from repro.workloads.shape import build_shape
+from repro.workloads.track import build_track
+from repro.workloads.usonic import build_usonic
+from repro.workloads.suite import (
+    SUITE,
+    build_task,
+    build_workload_mix,
+    workload_names,
+)
+
+__all__ = [
+    "SUITE",
+    "WorkloadSpec",
+    "build_medim04",
+    "build_mxm",
+    "build_radar",
+    "build_shape",
+    "build_task",
+    "build_track",
+    "build_usonic",
+    "build_workload_mix",
+    "scaled",
+    "workload_names",
+]

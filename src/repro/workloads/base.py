@@ -1,0 +1,47 @@
+"""Shared infrastructure for the workload generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ValidationError
+from repro.procgraph.task import Task
+
+
+def scaled(base: int, scale: float, minimum: int = 4, multiple: int = 1) -> int:
+    """Scale a linear dimension, clamped and rounded to a multiple.
+
+    Workload generators derive every array extent through this helper, so
+    a single ``scale`` knob shrinks a task for unit tests (``scale=0.25``)
+    or grows it for longer benchmark runs (``scale=2.0``) while keeping
+    extents divisible where the partitioning requires it.
+    """
+    if scale <= 0:
+        raise ValidationError(f"scale must be positive, got {scale}")
+    if minimum <= 0 or multiple <= 0:
+        raise ValidationError("minimum and multiple must be positive")
+    value = max(minimum, int(round(base * scale)))
+    remainder = value % multiple
+    if remainder:
+        value += multiple - remainder
+    return value
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Registry entry for one Table-1 application."""
+
+    name: str
+    description: str
+    builder: Callable[..., Task]
+
+    def build(self, scale: float = 1.0) -> Task:
+        """Instantiate the task at the given scale."""
+        task = self.builder(scale=scale)
+        if not 9 <= task.num_processes <= 37:
+            raise ValidationError(
+                f"workload {self.name!r} produced {task.num_processes} "
+                f"processes, outside the paper's 9–37 range"
+            )
+        return task

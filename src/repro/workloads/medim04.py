@@ -1,0 +1,108 @@
+"""Med-Im04 — medical image reconstruction (Table 1).
+
+A filtered-backprojection-style pipeline over a sinogram: a serial
+calibration head and three 12-process phases over matching 8-row blocks.
+Phase widths exceed the Table-2 core count, so at every dispatch the
+scheduler chooses between continuing a block's chain (warm) and starting
+a fresh block (cold) — the decision the sharing matrix informs.
+
+- **Calibrate** (1): samples the first detectors of each angle to
+  produce per-angle gains (a cheap serial head).
+- **Filter** (12): gain-corrects the sinogram in place; block ``b`` of
+  the next phase depends only on block ``b`` here (pointwise).
+- **Backproject** (12): in-place detector-direction accumulation — a
+  core that just filtered block ``b`` still holds all ~7 KB of it.
+- **Measure** (12): reduces the block into per-row quality metrics after
+  a *barrier* (the reconstruction needs the global backprojection
+  maximum first) — the synchronisation point where, in concurrent mixes,
+  other applications slip onto the core between a block's producer and
+  its consumer.
+
+37 processes total (the paper's stated maximum).
+"""
+
+from __future__ import annotations
+
+from repro.procgraph.builders import pipeline_task
+from repro.procgraph.process import Process
+from repro.procgraph.task import Task
+from repro.programs.accesses import AffineAccess
+from repro.programs.arrays import ArraySpec
+from repro.programs.fragments import ProgramFragment
+from repro.programs.loops import LoopNest
+from repro.presburger.terms import var
+from repro.workloads.base import scaled
+
+TASK_NAME = "Med-Im04"
+
+#: Width of every parallel phase (1.5 rounds on the Table-2 machine).
+PHASE_WIDTH = 12
+
+
+def build_medim04(scale: float = 1.0) -> Task:
+    """Build the Med-Im04 task (37 processes)."""
+    n = scaled(96, scale, minimum=24, multiple=24)
+    a, d = var("a"), var("d")
+    x, y = var("x"), var("y")
+
+    sino = ArraySpec(f"{TASK_NAME}.Sino", (n, n))
+    gain = ArraySpec(f"{TASK_NAME}.Gain", (n,))
+    quality = ArraySpec(f"{TASK_NAME}.Quality", (n,))
+
+    # Calibration samples the first detectors of every angle (a cheap
+    # serial head, not a full-sinogram sweep).
+    calibrate = ProgramFragment(
+        "calibrate",
+        LoopNest([("a", 0, n), ("d", 0, 8)]),
+        [AffineAccess(sino, [a, d]), AffineAccess(gain, [a], is_write=True)],
+        compute_cycles_per_iteration=1,
+    )
+    # Filtering and backprojection run in place on the sinogram buffer
+    # (standard for memory-constrained embedded FBP), so a block's whole
+    # chain touches one ~7 KB working set.
+    filter_rows = ProgramFragment(
+        "filter",
+        LoopNest([("a", 0, n), ("d", 0, n)]),
+        [
+            AffineAccess(sino, [a, d]),
+            AffineAccess(gain, [a]),
+            AffineAccess(sino, [a, d], is_write=True),
+        ],
+        compute_cycles_per_iteration=1,
+    )
+    backproject = ProgramFragment(
+        "backproject",
+        LoopNest([("x", 0, n), ("y", 1, n - 1)]),
+        [
+            AffineAccess(sino, [x, y - 1]),
+            AffineAccess(sino, [x, y + 1]),
+            AffineAccess(sino, [x, y], is_write=True),
+        ],
+        compute_cycles_per_iteration=1,
+    )
+    measure = ProgramFragment(
+        "measure",
+        LoopNest([("x", 0, n), ("y", 0, n)]),
+        [
+            AffineAccess(sino, [x, y]),
+            AffineAccess(quality, [x], is_write=True),
+        ],
+        compute_cycles_per_iteration=1,
+    )
+
+    pipeline = pipeline_task(
+        TASK_NAME,
+        [
+            (filter_rows, PHASE_WIDTH),
+            (backproject, PHASE_WIDTH),
+            (measure, PHASE_WIDTH),
+        ],
+        pattern=["pointwise", "barrier"],
+    )
+    head_pid = f"{TASK_NAME}.calibrate"
+    head = Process(head_pid, TASK_NAME, [calibrate.whole()])
+    first_phase = [
+        p.pid for p in pipeline.processes if p.pid.startswith(f"{TASK_NAME}.ph0.")
+    ]
+    edges = pipeline.edges + [(head_pid, pid) for pid in first_phase]
+    return Task(TASK_NAME, [head] + pipeline.processes, edges)

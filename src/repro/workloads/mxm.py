@@ -1,0 +1,88 @@
+"""MxM — triple matrix multiplication (Table 1).
+
+Computes ``E = (A × B) × C`` in two parallel phases plus a reduction tail.
+Both phases are partitioned over *twice* the default core count, so every
+core runs several processes in succession — the regime where scheduling
+order decides how much of the cache survives between processes:
+
+- **Phase 0** (16 processes): ``T = A × B``, block-partitioned over rows.
+  Every phase-0 process streams its own row blocks of ``A``/``T`` but
+  re-reads *all* of ``B`` (4 KB at the default scale — half the L1), so
+  any two phase-0 processes share the full ``B`` array: scheduling them
+  successively on one core turns the second one's ``B`` misses into hits.
+- **Phase 1** (16 processes): ``E = T × C``.  Process ``k`` consumes
+  exactly the ``T`` rows process ``k`` of phase 0 produced (a pointwise
+  dependence) and re-reads all of ``C`` — the producer→consumer affinity
+  the Figure-3 main loop discovers through the sharing matrix.
+- **Tail** (1 process): a checksum sweep over ``E``.
+
+33 processes total.
+"""
+
+from __future__ import annotations
+
+from repro.procgraph.builders import pipeline_task
+from repro.procgraph.task import Task
+from repro.programs.accesses import AffineAccess
+from repro.programs.arrays import ArraySpec
+from repro.programs.fragments import ProgramFragment
+from repro.programs.loops import LoopNest
+from repro.procgraph.process import Process
+from repro.presburger.terms import var
+from repro.workloads.base import scaled
+
+TASK_NAME = "MxM"
+
+#: Processes per multiplication phase (2 rounds on the Table-2 8-core MPSoC).
+PHASE_WIDTH = 16
+
+
+def build_mxm(scale: float = 1.0) -> Task:
+    """Build the MxM task (33 processes)."""
+    n = scaled(32, scale, minimum=PHASE_WIDTH, multiple=PHASE_WIDTH)
+    a = ArraySpec(f"{TASK_NAME}.A", (n, n))
+    b = ArraySpec(f"{TASK_NAME}.B", (n, n))
+    t = ArraySpec(f"{TASK_NAME}.T", (n, n))
+    c = ArraySpec(f"{TASK_NAME}.C", (n, n))
+    e = ArraySpec(f"{TASK_NAME}.E", (n, n))
+
+    i, j, k = var("i"), var("j"), var("k")
+    multiply_ab = ProgramFragment(
+        "t_eq_a_times_b",
+        LoopNest([("i", 0, n), ("j", 0, n), ("k", 0, n)]),
+        [
+            AffineAccess(a, [i, k]),
+            AffineAccess(b, [k, j]),
+            AffineAccess(t, [i, j], is_write=True),
+        ],
+        compute_cycles_per_iteration=1,
+    )
+    multiply_tc = ProgramFragment(
+        "e_eq_t_times_c",
+        LoopNest([("i", 0, n), ("j", 0, n), ("k", 0, n)]),
+        [
+            AffineAccess(t, [i, k]),
+            AffineAccess(c, [k, j]),
+            AffineAccess(e, [i, j], is_write=True),
+        ],
+        compute_cycles_per_iteration=1,
+    )
+    pipeline = pipeline_task(
+        TASK_NAME,
+        [(multiply_ab, PHASE_WIDTH), (multiply_tc, PHASE_WIDTH)],
+        pattern="pointwise",
+    )
+
+    checksum = ProgramFragment(
+        "checksum",
+        LoopNest([("i", 0, n), ("j", 0, n)]),
+        [AffineAccess(e, [i, j])],
+        compute_cycles_per_iteration=1,
+    )
+    tail_pid = f"{TASK_NAME}.tail"
+    processes = pipeline.processes + [Process(tail_pid, TASK_NAME, [checksum.whole()])]
+    last_phase = [
+        p.pid for p in pipeline.processes if p.pid.startswith(f"{TASK_NAME}.ph1.")
+    ]
+    edges = pipeline.edges + [(pid, tail_pid) for pid in last_phase]
+    return Task(TASK_NAME, processes, edges)

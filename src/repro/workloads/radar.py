@@ -1,0 +1,95 @@
+"""Radar — radar imaging (Table 1).
+
+A synthetic-aperture-radar-style chain of two 16-process phases plus a
+serial classifier.  Range compression and the corner turn are both
+partitioned over pulse blocks, so each corner-turn process transposes
+exactly the block its range-compression producer wrote (a pointwise
+dependence the sharing matrix exposes).
+
+- **Range compress** (16): 2-tap filter along each pulse
+  (``Raw`` → ``RC``), 6-pulse blocks.
+- **Corner turn** (16): transposes its producer's block
+  (``CT[r][p] = RC[p][r]`` for ``p`` in the block) — the strided write
+  walk is the transpose's intrinsic cost, charged to every scheduler.
+- **Classify** (1): thresholds a sampled set of pulse bins per range
+  line (cheap serial tail).
+
+33 processes total.
+"""
+
+from __future__ import annotations
+
+from repro.procgraph.builders import pipeline_task
+from repro.procgraph.process import Process
+from repro.procgraph.task import Task
+from repro.programs.accesses import AffineAccess
+from repro.programs.arrays import ArraySpec
+from repro.programs.fragments import ProgramFragment
+from repro.programs.loops import LoopNest
+from repro.presburger.terms import var
+from repro.workloads.base import scaled
+
+TASK_NAME = "Radar"
+
+#: Width of every parallel phase (two full rounds on the Table-2 machine).
+PHASE_WIDTH = 16
+
+
+def build_radar(scale: float = 1.0) -> Task:
+    """Build the Radar task (37 processes)."""
+    n = scaled(96, scale, minimum=16, multiple=16)
+    p, r = var("p"), var("r")
+
+    raw = ArraySpec(f"{TASK_NAME}.Raw", (n, n))
+    rc = ArraySpec(f"{TASK_NAME}.RC", (n, n))
+    ct = ArraySpec(f"{TASK_NAME}.CT", (n, n))
+    det = ArraySpec(f"{TASK_NAME}.Det", (n,))
+
+    range_compress = ProgramFragment(
+        "range_compress",
+        LoopNest([("p", 0, n), ("r", 0, n - 1)]),
+        [
+            AffineAccess(raw, [p, r]),
+            AffineAccess(raw, [p, r + 1]),
+            AffineAccess(rc, [p, r], is_write=True),
+        ],
+        compute_cycles_per_iteration=1,
+    )
+    # Partitioned over p (same blocks as range compression): each process
+    # transposes the block its producer wrote.  The write side walks CT
+    # column-wise — the strided cost intrinsic to a corner turn.
+    corner_turn = ProgramFragment(
+        "corner_turn",
+        LoopNest([("p", 0, n), ("r", 0, n)]),
+        [
+            AffineAccess(rc, [p, r]),
+            AffineAccess(ct, [r, p], is_write=True),
+        ],
+        compute_cycles_per_iteration=1,
+    )
+    # Classification thresholds a sampled set of pulse bins per range line
+    # (a cheap serial tail, not a full-image sweep).
+    classify = ProgramFragment(
+        "classify",
+        LoopNest([("r", 0, n), ("p", 0, 8)]),
+        [AffineAccess(ct, [r, p]), AffineAccess(det, [r], is_write=True)],
+        compute_cycles_per_iteration=1,
+    )
+
+    pipeline = pipeline_task(
+        TASK_NAME,
+        [
+            (range_compress, PHASE_WIDTH),
+            (corner_turn, PHASE_WIDTH),
+        ],
+        pattern="pointwise",
+    )
+    tail_pid = f"{TASK_NAME}.classify"
+    tail = Process(tail_pid, TASK_NAME, [classify.whole()])
+    last_phase = [
+        proc.pid
+        for proc in pipeline.processes
+        if proc.pid.startswith(f"{TASK_NAME}.ph1.")
+    ]
+    edges = pipeline.edges + [(pid, tail_pid) for pid in last_phase]
+    return Task(TASK_NAME, pipeline.processes + [tail], edges)

@@ -1,0 +1,98 @@
+"""Shape — pattern recognition and shape analysis (Table 1).
+
+A binary-image shape pipeline of three 12-process phases over matching
+8-row blocks (~3 KB each), plus a serial classifier.  The first two phases run
+in-place on the image (threshold, then dilation), so a block's chain
+costs one off-chip load for the core that keeps it; the moment phase
+reduces each block to per-row moments behind a barrier (the dilation's
+structuring element is chosen from a global histogram first):
+
+- **Threshold** (12): in-place binarisation of ``Img`` (pointwise to the
+  next phase).
+- **Dilate** (12): in-place horizontal dilation of ``Img``.
+- **Row moments** (12): reduces ``Img`` into per-row moments after a
+  barrier.
+- **Classify** (1): a sweep over the moment vector.
+
+37 processes total.
+"""
+
+from __future__ import annotations
+
+from repro.procgraph.builders import pipeline_task
+from repro.procgraph.process import Process
+from repro.procgraph.task import Task
+from repro.programs.accesses import AffineAccess
+from repro.programs.arrays import ArraySpec
+from repro.programs.fragments import ProgramFragment
+from repro.programs.loops import LoopNest
+from repro.presburger.terms import var
+from repro.workloads.base import scaled
+
+TASK_NAME = "Shape"
+
+#: Width of every parallel phase (1.5 rounds on the Table-2 machine).
+PHASE_WIDTH = 12
+
+
+def build_shape(scale: float = 1.0) -> Task:
+    """Build the Shape task (37 processes)."""
+    n = scaled(96, scale, minimum=24, multiple=24)
+    x, y = var("x"), var("y")
+
+    img = ArraySpec(f"{TASK_NAME}.Img", (n, n))
+    mom = ArraySpec(f"{TASK_NAME}.Mom", (n,))
+
+    threshold = ProgramFragment(
+        "threshold",
+        LoopNest([("x", 0, n), ("y", 0, n)]),
+        [
+            AffineAccess(img, [x, y]),
+            AffineAccess(img, [x, y], is_write=True),
+        ],
+        compute_cycles_per_iteration=1,
+    )
+    dilate = ProgramFragment(
+        "dilate",
+        LoopNest([("x", 0, n), ("y", 1, n - 1)]),
+        [
+            AffineAccess(img, [x, y - 1]),
+            AffineAccess(img, [x, y + 1]),
+            AffineAccess(img, [x, y], is_write=True),
+        ],
+        compute_cycles_per_iteration=1,
+    )
+    row_moments = ProgramFragment(
+        "row_moments",
+        LoopNest([("x", 0, n), ("y", 0, n)]),
+        [
+            AffineAccess(img, [x, y]),
+            AffineAccess(mom, [x], is_write=True),
+        ],
+        compute_cycles_per_iteration=1,
+    )
+    classify = ProgramFragment(
+        "classify",
+        LoopNest([("x", 0, n)]),
+        [AffineAccess(mom, [x])],
+        compute_cycles_per_iteration=1,
+    )
+
+    pipeline = pipeline_task(
+        TASK_NAME,
+        [
+            (threshold, PHASE_WIDTH),
+            (dilate, PHASE_WIDTH),
+            (row_moments, PHASE_WIDTH),
+        ],
+        pattern=["pointwise", "barrier"],
+    )
+    tail_pid = f"{TASK_NAME}.classify"
+    tail = Process(tail_pid, TASK_NAME, [classify.whole()])
+    last_phase = [
+        proc.pid
+        for proc in pipeline.processes
+        if proc.pid.startswith(f"{TASK_NAME}.ph2.")
+    ]
+    edges = pipeline.edges + [(pid, tail_pid) for pid in last_phase]
+    return Task(TASK_NAME, pipeline.processes + [tail], edges)

@@ -1,0 +1,57 @@
+"""The workload suite registry (the paper's Table 1) and mix builder.
+
+``SUITE`` lists the six applications in Table-1 order, which is also the
+order Figure 7 introduces them into the concurrent mixes
+(Med-Im04, then +MxM, then +Radar, ...).
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnknownWorkloadError, ValidationError
+from repro.procgraph.graph import ExtendedProcessGraph
+from repro.procgraph.task import Task
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.medim04 import build_medim04
+from repro.workloads.mxm import build_mxm
+from repro.workloads.radar import build_radar
+from repro.workloads.shape import build_shape
+from repro.workloads.track import build_track
+from repro.workloads.usonic import build_usonic
+
+SUITE: tuple[WorkloadSpec, ...] = (
+    WorkloadSpec("Med-Im04", "medical image reconstruction", build_medim04),
+    WorkloadSpec("MxM", "triple matrix multiplication", build_mxm),
+    WorkloadSpec("Radar", "radar imaging", build_radar),
+    WorkloadSpec("Shape", "pattern recognition and shape analysis", build_shape),
+    WorkloadSpec("Track", "visual tracking control", build_track),
+    WorkloadSpec("Usonic", "feature-based object recognition", build_usonic),
+)
+
+_BY_NAME = {spec.name: spec for spec in SUITE}
+
+
+def workload_names() -> list[str]:
+    """The six application names, in Table-1 order."""
+    return [spec.name for spec in SUITE]
+
+
+def build_task(name: str, scale: float = 1.0) -> Task:
+    """Build one application by name."""
+    if name not in _BY_NAME:
+        raise UnknownWorkloadError(name, workload_names())
+    return _BY_NAME[name].build(scale=scale)
+
+
+def build_workload_mix(num_tasks: int, scale: float = 1.0) -> ExtendedProcessGraph:
+    """The Figure-7 mix: the first ``num_tasks`` applications, concurrent.
+
+    ``num_tasks=1`` is Med-Im04 alone; ``num_tasks=2`` adds MxM; and so on
+    up to all six.  The tasks are data-disjoint and dependence-disjoint,
+    so the EPG is simply their union.
+    """
+    if not 1 <= num_tasks <= len(SUITE):
+        raise ValidationError(
+            f"num_tasks must be in [1, {len(SUITE)}], got {num_tasks}"
+        )
+    tasks = [spec.build(scale=scale) for spec in SUITE[:num_tasks]]
+    return ExtendedProcessGraph.from_tasks(tasks)

@@ -1,0 +1,114 @@
+"""Track — visual tracking control (Table 1).
+
+Frame-to-frame tracking with strong temporal reuse: a serial stabiliser
+head and three 12-process phases over matching 8-row blocks.
+
+- **Stabilize** (1): samples the frame margins to produce per-row
+  offsets (a cheap serial head).
+- **Difference** (12): motion-compensated frame difference — reads
+  ``F0[x][y]`` and ``F1[x+1][y]`` (one row ahead, per the stabiliser),
+  writes ``Diff``; pointwise to the next phase.
+- **Correlate** (12): in-place correlation over ``Diff`` against the
+  re-read current frame ``F1`` — warm on the core that differenced the
+  block.
+- **Reduce** (12): per-row peak reduction of ``Diff`` behind a barrier
+  (peak thresholds depend on the global correlation statistics).
+- **Peak** (1): the final argmax sweep over the row peaks.
+
+38 would exceed the paper's cap, so the reduce phase's tail is the 37th
+process: 1 + 36 = 37 processes total.
+"""
+
+from __future__ import annotations
+
+from repro.procgraph.builders import pipeline_task
+from repro.procgraph.process import Process
+from repro.procgraph.task import Task
+from repro.programs.accesses import AffineAccess
+from repro.programs.arrays import ArraySpec
+from repro.programs.fragments import ProgramFragment
+from repro.programs.loops import LoopNest
+from repro.presburger.terms import var
+from repro.workloads.base import scaled
+
+TASK_NAME = "Track"
+
+#: Width of every parallel phase (1.5 rounds on the Table-2 machine).
+PHASE_WIDTH = 12
+
+
+def build_track(scale: float = 1.0) -> Task:
+    """Build the Track task (37 processes)."""
+    n = scaled(72, scale, minimum=24, multiple=24)
+    x, y = var("x"), var("y")
+
+    f0 = ArraySpec(f"{TASK_NAME}.F0", (n, n))
+    f1 = ArraySpec(f"{TASK_NAME}.F1", (n, n))
+    diff = ArraySpec(f"{TASK_NAME}.Diff", (n, n))
+    offs = ArraySpec(f"{TASK_NAME}.Offs", (n,))
+    peak = ArraySpec(f"{TASK_NAME}.Peak", (n,))
+
+    # Stabilisation samples the left image margin per row (a cheap serial
+    # head, not a full-frame sweep).
+    stabilize = ProgramFragment(
+        "stabilize",
+        LoopNest([("x", 0, n - 1), ("y", 0, 8)]),
+        [
+            AffineAccess(f0, [x, y]),
+            AffineAccess(f1, [x + 1, y]),
+            AffineAccess(offs, [x], is_write=True),
+        ],
+        compute_cycles_per_iteration=1,
+    )
+    # The second frame is read one row ahead (vertical motion compensation
+    # from the stabilizer's offsets), which also keeps at most two arrays
+    # hot per cache set under the page-aligned layout.
+    difference = ProgramFragment(
+        "difference",
+        LoopNest([("x", 0, n - 1), ("y", 0, n)]),
+        [
+            AffineAccess(f0, [x, y]),
+            AffineAccess(f1, [x + 1, y]),
+            AffineAccess(diff, [x, y], is_write=True),
+        ],
+        compute_cycles_per_iteration=1,
+    )
+    correlate = ProgramFragment(
+        "correlate",
+        LoopNest([("x", 0, n - 1), ("y", 1, n - 1)]),
+        [
+            AffineAccess(diff, [x, y - 1]),
+            AffineAccess(diff, [x, y + 1]),
+            AffineAccess(f1, [x + 1, y]),
+            AffineAccess(diff, [x, y], is_write=True),
+        ],
+        compute_cycles_per_iteration=1,
+    )
+    reduce_rows = ProgramFragment(
+        "reduce",
+        LoopNest([("x", 0, n), ("y", 0, n)]),
+        [
+            AffineAccess(diff, [x, y]),
+            AffineAccess(peak, [x], is_write=True),
+        ],
+        compute_cycles_per_iteration=1,
+    )
+
+    pipeline = pipeline_task(
+        TASK_NAME,
+        [
+            (difference, PHASE_WIDTH),
+            (correlate, PHASE_WIDTH),
+            (reduce_rows, PHASE_WIDTH),
+        ],
+        pattern=["pointwise", "barrier"],
+    )
+    head_pid = f"{TASK_NAME}.stabilize"
+    head = Process(head_pid, TASK_NAME, [stabilize.whole()])
+    first_phase = [
+        proc.pid
+        for proc in pipeline.processes
+        if proc.pid.startswith(f"{TASK_NAME}.ph0.")
+    ]
+    edges = pipeline.edges + [(head_pid, pid) for pid in first_phase]
+    return Task(TASK_NAME, [head] + pipeline.processes, edges)

@@ -1,0 +1,98 @@
+"""Usonic — feature-based object recognition (Table 1).
+
+The suite's smallest task (9 processes, the paper's stated minimum):
+
+- **Extract** (4 processes): per-channel feature extraction.  Each
+  feature ``f`` reduces a window of ``q = samples / features``
+  consecutive signal samples (a 2-tap sweep inside the window), writing
+  ``Feat[c][f]`` — the loop nest iterates ``(c, f, w)`` so every
+  subscript stays affine.  Block-partitioned over channels.
+- **Match** (4 processes): correlates each channel's features against
+  *every* template (reads ``Feat[c][f]`` and ``Templ[t][f]``, writes
+  ``Match[c][t]``).  All match processes share the whole read-only
+  template bank — the shared-array reuse LS exploits when it schedules
+  match processes back-to-back on one core.
+- **Vote** (1 process): reduces the match matrix to a decision.
+
+9 processes total.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+from repro.procgraph.builders import pipeline_task
+from repro.procgraph.process import Process
+from repro.procgraph.task import Task
+from repro.programs.accesses import AffineAccess
+from repro.programs.arrays import ArraySpec
+from repro.programs.fragments import ProgramFragment
+from repro.programs.loops import LoopNest
+from repro.presburger.terms import var
+from repro.workloads.base import scaled
+
+TASK_NAME = "Usonic"
+
+
+def build_usonic(scale: float = 1.0) -> Task:
+    """Build the Usonic task (9 processes)."""
+    channels = scaled(16, scale, minimum=4, multiple=4)
+    features = scaled(64, scale, minimum=16, multiple=8)
+    window = 4  # decimation factor: samples per feature
+    samples = features * window
+    templates = scaled(8, scale, minimum=4, multiple=2)
+    if samples % features:
+        raise ValidationError("samples must be a multiple of features")
+
+    c, f, w, t = var("c"), var("f"), var("w"), var("t")
+
+    sig = ArraySpec(f"{TASK_NAME}.Sig", (channels, samples))
+    feat = ArraySpec(f"{TASK_NAME}.Feat", (channels, features))
+    templ = ArraySpec(f"{TASK_NAME}.Templ", (templates, features))
+    match = ArraySpec(f"{TASK_NAME}.Match", (channels, templates))
+    decision = ArraySpec(f"{TASK_NAME}.Decision", (channels,))
+
+    # Feature f of channel c reduces signal window [f*window, (f+1)*window).
+    extract = ProgramFragment(
+        "extract",
+        LoopNest([("c", 0, channels), ("f", 0, features), ("w", 0, window - 1)]),
+        [
+            AffineAccess(sig, [c, f * window + w]),
+            AffineAccess(sig, [c, f * window + w + 1]),
+            AffineAccess(feat, [c, f], is_write=True),
+        ],
+        compute_cycles_per_iteration=1,
+    )
+    match_templates = ProgramFragment(
+        "match",
+        LoopNest([("c", 0, channels), ("t", 0, templates), ("f", 0, features)]),
+        [
+            AffineAccess(feat, [c, f]),
+            AffineAccess(templ, [t, f]),
+            AffineAccess(match, [c, t], is_write=True),
+        ],
+        compute_cycles_per_iteration=1,
+    )
+    vote = ProgramFragment(
+        "vote",
+        LoopNest([("c", 0, channels), ("t", 0, templates)]),
+        [
+            AffineAccess(match, [c, t]),
+            AffineAccess(decision, [c], is_write=True),
+        ],
+        compute_cycles_per_iteration=1,
+    )
+
+    pipeline = pipeline_task(
+        TASK_NAME,
+        [(extract, 4), (match_templates, 4)],
+        pattern="pointwise",
+    )
+    tail_pid = f"{TASK_NAME}.vote"
+    tail = Process(tail_pid, TASK_NAME, [vote.whole()])
+    last_phase = [
+        proc.pid
+        for proc in pipeline.processes
+        if proc.pid.startswith(f"{TASK_NAME}.ph1.")
+    ]
+    edges = pipeline.edges + [(pid, tail_pid) for pid in last_phase]
+    return Task(TASK_NAME, pipeline.processes + [tail], edges)

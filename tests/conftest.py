@@ -1,0 +1,115 @@
+"""Shared fixtures for the test suite.
+
+The fixtures build deliberately small artefacts (tiny arrays, few
+processes, a 2-core machine with a 1 KB cache) so the full suite stays
+fast while still exercising every code path the full-size experiments
+use.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.procgraph.graph import ExtendedProcessGraph
+from repro.procgraph.process import Process
+from repro.procgraph.task import Task
+from repro.programs.accesses import AffineAccess
+from repro.programs.arrays import ArraySpec
+from repro.programs.fragments import ProgramFragment
+from repro.programs.loops import LoopNest
+from repro.programs.partition import block_partition
+from repro.presburger.terms import var
+from repro.sim.config import MachineConfig
+
+
+def make_copy_fragment(
+    name: str,
+    src: ArraySpec,
+    dst: ArraySpec,
+    rows: int,
+    cols: int,
+    compute: int = 1,
+) -> ProgramFragment:
+    """A simple ``dst[x][y] = src[x][y]`` loop nest."""
+    x, y = var("x"), var("y")
+    return ProgramFragment(
+        name,
+        LoopNest([("x", 0, rows), ("y", 0, cols)]),
+        [
+            AffineAccess(src, [x, y]),
+            AffineAccess(dst, [x, y], is_write=True),
+        ],
+        compute_cycles_per_iteration=compute,
+    )
+
+
+def make_two_phase_task(
+    name: str = "T",
+    rows: int = 8,
+    cols: int = 16,
+    pieces: int = 4,
+) -> Task:
+    """A two-phase copy pipeline: A -> B then B -> C, block-partitioned."""
+    a = ArraySpec(f"{name}.A", (rows, cols))
+    b = ArraySpec(f"{name}.B", (rows, cols))
+    c = ArraySpec(f"{name}.C", (rows, cols))
+    phase0 = make_copy_fragment("copy_ab", a, b, rows, cols)
+    phase1 = make_copy_fragment("copy_bc", b, c, rows, cols)
+    processes = []
+    edges = []
+    ph0_pids = []
+    for k, piece in enumerate(block_partition(phase0, pieces)):
+        pid = f"{name}.ph0.p{k}"
+        ph0_pids.append(pid)
+        processes.append(Process(pid, name, [piece]))
+    for k, piece in enumerate(block_partition(phase1, pieces)):
+        pid = f"{name}.ph1.p{k}"
+        processes.append(Process(pid, name, [piece]))
+        edges.append((ph0_pids[k], pid))
+    return Task(name, processes, edges)
+
+
+@pytest.fixture
+def small_machine() -> MachineConfig:
+    """A 2-core machine with a 1 KB 2-way cache and short quantum."""
+    return MachineConfig(
+        num_cores=2,
+        cache_size_bytes=1024,
+        cache_associativity=2,
+        cache_line_size=32,
+        quantum_cycles=500,
+        context_switch_cycles=10,
+    )
+
+
+@pytest.fixture
+def four_core_machine() -> MachineConfig:
+    """A 4-core machine with a 2 KB 2-way cache."""
+    return MachineConfig(
+        num_cores=4,
+        cache_size_bytes=2048,
+        cache_associativity=2,
+        cache_line_size=32,
+        quantum_cycles=1000,
+        context_switch_cycles=10,
+    )
+
+
+@pytest.fixture
+def two_phase_task() -> Task:
+    """A small two-phase pipeline task."""
+    return make_two_phase_task()
+
+
+@pytest.fixture
+def small_epg(two_phase_task) -> ExtendedProcessGraph:
+    """An EPG holding the small pipeline task."""
+    return ExtendedProcessGraph.from_tasks([two_phase_task])
+
+
+@pytest.fixture
+def two_task_epg() -> ExtendedProcessGraph:
+    """An EPG with two data-disjoint tasks."""
+    return ExtendedProcessGraph.from_tasks(
+        [make_two_phase_task("T1"), make_two_phase_task("T2")]
+    )

@@ -1,0 +1,68 @@
+"""CacheGeometry: the set/tag/cache-page arithmetic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.errors import ValidationError
+
+
+class TestConstruction:
+    def test_paper_default_geometry(self):
+        g = CacheGeometry(8192, 2, 32)
+        assert g.num_lines == 256
+        assert g.num_sets == 128
+        assert g.cache_page == 4096  # paper: size / associativity
+
+    def test_direct_mapped(self):
+        g = CacheGeometry(1024, 1, 32)
+        assert g.num_sets == 32
+        assert g.cache_page == 1024
+
+    def test_fully_associative(self):
+        g = CacheGeometry(1024, 32, 32)
+        assert g.num_sets == 1
+
+    @pytest.mark.parametrize("size,assoc,line", [(1000, 2, 32), (1024, 3, 32), (1024, 2, 24)])
+    def test_non_power_of_two_rejected(self, size, assoc, line):
+        with pytest.raises(ValidationError):
+            CacheGeometry(size, assoc, line)
+
+    def test_line_larger_than_cache_rejected(self):
+        with pytest.raises(ValidationError):
+            CacheGeometry(32, 1, 64)
+
+    def test_assoc_exceeding_lines_rejected(self):
+        with pytest.raises(ValidationError):
+            CacheGeometry(64, 4, 32)  # only 2 lines total
+
+
+class TestAddressMath:
+    def test_line_set_tag(self):
+        g = CacheGeometry(1024, 2, 32)  # 16 sets
+        addr = 5 * 1024 + 7 * 32 + 3  # line 167
+        assert g.line_of(addr) == 167
+        assert g.set_of(addr) == 167 % 16
+        assert g.tag_of(addr) == 167 // 16
+
+    def test_same_page_offset_same_set(self):
+        g = CacheGeometry(1024, 2, 32)
+        # Two addresses a cache page apart share the set.
+        assert g.set_of(100) == g.set_of(100 + g.cache_page)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValidationError):
+            CacheGeometry(1024, 2, 32).line_of(-1)
+
+    def test_vectorised_matches_scalar(self):
+        g = CacheGeometry(1024, 2, 32)
+        addrs = np.array([0, 31, 32, 1023, 1024, 99999])
+        assert g.lines_of(addrs).tolist() == [g.line_of(int(a)) for a in addrs]
+        assert g.sets_of(addrs).tolist() == [g.set_of(int(a)) for a in addrs]
+
+    def test_equality_and_hash(self):
+        assert CacheGeometry(1024, 2, 32) == CacheGeometry(1024, 2, 32)
+        assert hash(CacheGeometry(1024, 2, 32)) == hash(CacheGeometry(1024, 2, 32))
+        assert CacheGeometry(1024, 2, 32) != CacheGeometry(2048, 2, 32)

@@ -1,0 +1,81 @@
+"""The exception hierarchy: every error derives from ReproError and keeps
+its structured attributes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception):
+            assert issubclass(obj, errors.ReproError), name
+
+
+def test_validation_error_is_value_error():
+    assert issubclass(errors.ValidationError, ValueError)
+
+
+def test_unknown_array_error_is_key_error():
+    err = errors.UnknownArrayError("A")
+    assert isinstance(err, KeyError)
+    assert err.array_name == "A"
+
+
+def test_dimension_mismatch_carries_dimensions():
+    err = errors.DimensionMismatchError(2, 3, context="test")
+    assert err.expected == 2
+    assert err.actual == 3
+    assert "test" in str(err)
+
+
+def test_cyclic_dependence_error_carries_cycle():
+    err = errors.CyclicDependenceError(["a", "b", "a"])
+    assert err.cycle == ["a", "b", "a"]
+    assert "a -> b -> a" in str(err)
+
+
+def test_duplicate_process_error_names_pid():
+    err = errors.DuplicateProcessError("p1")
+    assert err.pid == "p1"
+    assert "p1" in str(err)
+
+
+def test_unknown_process_error_is_key_error():
+    assert isinstance(errors.UnknownProcessError("x"), KeyError)
+
+
+def test_event_ordering_error_carries_times():
+    err = errors.EventOrderingError(10, 5)
+    assert err.now == 10
+    assert err.event_time == 5
+
+
+def test_unknown_workload_lists_known_names():
+    err = errors.UnknownWorkloadError("nope", ["A", "B"])
+    assert err.known == ["A", "B"]
+    assert "A, B" in str(err)
+
+
+def test_address_range_error_is_index_error():
+    assert issubclass(errors.AddressRangeError, IndexError)
+
+
+@pytest.mark.parametrize(
+    "cls",
+    [
+        errors.PresburgerError,
+        errors.GraphError,
+        errors.LayoutError,
+        errors.SchedulingError,
+        errors.SimulationError,
+        errors.WorkloadError,
+        errors.ExperimentError,
+    ],
+)
+def test_subsystem_bases_instantiable(cls):
+    raised = cls("message")
+    assert "message" in str(raised)

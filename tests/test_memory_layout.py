@@ -1,0 +1,120 @@
+"""DataLayout: allocation, addressing, overlap detection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    AddressRangeError,
+    OverlappingAllocationError,
+    UnknownArrayError,
+    ValidationError,
+)
+from repro.memory.layout import DataLayout
+from repro.programs.arrays import ArraySpec
+
+
+class TestAllocate:
+    def test_sequential_alignment(self):
+        a = ArraySpec("A", (10,))  # 40 bytes
+        b = ArraySpec("B", (10,))
+        layout = DataLayout.allocate([a, b], alignment=32, stagger=0)
+        assert layout.base("A") == 0
+        assert layout.base("B") == 64  # 40 rounded up to 64
+
+    def test_stagger_inserts_gap(self):
+        a = ArraySpec("A", (8,))  # exactly one 32-byte line
+        b = ArraySpec("B", (8,))
+        layout = DataLayout.allocate([a, b], alignment=32, stagger=1)
+        assert layout.base("B") == 64  # 32 (A) + 32 (stagger)
+
+    def test_start_address(self):
+        a = ArraySpec("A", (4,))
+        layout = DataLayout.allocate([a], alignment=32, start_address=100)
+        assert layout.base("A") == 128
+
+    def test_duplicate_same_spec_deduplicated(self):
+        a = ArraySpec("A", (4,))
+        layout = DataLayout.allocate([a, a])
+        assert layout.array_names == ("A",)
+
+    def test_conflicting_specs_rejected(self):
+        with pytest.raises(ValidationError):
+            DataLayout.allocate([ArraySpec("A", (4,)), ArraySpec("A", (8,))])
+
+    def test_zero_arrays_rejected(self):
+        with pytest.raises(ValidationError):
+            DataLayout.allocate([])
+
+    def test_negative_stagger_rejected(self):
+        with pytest.raises(ValidationError):
+            DataLayout.allocate([ArraySpec("A", (4,))], stagger=-1)
+
+
+class TestDirectConstruction:
+    def test_overlap_detected(self):
+        a = ArraySpec("A", (10,))
+        b = ArraySpec("B", (10,))
+        with pytest.raises(OverlappingAllocationError):
+            DataLayout({"A": a, "B": b}, {"A": 0, "B": 20})
+
+    def test_names_must_match(self):
+        a = ArraySpec("A", (4,))
+        with pytest.raises(ValidationError):
+            DataLayout({"A": a}, {"B": 0})
+
+    def test_negative_base_rejected(self):
+        a = ArraySpec("A", (4,))
+        with pytest.raises(ValidationError):
+            DataLayout({"A": a}, {"A": -8})
+
+
+class TestAddressing:
+    def test_addr_scalar(self):
+        a = ArraySpec("A", (4, 4))
+        layout = DataLayout.allocate([a])
+        assert layout.addr("A", 0) == 0
+        assert layout.addr("A", 5) == 20
+
+    def test_addrs_vectorised_matches_scalar(self):
+        a = ArraySpec("A", (16,))
+        layout = DataLayout.allocate([a], start_address=64)
+        idx = np.array([0, 3, 15])
+        assert layout.addrs("A", idx).tolist() == [
+            layout.addr("A", int(i)) for i in idx
+        ]
+
+    def test_out_of_range_rejected(self):
+        a = ArraySpec("A", (4,))
+        layout = DataLayout.allocate([a])
+        with pytest.raises(AddressRangeError):
+            layout.addr("A", 4)
+        with pytest.raises(AddressRangeError):
+            layout.addrs("A", np.array([-1]))
+
+    def test_unknown_array_rejected(self):
+        layout = DataLayout.allocate([ArraySpec("A", (4,))])
+        with pytest.raises(UnknownArrayError):
+            layout.addr("Z", 0)
+
+    def test_owner_of(self):
+        a = ArraySpec("A", (8,))
+        b = ArraySpec("B", (8,))
+        layout = DataLayout.allocate([a, b], alignment=32, stagger=1)
+        assert layout.owner_of(0) == "A"
+        assert layout.owner_of(layout.base("B")) == "B"
+        assert layout.owner_of(40) is None  # the stagger gap
+
+    def test_end_address_and_footprint(self):
+        a = ArraySpec("A", (8,))
+        b = ArraySpec("B", (8,))
+        layout = DataLayout.allocate([a, b], alignment=32, stagger=1)
+        assert layout.end_address == layout.base("B") + 32
+        assert layout.footprint_bytes() == 64
+
+    def test_array_names_sorted_by_base(self):
+        a = ArraySpec("A", (8,))
+        b = ArraySpec("B", (8,))
+        layout = DataLayout({"A": a, "B": b}, {"A": 100, "B": 0})
+        assert layout.array_names == ("B", "A")

@@ -1,0 +1,130 @@
+"""The Figure-5 greedy re-layout selection."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.errors import ValidationError
+from repro.memory.relayout import (
+    normalize_pair,
+    related_array_pairs,
+    select_relayout,
+)
+from repro.sharing.conflicts import ConflictMatrix
+
+GEOMETRY = CacheGeometry(1024, 2, 32)
+HALF = GEOMETRY.cache_page // 2
+
+
+def matrix(names, entries) -> ConflictMatrix:
+    n = len(names)
+    m = np.zeros((n, n), dtype=np.int64)
+    for (a, b), value in entries.items():
+        i, j = names.index(a), names.index(b)
+        m[i, j] = m[j, i] = value
+    return ConflictMatrix(tuple(names), m)
+
+
+class TestSelectRelayout:
+    def test_top_pair_gets_opposite_halves(self):
+        conflicts = matrix(["A", "B", "C"], {("A", "B"): 100, ("A", "C"): 1})
+        decision = select_relayout(
+            conflicts, GEOMETRY, {("A", "B"), ("A", "C")}
+        )
+        assert decision.b_offsets["A"] == 0
+        assert decision.b_offsets["B"] == HALF
+
+    def test_partner_of_fixed_array_gets_opposite(self):
+        conflicts = matrix(
+            ["A", "B", "C"],
+            {("A", "B"): 100, ("A", "C"): 90},
+        )
+        decision = select_relayout(
+            conflicts, GEOMETRY, {("A", "B"), ("A", "C")}, threshold=10
+        )
+        assert decision.b_offsets["A"] == 0
+        assert decision.b_offsets["B"] == HALF
+        assert decision.b_offsets["C"] == HALF  # opposite of fixed A
+
+    def test_threshold_stops_selection(self):
+        conflicts = matrix(["A", "B", "C"], {("A", "B"): 100, ("B", "C"): 5})
+        decision = select_relayout(
+            conflicts, GEOMETRY, {("A", "B"), ("B", "C")}, threshold=50
+        )
+        assert "C" not in decision.b_offsets
+        assert decision.num_remapped == 2
+
+    def test_default_threshold_is_mean(self):
+        conflicts = matrix(["A", "B"], {("A", "B"): 10})
+        decision = select_relayout(conflicts, GEOMETRY, {("A", "B")})
+        assert decision.threshold == pytest.approx(10.0)
+        # 10 is not strictly above the mean (10), so nothing is remapped.
+        assert decision.num_remapped == 0
+
+    def test_unrelated_pairs_skipped(self):
+        conflicts = matrix(["A", "B"], {("A", "B"): 100})
+        decision = select_relayout(conflicts, GEOMETRY, set(), threshold=1)
+        assert decision.num_remapped == 0
+        assert any("not related" in line for line in decision.log)
+
+    def test_infinite_threshold_remaps_nothing(self):
+        conflicts = matrix(["A", "B"], {("A", "B"): 10**9})
+        decision = select_relayout(
+            conflicts, GEOMETRY, {("A", "B")}, threshold=math.inf
+        )
+        assert decision.num_remapped == 0
+
+    def test_negative_threshold_rejected(self):
+        conflicts = matrix(["A", "B"], {("A", "B"): 1})
+        with pytest.raises(ValidationError):
+            select_relayout(conflicts, GEOMETRY, set(), threshold=-1)
+
+    def test_terminates_with_many_conflicting_pairs(self):
+        names = [f"A{i}" for i in range(6)]
+        entries = {
+            (names[i], names[j]): 100 + i + j
+            for i in range(6)
+            for j in range(i + 1, 6)
+        }
+        related = {normalize_pair(a, b) for (a, b) in entries}
+        decision = select_relayout(
+            matrix(names, entries), GEOMETRY, related, threshold=1
+        )
+        assert decision.num_remapped == 6
+        for b in decision.b_offsets.values():
+            assert b in (0, HALF)
+
+
+class TestRelatedArrayPairs:
+    def test_same_process_arrays_related(self):
+        pairs = related_array_pairs([], {"p": ["A", "B"]})
+        assert ("A", "B") in pairs
+
+    def test_successive_processes_related(self):
+        pairs = related_array_pairs(
+            [["p", "q"]], {"p": ["A"], "q": ["B"]}
+        )
+        assert ("A", "B") in pairs
+
+    def test_non_successive_not_related(self):
+        pairs = related_array_pairs(
+            [["p", "q", "r"]], {"p": ["A"], "q": ["B"], "r": ["C"]}
+        )
+        assert ("A", "C") not in pairs
+        assert ("A", "B") in pairs and ("B", "C") in pairs
+
+    def test_same_array_not_paired_with_itself(self):
+        pairs = related_array_pairs([["p", "q"]], {"p": ["A"], "q": ["A"]})
+        assert pairs == set()
+
+    def test_unknown_pid_in_schedule_rejected(self):
+        with pytest.raises(ValidationError):
+            related_array_pairs([["p", "zz"]], {"p": ["A"]})
+
+    def test_normalize_pair_orders(self):
+        assert normalize_pair("B", "A") == ("A", "B")
+        assert normalize_pair("A", "B") == ("A", "B")

@@ -1,0 +1,98 @@
+"""Constraints: builders, scalar and vectorised evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.presburger.constraints import Constraint, ConstraintKind
+from repro.presburger.terms import var
+
+
+class TestBuilders:
+    def test_eq_normalises_to_lhs_minus_rhs(self):
+        c = Constraint.eq(var("i"), 3)
+        assert c.kind is ConstraintKind.EQ
+        assert c.holds({"i": 3})
+        assert not c.holds({"i": 4})
+
+    def test_ge_and_le(self):
+        assert Constraint.ge(var("i"), 2).holds({"i": 2})
+        assert Constraint.le(var("i"), 2).holds({"i": 2})
+        assert not Constraint.ge(var("i"), 2).holds({"i": 1})
+        assert not Constraint.le(var("i"), 2).holds({"i": 3})
+
+    def test_strict_lt_gt_integer_semantics(self):
+        lt = Constraint.lt(var("i"), 3)
+        assert lt.holds({"i": 2})
+        assert not lt.holds({"i": 3})
+        gt = Constraint.gt(var("i"), 3)
+        assert gt.holds({"i": 4})
+        assert not gt.holds({"i": 3})
+
+    def test_mod_with_residue(self):
+        c = Constraint.mod(var("i"), 4, 1)
+        assert c.holds({"i": 5})
+        assert c.holds({"i": 1})
+        assert not c.holds({"i": 4})
+
+    def test_mod_rejects_nonpositive_modulus(self):
+        with pytest.raises(ValidationError):
+            Constraint.mod(var("i"), 0)
+
+    def test_modulus_only_for_mod(self):
+        with pytest.raises(ValidationError):
+            Constraint(var("i"), ConstraintKind.GE, modulus=2)
+
+    def test_non_expr_rejected(self):
+        with pytest.raises(ValidationError):
+            Constraint("i >= 0", ConstraintKind.GE)  # type: ignore[arg-type]
+
+
+class TestVectorisedEvaluation:
+    def test_matches_scalar_semantics(self):
+        c = Constraint.lt(var("i") * 2 + var("j"), 10)
+        cols = {"i": np.array([0, 1, 2, 5]), "j": np.array([0, 7, 6, 0])}
+        expected = [
+            c.holds({"i": int(i), "j": int(j)})
+            for i, j in zip(cols["i"], cols["j"])
+        ]
+        assert c.holds_vectorized(cols).tolist() == expected
+
+    def test_mod_vectorised(self):
+        c = Constraint.mod(var("i"), 3)
+        result = c.holds_vectorized({"i": np.arange(7)})
+        assert result.tolist() == [True, False, False, True, False, False, True]
+
+    def test_missing_column_rejected(self):
+        c = Constraint.ge(var("i"))
+        with pytest.raises(ValidationError):
+            c.holds_vectorized({"j": np.array([1])})
+
+
+class TestStructure:
+    def test_single_variable_bound_extraction(self):
+        c = Constraint.ge(var("i"), 3)  # i - 3 >= 0
+        assert c.single_variable_bound() == ("i", 1, -3)
+
+    def test_multi_variable_bound_is_none(self):
+        assert Constraint.ge(var("i") + var("j")).single_variable_bound() is None
+
+    def test_mod_bound_is_none(self):
+        assert Constraint.mod(var("i"), 2).single_variable_bound() is None
+
+    def test_equality_and_hash(self):
+        a = Constraint.ge(var("i"), 1)
+        b = Constraint.ge(var("i"), 1)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Constraint.ge(var("i"), 2)
+
+    def test_variables_property(self):
+        c = Constraint.eq(var("a") + var("b") * 2)
+        assert c.variables == ("a", "b")
+
+    def test_repr_mentions_kind(self):
+        assert ">=" in repr(Constraint.ge(var("i")))
+        assert "mod" in repr(Constraint.mod(var("i"), 2))

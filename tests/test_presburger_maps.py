@@ -1,0 +1,112 @@
+"""AffineMap: application, images, composition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionMismatchError, ValidationError
+from repro.presburger.builders import box, interval
+from repro.presburger.constraints import Constraint
+from repro.presburger.maps import AffineMap
+from repro.presburger.points import PointSet
+from repro.presburger.terms import const, var
+
+
+@pytest.fixture
+def prog1_access() -> AffineMap:
+    """The paper's access map: [i1,i2] -> [i1*1000 + i2, 5]."""
+    return AffineMap(("i1", "i2"), [var("i1") * 1000 + var("i2"), const(5)])
+
+
+class TestConstruction:
+    def test_output_variables_must_be_in_domain(self):
+        with pytest.raises(ValidationError):
+            AffineMap(("i",), [var("j")])
+
+    def test_duplicate_domain_rejected(self):
+        with pytest.raises(ValidationError):
+            AffineMap(("i", "i"), [var("i")])
+
+    def test_empty_outputs_rejected(self):
+        with pytest.raises(ValidationError):
+            AffineMap(("i",), [])
+
+    def test_dims(self, prog1_access):
+        assert prog1_access.input_dim == 2
+        assert prog1_access.output_dim == 2
+
+
+class TestApplication:
+    def test_apply_single_point(self, prog1_access):
+        assert prog1_access.apply((3, 42)) == (3042, 5)
+
+    def test_apply_checks_arity(self, prog1_access):
+        with pytest.raises(DimensionMismatchError):
+            prog1_access.apply((1,))
+
+    def test_apply_columns_vectorised(self, prog1_access):
+        cols = {"i1": np.array([0, 1]), "i2": np.array([10, 20])}
+        out = prog1_access.apply_columns(cols)
+        assert out.tolist() == [[10, 5], [1020, 5]]
+
+    def test_apply_columns_missing_input(self):
+        m = AffineMap(("i",), [var("i")])
+        with pytest.raises(ValidationError):
+            m.apply_columns({})
+
+
+class TestImage:
+    def test_image_of_basic_set(self, prog1_access):
+        domain = box({"i1": (0, 2), "i2": (0, 3)})
+        image = prog1_access.image(domain)
+        assert len(image) == 6
+        assert (1002, 5) in image
+
+    def test_image_of_point_set(self):
+        m = AffineMap(("i",), [var("i") * 2])
+        image = m.image(PointSet.from_flat([1, 2, 3]))
+        assert image.flat().tolist() == [2, 4, 6]
+
+    def test_image_collapses_duplicates(self):
+        # A constant map sends everything to one point.
+        m = AffineMap(("i",), [const(7)])
+        image = m.image(interval("i", 0, 100))
+        assert len(image) == 1
+
+    def test_image_of_empty_is_empty(self):
+        m = AffineMap(("i",), [var("i")])
+        assert m.image(PointSet.empty(1)).is_empty()
+
+    def test_image_checks_dim(self):
+        m = AffineMap(("i",), [var("i")])
+        with pytest.raises(DimensionMismatchError):
+            m.image(PointSet([[1, 2]]))
+
+    def test_paper_sharing_numbers(self, prog1_access):
+        """SS(0,1) of the Prog1 example is exactly 2000 elements."""
+        space = box({"i1": (0, 8), "i2": (0, 3000)})
+        ds0 = prog1_access.image(space.with_constraints(Constraint.eq(var("i1"), 0)))
+        ds1 = prog1_access.image(space.with_constraints(Constraint.eq(var("i1"), 1)))
+        ds2 = prog1_access.image(space.with_constraints(Constraint.eq(var("i1"), 2)))
+        assert ds0.intersection_size(ds1) == 2000
+        assert ds0.intersection_size(ds2) == 1000
+
+
+class TestCompose:
+    def test_compose_applies_inner_first(self):
+        inner = AffineMap(("x",), [var("x") + 1])
+        outer = AffineMap(("y",), [var("y") * 10])
+        composed = outer.compose(inner)
+        assert composed.apply((3,)) == (40,)
+
+    def test_compose_dim_checked(self):
+        inner = AffineMap(("x",), [var("x"), var("x")])
+        outer = AffineMap(("y",), [var("y")])
+        with pytest.raises(DimensionMismatchError):
+            outer.compose(inner)
+
+    def test_equality_and_hash(self):
+        a = AffineMap(("i",), [var("i") * 2])
+        b = AffineMap(("i",), [var("i") * 2])
+        assert a == b and hash(a) == hash(b)

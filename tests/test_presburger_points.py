@@ -1,0 +1,112 @@
+"""PointSet: canonicalisation and exact set algebra."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionMismatchError, ValidationError
+from repro.presburger.points import PointSet
+
+
+class TestConstruction:
+    def test_duplicates_collapse(self):
+        ps = PointSet([[1, 2], [1, 2], [0, 0]])
+        assert len(ps) == 2
+
+    def test_canonical_order_is_lexicographic(self):
+        ps = PointSet([[2, 0], [1, 5], [1, 2]])
+        assert [tuple(p) for p in ps] == [(1, 2), (1, 5), (2, 0)]
+
+    def test_from_flat_one_dimensional(self):
+        ps = PointSet.from_flat([3, 1, 2, 1])
+        assert ps.dim == 1
+        assert ps.flat().tolist() == [1, 2, 3]
+
+    def test_empty_needs_dim(self):
+        with pytest.raises(ValidationError):
+            PointSet([])
+        assert PointSet.empty(3).dim == 3
+
+    def test_one_dim_vector_is_reshaped(self):
+        ps = PointSet(np.array([5, 2, 5]))
+        assert ps.dim == 1
+        assert len(ps) == 2
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            PointSet([[1, 2]], dim=3)
+
+    def test_points_are_read_only(self):
+        ps = PointSet([[1, 2]])
+        with pytest.raises(ValueError):
+            ps.points[0, 0] = 9
+
+
+class TestMembership:
+    def test_contains(self):
+        ps = PointSet([[1, 2], [3, 4]])
+        assert (1, 2) in ps
+        assert (2, 1) not in ps
+
+    def test_contains_checks_dim(self):
+        with pytest.raises(DimensionMismatchError):
+            (1,) in PointSet([[1, 2]])
+
+    def test_flat_requires_one_dim(self):
+        with pytest.raises(DimensionMismatchError):
+            PointSet([[1, 2]]).flat()
+
+
+class TestAlgebra:
+    def test_intersection_2d(self):
+        a = PointSet([[0, 0], [1, 1], [2, 2]])
+        b = PointSet([[1, 1], [2, 2], [3, 3]])
+        assert a.intersect(b) == PointSet([[1, 1], [2, 2]])
+
+    def test_intersection_1d_fast_path(self):
+        a = PointSet.from_flat(range(10))
+        b = PointSet.from_flat(range(5, 15))
+        assert a.intersect(b).flat().tolist() == list(range(5, 10))
+
+    def test_intersection_size_matches_intersect(self):
+        a = PointSet([[0, 1], [2, 3], [4, 5]])
+        b = PointSet([[2, 3], [9, 9]])
+        assert a.intersection_size(b) == len(a.intersect(b)) == 1
+
+    def test_union(self):
+        a = PointSet.from_flat([1, 2])
+        b = PointSet.from_flat([2, 3])
+        assert a.union(b).flat().tolist() == [1, 2, 3]
+
+    def test_difference(self):
+        a = PointSet.from_flat([1, 2, 3])
+        b = PointSet.from_flat([2])
+        assert a.difference(b).flat().tolist() == [1, 3]
+
+    def test_empty_identities(self):
+        a = PointSet.from_flat([1, 2])
+        empty = PointSet.empty(1)
+        assert a.union(empty) == a
+        assert a.intersect(empty).is_empty()
+        assert a.difference(empty) == a
+        assert empty.difference(a).is_empty()
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            PointSet.from_flat([1]).intersect(PointSet([[1, 2]]))
+
+    def test_non_pointset_rejected(self):
+        with pytest.raises(ValidationError):
+            PointSet.from_flat([1]).union([1])  # type: ignore[arg-type]
+
+
+class TestEqualityAndHash:
+    def test_order_insensitive_equality(self):
+        assert PointSet([[2, 2], [1, 1]]) == PointSet([[1, 1], [2, 2]])
+
+    def test_hashable(self):
+        assert hash(PointSet([[1, 2]])) == hash(PointSet([[1, 2]]))
+
+    def test_repr_shows_size(self):
+        assert "n=2" in repr(PointSet([[1], [2]]))

@@ -1,0 +1,141 @@
+"""BasicSet / IntegerSet: bound inference, enumeration, set algebra."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PresburgerError, UnboundedSetError, ValidationError
+from repro.presburger.builders import box, interval, iteration_space, strided_interval
+from repro.presburger.constraints import Constraint
+from repro.presburger.sets import BasicSet, IntegerSet
+from repro.presburger.terms import var
+
+
+class TestConstruction:
+    def test_duplicate_variables_rejected(self):
+        with pytest.raises(ValidationError):
+            BasicSet(("i", "i"))
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(ValidationError):
+            BasicSet(())
+
+    def test_constraint_variables_must_be_in_space(self):
+        with pytest.raises(ValidationError):
+            BasicSet(("i",), [Constraint.ge(var("j"))])
+
+
+class TestBoundsInference:
+    def test_simple_box(self):
+        s = box({"i": (0, 4), "j": (2, 5)})
+        bounds = s.infer_bounds()
+        assert bounds["i"] == (0, 3)
+        assert bounds["j"] == (2, 4)
+
+    def test_equality_pins_variable(self):
+        s = interval("i", 0, 100).with_constraints(Constraint.eq(var("i"), 7))
+        assert s.infer_bounds()["i"] == (7, 7)
+
+    def test_coupled_constraints_propagate(self):
+        # i in [0,10), j = i + 2  =>  j in [2, 11]
+        s = BasicSet(
+            ("i", "j"),
+            [
+                Constraint.ge(var("i")),
+                Constraint.lt(var("i"), 10),
+                Constraint.eq(var("j"), var("i") + 2),
+            ],
+        )
+        assert s.infer_bounds()["j"] == (2, 11)
+
+    def test_unbounded_raises(self):
+        s = BasicSet(("i",), [Constraint.ge(var("i"))])
+        with pytest.raises(UnboundedSetError):
+            s.infer_bounds()
+
+
+class TestEnumeration:
+    def test_box_count(self):
+        assert box({"i": (0, 3), "j": (0, 4)}).count() == 12
+
+    def test_interval_enumeration_matches_range(self):
+        points = interval("i", 2, 7).enumerate()
+        assert points.flat().tolist() == [2, 3, 4, 5, 6]
+
+    def test_strided_interval(self):
+        s = strided_interval("i", 0, 10, 3, phase=1)
+        assert s.enumerate().flat().tolist() == [1, 4, 7]
+
+    def test_diagonal_constraint_filters(self):
+        s = box({"i": (0, 4), "j": (0, 4)}).with_constraints(
+            Constraint.eq(var("i"), var("j"))
+        )
+        assert [tuple(p) for p in s.enumerate()] == [(0, 0), (1, 1), (2, 2), (3, 3)]
+
+    def test_empty_set_enumerates_empty(self):
+        s = interval("i", 0, 5).with_constraints(Constraint.ge(var("i"), 10))
+        assert s.enumerate().is_empty()
+        assert s.is_empty()
+
+    def test_max_points_guard(self):
+        s = box({"i": (0, 1000), "j": (0, 1000)})
+        with pytest.raises(PresburgerError):
+            s.enumerate(max_points=100)
+
+    def test_paper_iteration_space(self):
+        # IS1 from the paper: {[i1,i2]: 0 <= i1 < 8 && 0 <= i2 < 3000}.
+        assert iteration_space([("i1", 0, 8), ("i2", 0, 3000)]).count() == 24000
+
+
+class TestBasicSetAlgebra:
+    def test_intersect_conjoins(self):
+        a = interval("i", 0, 10)
+        b = interval("i", 5, 20)
+        assert a.intersect(b).count() == 5
+
+    def test_intersect_requires_same_space(self):
+        with pytest.raises(PresburgerError):
+            interval("i", 0, 5).intersect(interval("j", 0, 5))
+
+    def test_contains(self):
+        s = box({"i": (0, 3), "j": (0, 3)})
+        assert s.contains((1, 2))
+        assert not s.contains((3, 0))
+
+    def test_contains_checks_arity(self):
+        from repro.errors import DimensionMismatchError
+
+        with pytest.raises(DimensionMismatchError):
+            interval("i", 0, 3).contains((1, 2))
+
+    def test_equality_ignores_constraint_order(self):
+        c1 = Constraint.ge(var("i"))
+        c2 = Constraint.lt(var("i"), 5)
+        assert BasicSet(("i",), [c1, c2]) == BasicSet(("i",), [c2, c1])
+
+
+class TestIntegerSet:
+    def test_union_counts_distinct(self):
+        u = IntegerSet.from_basic(interval("i", 0, 5)).union(interval("i", 3, 8))
+        assert u.count() == 8
+
+    def test_intersect_distributes(self):
+        u = IntegerSet([interval("i", 0, 4), interval("i", 10, 14)])
+        result = u.intersect(interval("i", 2, 12))
+        assert result.enumerate().flat().tolist() == [2, 3, 10, 11]
+
+    def test_empty_constructor(self):
+        assert IntegerSet.empty(("i",)).is_empty()
+
+    def test_mixed_spaces_rejected(self):
+        with pytest.raises(PresburgerError):
+            IntegerSet([interval("i", 0, 2), interval("j", 0, 2)])
+
+    def test_contains_any_piece(self):
+        u = IntegerSet([interval("i", 0, 2), interval("i", 10, 12)])
+        assert u.contains((11,))
+        assert not u.contains((5,))
+
+    def test_zero_pieces_rejected(self):
+        with pytest.raises(ValidationError):
+            IntegerSet([])

@@ -1,0 +1,110 @@
+"""LinearExpr: construction, arithmetic, normalisation, evaluation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.presburger.terms import LinearExpr, const, var
+
+
+class TestConstruction:
+    def test_var_builds_unit_coefficient(self):
+        expr = var("i")
+        assert expr.coefficient("i") == 1
+        assert expr.constant == 0
+
+    def test_const_builds_constant(self):
+        assert const(7).constant == 7
+        assert const(7).is_constant()
+
+    def test_zero_coefficients_dropped(self):
+        expr = LinearExpr({"i": 0, "j": 2})
+        assert expr.variables == ("j",)
+
+    def test_rejects_non_int_coefficient(self):
+        with pytest.raises(ValidationError):
+            LinearExpr({"i": 1.5})  # type: ignore[dict-item]
+
+    def test_rejects_bool_constant(self):
+        with pytest.raises(ValidationError):
+            LinearExpr(constant=True)  # type: ignore[arg-type]
+
+    def test_rejects_empty_variable_name(self):
+        with pytest.raises(ValidationError):
+            LinearExpr({"": 1})
+
+
+class TestArithmetic:
+    def test_paper_subscript_expression(self):
+        # d1 = i1*1000 + i2 from the Prog1 example.
+        expr = var("i1") * 1000 + var("i2")
+        assert expr.evaluate({"i1": 3, "i2": 42}) == 3042
+
+    def test_addition_merges_coefficients(self):
+        expr = var("i") + var("i") + 2
+        assert expr.coefficient("i") == 2
+        assert expr.constant == 2
+
+    def test_subtraction_cancels_to_constant(self):
+        expr = (var("i") + 5) - var("i")
+        assert expr.is_constant()
+        assert expr.constant == 5
+
+    def test_negation(self):
+        expr = -(var("i") * 2 - 3)
+        assert expr.coefficient("i") == -2
+        assert expr.constant == 3
+
+    def test_scalar_multiplication_both_sides(self):
+        assert (3 * var("i")) == (var("i") * 3)
+
+    def test_radd_rsub_with_int(self):
+        assert (5 + var("i")).constant == 5
+        assert (5 - var("i")).coefficient("i") == -1
+
+    def test_multiplying_by_non_int_rejected(self):
+        with pytest.raises(ValidationError):
+            var("i") * 1.5  # type: ignore[operator]
+
+
+class TestEquality:
+    def test_structurally_equal_expressions_compare_equal(self):
+        assert var("i") * 2 + 1 == LinearExpr({"i": 2}, 1)
+
+    def test_hash_consistent_with_equality(self):
+        assert hash(var("i") + 0) == hash(var("i"))
+
+    def test_inequality_with_other_types(self):
+        assert var("i") != "i"
+
+
+class TestEvaluateAndSubstitute:
+    def test_evaluate_requires_all_variables(self):
+        with pytest.raises(ValidationError):
+            (var("i") + var("j")).evaluate({"i": 1})
+
+    def test_substitute_with_expression(self):
+        expr = var("i") * 2 + var("j")
+        result = expr.substitute({"i": var("k") + 1})
+        assert result.evaluate({"k": 3, "j": 10}) == 18
+
+    def test_substitute_with_int(self):
+        expr = var("i") * 2 + 1
+        assert expr.substitute({"i": 4}).constant == 9
+
+    def test_substitute_leaves_unbound_variables(self):
+        expr = var("i") + var("j")
+        result = expr.substitute({"i": 5})
+        assert result.variables == ("j",)
+
+
+class TestRepr:
+    def test_repr_is_readable(self):
+        assert repr(var("i") * 1000 + var("j")) == "1000*i + j"
+
+    def test_repr_of_constant(self):
+        assert repr(const(0)) == "0"
+
+    def test_repr_negative_coefficient(self):
+        assert "-" in repr(var("i") * -1)

@@ -1,0 +1,207 @@
+"""Process, Task, ProcessGraph, ExtendedProcessGraph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    CyclicDependenceError,
+    DuplicateProcessError,
+    UnknownProcessError,
+    ValidationError,
+)
+from repro.presburger.terms import var
+from repro.procgraph.graph import ExtendedProcessGraph, ProcessGraph
+from repro.procgraph.process import Process
+from repro.procgraph.task import Task
+from repro.programs.accesses import AffineAccess
+from repro.programs.arrays import ArraySpec
+from repro.programs.fragments import ProgramFragment
+from repro.programs.loops import LoopNest
+from repro.programs.partition import block_partition
+
+
+def make_process(pid: str, array_name: str = "A", rows: int = 4) -> Process:
+    a = ArraySpec(array_name, (rows, 4))
+    frag = ProgramFragment(
+        f"frag_{pid}",
+        LoopNest([("x", 0, rows), ("y", 0, 4)]),
+        [AffineAccess(a, [var("x"), var("y")])],
+    )
+    return Process(pid, "T", [frag.whole()])
+
+
+class TestProcess:
+    def test_footprint_and_trip_count(self):
+        p = make_process("p", rows=4)
+        assert p.trip_count == 16
+        assert p.footprint_bytes() == 64
+
+    def test_shared_bytes_same_array(self):
+        a = ArraySpec("A", (8, 4))
+        frag = ProgramFragment(
+            "f",
+            LoopNest([("x", 0, 8), ("y", 0, 4)]),
+            [AffineAccess(a, [var("x"), var("y")])],
+        )
+        halves = block_partition(frag, 2)
+        p0 = Process("p0", "T", [halves[0]])
+        p1 = Process("p1", "T", [halves[1]])
+        assert p0.shared_bytes_with(p1) == 0
+        assert p0.shared_bytes_with(p0) == p0.footprint_bytes()
+
+    def test_shared_bytes_different_arrays_is_zero(self):
+        assert make_process("p", "A").shared_bytes_with(make_process("q", "B")) == 0
+
+    def test_compute_cycles(self):
+        a = ArraySpec("A", (4,))
+        frag = ProgramFragment(
+            "f",
+            LoopNest([("x", 0, 4)]),
+            [AffineAccess(a, [var("x")])],
+            compute_cycles_per_iteration=3,
+        )
+        assert Process("p", "T", [frag.whole()]).compute_cycles == 12
+
+    def test_empty_pieces_rejected(self):
+        with pytest.raises(ValidationError):
+            Process("p", "T", [])
+
+    def test_conflicting_array_specs_across_pieces_rejected(self):
+        a1 = ArraySpec("A", (4,))
+        a2 = ArraySpec("A", (8,))
+        f1 = ProgramFragment("f1", LoopNest([("x", 0, 4)]), [AffineAccess(a1, [var("x")])])
+        f2 = ProgramFragment("f2", LoopNest([("x", 0, 8)]), [AffineAccess(a2, [var("x")])])
+        p = Process("p", "T", [f1.whole(), f2.whole()])
+        with pytest.raises(ValidationError):
+            p.arrays
+
+
+class TestTask:
+    def test_valid_task(self):
+        task = Task("T", [make_process("a"), make_process("b")], [("a", "b")])
+        assert task.num_processes == 2
+        assert task.edges == [("a", "b")]
+
+    def test_duplicate_pid_rejected(self):
+        with pytest.raises(DuplicateProcessError):
+            Task("T", [make_process("a"), make_process("a")])
+
+    def test_edge_to_unknown_process_rejected(self):
+        with pytest.raises(UnknownProcessError):
+            Task("T", [make_process("a")], [("a", "zz")])
+
+    def test_self_edge_rejected(self):
+        with pytest.raises(ValidationError):
+            Task("T", [make_process("a")], [("a", "a")])
+
+    def test_process_graph_validates_cycles(self):
+        task = Task(
+            "T",
+            [make_process("a"), make_process("b")],
+            [("a", "b"), ("b", "a")],
+        )
+        with pytest.raises(CyclicDependenceError):
+            task.process_graph()
+
+
+class TestProcessGraph:
+    def make_diamond(self) -> ProcessGraph:
+        g = ProcessGraph()
+        for pid in ("a", "b", "c", "d"):
+            g.add_process(make_process(pid))
+        g.add_edge("a", "b")
+        g.add_edge("a", "c")
+        g.add_edge("b", "d")
+        g.add_edge("c", "d")
+        return g
+
+    def test_independent_processes(self):
+        g = self.make_diamond()
+        assert [p.pid for p in g.independent_processes()] == ["a"]
+
+    def test_ready_processes(self):
+        g = self.make_diamond()
+        assert {p.pid for p in g.ready_processes({"a"})} == {"b", "c"}
+        assert {p.pid for p in g.ready_processes({"a", "b"})} == {"c"}
+        assert {p.pid for p in g.ready_processes({"a", "b", "c"})} == {"d"}
+
+    def test_ready_with_unknown_completed_rejected(self):
+        with pytest.raises(UnknownProcessError):
+            self.make_diamond().ready_processes({"zz"})
+
+    def test_topological_order_respects_edges(self):
+        order = [p.pid for p in self.make_diamond().topological_order()]
+        assert order.index("a") < order.index("b") < order.index("d")
+        assert order.index("a") < order.index("c") < order.index("d")
+
+    def test_cycle_detection_reports_cycle(self):
+        g = ProcessGraph()
+        for pid in ("a", "b", "c"):
+            g.add_process(make_process(pid))
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.add_edge("c", "a")
+        with pytest.raises(CyclicDependenceError) as info:
+            g.topological_order()
+        cycle = info.value.cycle
+        assert len(cycle) >= 3
+
+    def test_critical_path_unit_weights(self):
+        assert self.make_diamond().critical_path_length() == 3
+
+    def test_critical_path_custom_weights(self):
+        g = self.make_diamond()
+        weights = {"a": 1, "b": 10, "c": 1, "d": 1}
+        assert g.critical_path_length(weights) == 12
+
+    def test_duplicate_add_rejected(self):
+        g = ProcessGraph()
+        g.add_process(make_process("a"))
+        with pytest.raises(DuplicateProcessError):
+            g.add_process(make_process("a"))
+
+    def test_edge_endpoints_checked(self):
+        g = ProcessGraph()
+        g.add_process(make_process("a"))
+        with pytest.raises(UnknownProcessError):
+            g.add_edge("a", "zz")
+        with pytest.raises(ValidationError):
+            g.add_edge("a", "a")
+
+    def test_num_edges(self):
+        assert self.make_diamond().num_edges == 4
+
+    def test_contains_and_lookup(self):
+        g = self.make_diamond()
+        assert "a" in g and "zz" not in g
+        assert g.process("a").pid == "a"
+        with pytest.raises(UnknownProcessError):
+            g.process("zz")
+
+
+class TestExtendedProcessGraph:
+    def test_from_tasks_merges(self, two_phase_task):
+        epg = ExtendedProcessGraph.from_tasks([two_phase_task])
+        assert len(epg) == two_phase_task.num_processes
+        assert epg.task_names == (two_phase_task.name,)
+
+    def test_inter_task_edges(self):
+        t1 = Task("T1", [make_process("T1.a", "A")])
+        t2 = Task("T2", [make_process("T2.a", "B")])
+        epg = ExtendedProcessGraph.from_tasks([t1, t2], [("T1.a", "T2.a")])
+        assert epg.predecessors("T2.a") == frozenset({"T1.a"})
+
+    def test_cross_task_cycle_detected(self):
+        t1 = Task("T1", [make_process("T1.a", "A")])
+        t2 = Task("T2", [make_process("T2.a", "B")])
+        with pytest.raises(CyclicDependenceError):
+            ExtendedProcessGraph.from_tasks(
+                [t1, t2], [("T1.a", "T2.a"), ("T2.a", "T1.a")]
+            )
+
+    def test_processes_of_task(self, two_task_epg):
+        procs = two_task_epg.processes_of_task("T1")
+        assert all(p.task_name == "T1" for p in procs)
+        with pytest.raises(ValidationError):
+            two_task_epg.processes_of_task("nope")

@@ -1,0 +1,128 @@
+"""Task builders: chain, fork-join, pipeline (pointwise and barrier)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.presburger.terms import var
+from repro.procgraph.builders import chain_task, fork_join_task, pipeline_task
+from repro.procgraph.graph import ExtendedProcessGraph
+from repro.programs.accesses import AffineAccess
+from repro.programs.arrays import ArraySpec
+from repro.programs.fragments import ProgramFragment
+from repro.programs.loops import LoopNest
+
+
+def sweep(name: str, array: str, rows: int = 8) -> ProgramFragment:
+    a = ArraySpec(array, (rows, 4))
+    return ProgramFragment(
+        name,
+        LoopNest([("x", 0, rows), ("y", 0, 4)]),
+        [AffineAccess(a, [var("x"), var("y")])],
+    )
+
+
+class TestChainTask:
+    def test_sequential_edges(self):
+        task = chain_task("C", [sweep("f0", "A"), sweep("f1", "B"), sweep("f2", "C")])
+        assert task.num_processes == 3
+        assert task.edges == [("C.0", "C.1"), ("C.1", "C.2")]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            chain_task("C", [])
+
+
+class TestForkJoinTask:
+    def test_full_shape(self):
+        task = fork_join_task(
+            "F", sweep("head", "H"), sweep("mid", "M"), 4, sweep("tail", "T")
+        )
+        assert task.num_processes == 6
+        graph = task.process_graph()
+        assert graph.predecessors("F.par0") == frozenset({"F.head"})
+        assert graph.predecessors("F.tail") == frozenset(
+            {f"F.par{k}" for k in range(4)}
+        )
+
+    def test_headless(self):
+        task = fork_join_task("F", None, sweep("mid", "M"), 2)
+        graph = task.process_graph()
+        assert len(graph.independent_processes()) == 2
+
+    def test_parallel_pieces_partition_data(self):
+        task = fork_join_task("F", None, sweep("mid", "M", rows=8), 4)
+        pieces = [p for p in task.processes]
+        total = sum(p.trip_count for p in pieces)
+        assert total == 32
+
+
+class TestPipelineTask:
+    def test_pointwise_equal_widths(self):
+        task = pipeline_task(
+            "P", [(sweep("f0", "A"), 4), (sweep("f1", "B"), 4)], pattern="pointwise"
+        )
+        graph = task.process_graph()
+        for k in range(4):
+            assert graph.predecessors(f"P.ph1.p{k}") == frozenset({f"P.ph0.p{k}"})
+
+    def test_pointwise_proportional_mapping(self):
+        task = pipeline_task(
+            "P", [(sweep("f0", "A"), 2), (sweep("f1", "B"), 4)], pattern="pointwise"
+        )
+        graph = task.process_graph()
+        # 4 consumers over 2 producers: consumers 0,1 -> producer 0; 2,3 -> 1.
+        assert graph.predecessors("P.ph1.p0") == frozenset({"P.ph0.p0"})
+        assert graph.predecessors("P.ph1.p3") == frozenset({"P.ph0.p1"})
+
+    def test_pointwise_many_to_one(self):
+        task = pipeline_task(
+            "P", [(sweep("f0", "A"), 4), (sweep("f1", "B"), 2)], pattern="pointwise"
+        )
+        graph = task.process_graph()
+        assert graph.predecessors("P.ph1.p0") == frozenset({"P.ph0.p0", "P.ph0.p1"})
+
+    def test_barrier_all_to_all(self):
+        task = pipeline_task(
+            "P", [(sweep("f0", "A"), 3), (sweep("f1", "B"), 2)], pattern="barrier"
+        )
+        graph = task.process_graph()
+        for k in range(2):
+            assert graph.predecessors(f"P.ph1.p{k}") == frozenset(
+                {f"P.ph0.p{j}" for j in range(3)}
+            )
+
+    def test_mixed_patterns_per_transition(self):
+        task = pipeline_task(
+            "P",
+            [(sweep("f0", "A"), 2), (sweep("f1", "B"), 2), (sweep("f2", "C"), 2)],
+            pattern=["pointwise", "barrier"],
+        )
+        graph = task.process_graph()
+        assert graph.predecessors("P.ph1.p0") == frozenset({"P.ph0.p0"})
+        assert graph.predecessors("P.ph2.p0") == frozenset(
+            {"P.ph1.p0", "P.ph1.p1"}
+        )
+
+    def test_pattern_list_arity_checked(self):
+        with pytest.raises(ValidationError):
+            pipeline_task(
+                "P",
+                [(sweep("f0", "A"), 2), (sweep("f1", "B"), 2)],
+                pattern=["pointwise", "barrier"],
+            )
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ValidationError):
+            pipeline_task("P", [(sweep("f0", "A"), 2)], pattern="magic")
+
+    def test_empty_phases_rejected(self):
+        with pytest.raises(ValidationError):
+            pipeline_task("P", [])
+
+    def test_unique_pids_across_epg_merge(self):
+        t1 = pipeline_task("P1", [(sweep("f0", "P1.A"), 2)])
+        t2 = pipeline_task("P2", [(sweep("f0", "P2.A"), 2)])
+        epg = ExtendedProcessGraph.from_tasks([t1, t2])
+        assert len(epg) == 4

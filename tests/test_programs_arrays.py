@@ -1,0 +1,88 @@
+"""ArraySpec: shapes, strides, linearisation (scalar and symbolic)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.presburger.terms import var
+from repro.programs.arrays import ArraySpec
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        a = ArraySpec("A", (4, 8), element_size=4)
+        assert a.rank == 2
+        assert a.num_elements == 32
+        assert a.size_bytes == 128
+        assert a.strides == (8, 1)
+
+    def test_three_dimensional_strides(self):
+        a = ArraySpec("A", (2, 3, 4))
+        assert a.strides == (12, 4, 1)
+
+    def test_one_dimensional(self):
+        a = ArraySpec("v", (10,))
+        assert a.strides == (1,)
+
+    @pytest.mark.parametrize("shape", [(), (0,), (4, 0), (-1,)])
+    def test_bad_shapes_rejected(self, shape):
+        with pytest.raises(ValidationError):
+            ArraySpec("A", shape)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError):
+            ArraySpec("", (4,))
+
+    def test_nonpositive_element_size_rejected(self):
+        with pytest.raises(ValidationError):
+            ArraySpec("A", (4,), element_size=0)
+
+
+class TestLinearize:
+    def test_row_major_order(self):
+        a = ArraySpec("A", (3, 4))
+        assert a.linearize((0, 0)) == 0
+        assert a.linearize((0, 3)) == 3
+        assert a.linearize((1, 0)) == 4
+        assert a.linearize((2, 3)) == 11
+
+    def test_out_of_range_rejected(self):
+        a = ArraySpec("A", (3, 4))
+        with pytest.raises(ValidationError):
+            a.linearize((3, 0))
+        with pytest.raises(ValidationError):
+            a.linearize((0, -1))
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValidationError):
+            ArraySpec("A", (3, 4)).linearize((1,))
+
+
+class TestLinearizeExprs:
+    def test_symbolic_matches_concrete(self):
+        a = ArraySpec("A", (5, 7))
+        expr = a.linearize_exprs([var("i"), var("j")])
+        for i in range(5):
+            for j in range(7):
+                assert expr.evaluate({"i": i, "j": j}) == a.linearize((i, j))
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValidationError):
+            ArraySpec("A", (3, 4)).linearize_exprs([var("i")])
+
+    def test_non_expr_subscripts_rejected(self):
+        with pytest.raises(ValidationError):
+            ArraySpec("A", (3,)).linearize_exprs(["i"])  # type: ignore[list-item]
+
+
+class TestEquality:
+    def test_same_declaration_equal(self):
+        assert ArraySpec("A", (2, 2)) == ArraySpec("A", (2, 2))
+        assert hash(ArraySpec("A", (2, 2))) == hash(ArraySpec("A", (2, 2)))
+
+    def test_different_shape_not_equal(self):
+        assert ArraySpec("A", (2, 2)) != ArraySpec("A", (2, 3))
+
+    def test_different_element_size_not_equal(self):
+        assert ArraySpec("A", (2,), 4) != ArraySpec("A", (2,), 8)

@@ -1,0 +1,124 @@
+"""ProgramFragment / FragmentPiece: footprints and access streams."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnknownArrayError, ValidationError
+from repro.presburger.constraints import Constraint
+from repro.presburger.terms import var
+from repro.programs.accesses import AffineAccess
+from repro.programs.arrays import ArraySpec
+from repro.programs.fragments import ProgramFragment
+from repro.programs.loops import LoopNest
+
+
+@pytest.fixture
+def copy_fragment() -> ProgramFragment:
+    a = ArraySpec("A", (4, 6))
+    b = ArraySpec("B", (4, 6))
+    x, y = var("x"), var("y")
+    return ProgramFragment(
+        "copy",
+        LoopNest([("x", 0, 4), ("y", 0, 6)]),
+        [AffineAccess(a, [x, y]), AffineAccess(b, [x, y], is_write=True)],
+        compute_cycles_per_iteration=2,
+    )
+
+
+class TestFragment:
+    def test_arrays_collected(self, copy_fragment):
+        assert set(copy_fragment.arrays) == {"A", "B"}
+
+    def test_accesses_preserved_in_program_order(self, copy_fragment):
+        assert [a.array.name for a in copy_fragment.accesses] == ["A", "B"]
+
+    def test_access_variables_must_be_bound(self):
+        a = ArraySpec("A", (4,))
+        with pytest.raises(ValidationError):
+            ProgramFragment(
+                "bad", LoopNest([("x", 0, 4)]), [AffineAccess(a, [var("z")])]
+            )
+
+    def test_conflicting_array_declarations_rejected(self):
+        a1 = ArraySpec("A", (4,))
+        a2 = ArraySpec("A", (8,))
+        with pytest.raises(ValidationError):
+            ProgramFragment(
+                "bad",
+                LoopNest([("x", 0, 4)]),
+                [AffineAccess(a1, [var("x")]), AffineAccess(a2, [var("x")])],
+            )
+
+    def test_no_accesses_rejected(self):
+        with pytest.raises(ValidationError):
+            ProgramFragment("bad", LoopNest([("x", 0, 4)]), [])
+
+    def test_restrict_requires_matching_space(self, copy_fragment):
+        from repro.presburger.builders import interval
+
+        with pytest.raises(ValidationError):
+            copy_fragment.restrict(interval("x", 0, 2))
+
+
+class TestPiece:
+    def test_whole_piece_covers_nest(self, copy_fragment):
+        piece = copy_fragment.whole()
+        assert piece.trip_count == 24
+
+    def test_restricted_trip_count(self, copy_fragment):
+        subset = copy_fragment.nest.space().with_constraints(
+            Constraint.lt(var("x"), 2)
+        )
+        piece = copy_fragment.restrict(subset, label="half")
+        assert piece.trip_count == 12
+        assert piece.label == "half"
+
+    def test_data_sets_per_array(self, copy_fragment):
+        piece = copy_fragment.whole()
+        data = piece.data_sets()
+        assert len(data["A"]) == 24
+        assert len(data["B"]) == 24
+
+    def test_data_set_unknown_array(self, copy_fragment):
+        with pytest.raises(UnknownArrayError):
+            copy_fragment.whole().data_set("Z")
+
+    def test_footprint_bytes(self, copy_fragment):
+        footprint = copy_fragment.whole().footprint_bytes()
+        assert footprint == {"A": 96, "B": 96}
+
+    def test_access_columns_shapes(self, copy_fragment):
+        columns = copy_fragment.whole().access_columns()
+        assert len(columns) == 2
+        array, offsets, is_write = columns[1]
+        assert array.name == "B"
+        assert is_write
+        assert len(offsets) == 24
+
+    def test_access_columns_iteration_order(self, copy_fragment):
+        # Lexicographic iteration order => flat offsets are sorted for [x,y].
+        _, offsets, _ = copy_fragment.whole().access_columns()[0]
+        assert offsets.tolist() == sorted(offsets.tolist())
+
+    def test_overlapping_window_union(self):
+        # Two accesses to the same array union into one footprint.
+        a = ArraySpec("A", (8,))
+        x = var("x")
+        frag = ProgramFragment(
+            "window",
+            LoopNest([("x", 0, 7)]),
+            [AffineAccess(a, [x]), AffineAccess(a, [x + 1])],
+        )
+        assert len(frag.whole().data_set("A")) == 8
+
+    def test_compute_cycles_inherited(self, copy_fragment):
+        assert copy_fragment.whole().compute_cycles_per_iteration == 2
+
+    def test_empty_restriction_is_empty(self, copy_fragment):
+        subset = copy_fragment.nest.space().with_constraints(
+            Constraint.ge(var("x"), 100)
+        )
+        piece = copy_fragment.restrict(subset)
+        assert piece.trip_count == 0
+        assert all(points.is_empty() for points in piece.data_sets().values())

@@ -1,0 +1,100 @@
+"""Block and cyclic partitioning of fragments over processes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.presburger.terms import var
+from repro.programs.accesses import AffineAccess
+from repro.programs.arrays import ArraySpec
+from repro.programs.fragments import ProgramFragment
+from repro.programs.loops import LoopNest
+from repro.programs.partition import block_partition, cyclic_partition
+
+
+def make_fragment(rows: int = 10, cols: int = 4) -> ProgramFragment:
+    a = ArraySpec("A", (rows, cols))
+    return ProgramFragment(
+        "sweep",
+        LoopNest([("x", 0, rows), ("y", 0, cols)]),
+        [AffineAccess(a, [var("x"), var("y")])],
+    )
+
+
+class TestBlockPartition:
+    def test_pieces_cover_all_iterations(self):
+        frag = make_fragment(10)
+        pieces = block_partition(frag, 3)
+        assert sum(p.trip_count for p in pieces) == frag.nest.trip_count
+
+    def test_pieces_are_disjoint(self):
+        pieces = block_partition(make_fragment(10), 3)
+        footprints = [p.data_set("A") for p in pieces]
+        for i in range(len(footprints)):
+            for j in range(i + 1, len(footprints)):
+                assert footprints[i].intersection_size(footprints[j]) == 0
+
+    def test_uneven_split_front_loaded(self):
+        # 10 rows over 3 pieces: sizes 4, 3, 3.
+        pieces = block_partition(make_fragment(10), 3)
+        assert [p.trip_count // 4 for p in pieces] == [4, 3, 3]
+
+    def test_exact_split(self):
+        pieces = block_partition(make_fragment(8), 4)
+        assert all(p.trip_count == 8 for p in pieces)
+
+    def test_labels_are_indexed(self):
+        pieces = block_partition(make_fragment(8), 2)
+        assert [p.label for p in pieces] == ["p0", "p1"]
+
+    def test_explicit_loop_var(self):
+        pieces = block_partition(make_fragment(8, 6), 3, loop_var="y")
+        assert sum(p.trip_count for p in pieces) == 48
+        # Splitting y means every piece still covers all x rows.
+        for piece in pieces:
+            xs = {point[0] for point in piece.iteration_points()}
+            assert xs == set(range(8))
+
+    def test_too_many_pieces_rejected(self):
+        with pytest.raises(ValidationError):
+            block_partition(make_fragment(4), 5)
+
+    def test_single_piece_is_whole(self):
+        pieces = block_partition(make_fragment(4), 1)
+        assert pieces[0].trip_count == 16
+
+
+class TestCyclicPartition:
+    def test_pieces_cover_all_iterations(self):
+        frag = make_fragment(10)
+        pieces = cyclic_partition(frag, 3)
+        assert sum(p.trip_count for p in pieces) == frag.nest.trip_count
+
+    def test_round_robin_assignment(self):
+        pieces = cyclic_partition(make_fragment(9, 1), 3)
+        rows = [sorted({pt[0] for pt in p.iteration_points()}) for p in pieces]
+        assert rows[0] == [0, 3, 6]
+        assert rows[1] == [1, 4, 7]
+        assert rows[2] == [2, 5, 8]
+
+    def test_disjointness(self):
+        pieces = cyclic_partition(make_fragment(9), 4)
+        footprints = [p.data_set("A") for p in pieces]
+        for i in range(len(footprints)):
+            for j in range(i + 1, len(footprints)):
+                assert footprints[i].intersection_size(footprints[j]) == 0
+
+    def test_too_many_pieces_rejected(self):
+        with pytest.raises(ValidationError):
+            cyclic_partition(make_fragment(2), 3)
+
+    def test_block_vs_cyclic_same_coverage(self):
+        frag = make_fragment(12)
+        block_cover = set()
+        for piece in block_partition(frag, 4):
+            block_cover.update(tuple(p) for p in piece.iteration_points())
+        cyclic_cover = set()
+        for piece in cyclic_partition(frag, 4):
+            cyclic_cover.update(tuple(p) for p in piece.iteration_points())
+        assert block_cover == cyclic_cover

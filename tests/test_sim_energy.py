@@ -1,0 +1,73 @@
+"""Energy model: accounting identities and the paper's power claim."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.sched.locality import LocalityScheduler
+from repro.sched.random_sched import RandomScheduler
+from repro.sim.energy import EnergyBreakdown, EnergyModel, energy_of
+from repro.sim.simulator import MPSoCSimulator
+
+
+class TestEnergyModel:
+    def test_negative_constants_rejected(self):
+        with pytest.raises(ValidationError):
+            EnergyModel(cache_access_nj=-1)
+
+    def test_breakdown_total(self):
+        breakdown = EnergyBreakdown(1.0, 2.0, 3.0, 4.0)
+        assert breakdown.total_mj == 10.0
+        assert breakdown.offchip_fraction == pytest.approx(0.2)
+
+    def test_zero_breakdown(self):
+        assert EnergyBreakdown(0, 0, 0, 0).offchip_fraction == 0.0
+
+
+class TestEnergyOf:
+    @pytest.fixture
+    def result(self, small_machine, small_epg):
+        return MPSoCSimulator(small_machine).run(small_epg, RandomScheduler(seed=1))
+
+    def test_accounting_identity(self, result):
+        """Energy recomputed from raw counters matches the breakdown."""
+        model = EnergyModel()
+        breakdown = energy_of(result, model)
+        total = result.total_cache
+        expected_cache = total.accesses * model.cache_access_nj * 1e-6
+        expected_offchip = (
+            total.misses * model.offchip_access_nj
+            + total.dirty_evictions * model.writeback_nj
+        ) * 1e-6
+        assert breakdown.cache_mj == pytest.approx(expected_cache)
+        assert breakdown.offchip_mj == pytest.approx(expected_offchip)
+
+    def test_idle_plus_busy_covers_makespan(self, result):
+        model = EnergyModel(
+            core_active_nj_per_cycle=1.0,
+            core_idle_nj_per_cycle=1.0,
+            cache_access_nj=0,
+            offchip_access_nj=0,
+            writeback_nj=0,
+        )
+        breakdown = energy_of(result, model)
+        expected = result.makespan_cycles * len(result.cores) * 1e-6
+        assert breakdown.total_mj == pytest.approx(expected)
+
+    def test_free_model_gives_zero(self, result):
+        model = EnergyModel(0, 0, 0, 0, 0)
+        assert energy_of(result, model).total_mj == 0.0
+
+    def test_locality_scheduling_saves_energy(self, small_machine):
+        """The paper's power claim: fewer off-chip references mean less
+        energy under LS than RS on a reuse-heavy workload."""
+        from repro.procgraph.graph import ExtendedProcessGraph
+        from repro.workloads.suite import build_task
+
+        epg = ExtendedProcessGraph.from_tasks([build_task("Shape", scale=0.5)])
+        simulator = MPSoCSimulator(small_machine)
+        rs = energy_of(simulator.run(epg, RandomScheduler(seed=3)))
+        ls = energy_of(simulator.run(epg, LocalityScheduler()))
+        assert ls.offchip_mj < rs.offchip_mj
+        assert ls.total_mj < rs.total_mj

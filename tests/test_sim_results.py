@@ -1,0 +1,110 @@
+"""SimulationResult / ProcessRecord / CoreRecord semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.stats import CacheStats
+from repro.errors import ValidationError
+from repro.sim.results import CoreRecord, ProcessRecord, SimulationResult
+
+
+def make_result(**overrides) -> SimulationResult:
+    processes = {
+        "a": ProcessRecord("a", 0, 100, [0], hits=10, misses=5),
+        "b": ProcessRecord("b", 100, 250, [0, 1], hits=20, misses=0, preemptions=1),
+    }
+    cores = [
+        CoreRecord(0, busy_cycles=200, executed_pids=["a", "b"], cache=CacheStats(hits=25, misses=5)),
+        CoreRecord(1, busy_cycles=50, executed_pids=["b"], cache=CacheStats(hits=5, misses=0)),
+    ]
+    defaults = dict(
+        scheduler_name="X",
+        makespan_cycles=250,
+        clock_hz=200e6,
+        processes=processes,
+        cores=cores,
+    )
+    defaults.update(overrides)
+    return SimulationResult(**defaults)
+
+
+class TestProcessRecord:
+    def test_derived_metrics(self):
+        record = ProcessRecord("p", 10, 110, [0], hits=30, misses=10)
+        assert record.duration_cycles == 100
+        assert record.accesses == 40
+        assert record.miss_rate == pytest.approx(0.25)
+        assert not record.migrated
+
+    def test_migration_detection(self):
+        assert ProcessRecord("p", 0, 1, [0, 1], 0, 0).migrated
+        assert not ProcessRecord("p", 0, 1, [1, 1], 0, 0).migrated
+
+    def test_zero_access_miss_rate(self):
+        assert ProcessRecord("p", 0, 1, [0], 0, 0).miss_rate == 0.0
+
+
+class TestCoreRecord:
+    def test_idle_cycles(self):
+        core = CoreRecord(0, busy_cycles=60, executed_pids=[], cache=CacheStats())
+        assert core.idle_cycles(100) == 40
+
+
+class TestSimulationResult:
+    def test_seconds(self):
+        result = make_result()
+        assert result.seconds == pytest.approx(250 / 200e6)
+
+    def test_total_cache_aggregates(self):
+        total = make_result().total_cache
+        assert total.hits == 30 and total.misses == 5
+
+    def test_miss_rate(self):
+        assert make_result().miss_rate == pytest.approx(5 / 35)
+
+    def test_schedule_property(self):
+        assert make_result().schedule == [["a", "b"], ["b"]]
+
+    def test_core_utilization(self):
+        result = make_result()
+        assert result.core_utilization() == pytest.approx(250 / 500)
+
+    def test_negative_makespan_rejected(self):
+        with pytest.raises(ValidationError):
+            make_result(makespan_cycles=-1)
+
+    def test_busy_exceeding_makespan_rejected(self):
+        cores = [
+            CoreRecord(0, busy_cycles=999, executed_pids=[], cache=CacheStats())
+        ]
+        with pytest.raises(ValidationError):
+            make_result(cores=cores, makespan_cycles=100)
+
+    def test_summary_mentions_scheduler(self):
+        assert "[X]" in make_result().summary()
+
+
+class TestValidateAgainst:
+    def test_detects_missing_process(self, small_epg, small_machine):
+        from repro.sched.random_sched import RandomScheduler
+        from repro.sim.simulator import MPSoCSimulator
+
+        result = MPSoCSimulator(small_machine).run(small_epg, RandomScheduler())
+        del result.processes[next(iter(result.processes))]
+        with pytest.raises(ValidationError, match="process set mismatch"):
+            result.validate_against(small_epg)
+
+    def test_detects_dependence_violation(self, small_epg, small_machine):
+        from repro.sched.random_sched import RandomScheduler
+        from repro.sim.simulator import MPSoCSimulator
+
+        result = MPSoCSimulator(small_machine).run(small_epg, RandomScheduler())
+        # Forge a consumer starting before its producer finished.
+        consumer = "T.ph1.p0"
+        record = result.processes[consumer]
+        result.processes[consumer] = ProcessRecord(
+            consumer, 0, record.end_cycle, record.cores, record.hits, record.misses
+        )
+        with pytest.raises(ValidationError, match="before"):
+            result.validate_against(small_epg)

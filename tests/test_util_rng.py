@@ -1,0 +1,87 @@
+"""Deterministic RNG: reproducibility, stream independence, validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.util.rng import DeterministicRng, derive_seed
+
+
+def test_derive_seed_is_deterministic():
+    assert derive_seed(42, "a", 1) == derive_seed(42, "a", 1)
+
+
+def test_derive_seed_differs_by_label():
+    assert derive_seed(42, "a") != derive_seed(42, "b")
+
+
+def test_derive_seed_differs_by_base():
+    assert derive_seed(1, "a") != derive_seed(2, "a")
+
+
+def test_derive_seed_rejects_non_int():
+    with pytest.raises(ValidationError):
+        derive_seed("42")  # type: ignore[arg-type]
+
+
+def test_same_seed_same_stream():
+    a = DeterministicRng(7, "x")
+    b = DeterministicRng(7, "x")
+    assert [a.randint(0, 100) for _ in range(20)] == [
+        b.randint(0, 100) for _ in range(20)
+    ]
+
+
+def test_child_streams_are_independent_but_reproducible():
+    parent = DeterministicRng(7)
+    child_a = parent.child("a")
+    child_b = parent.child("b")
+    again = DeterministicRng(7).child("a")
+    assert child_a.randint(0, 1000) == again.randint(0, 1000)
+    seq_a = [parent.child("a").seed]
+    assert child_b.seed not in seq_a
+
+
+def test_randint_respects_bounds():
+    rng = DeterministicRng(3)
+    values = [rng.randint(5, 8) for _ in range(200)]
+    assert set(values) <= {5, 6, 7}
+    assert len(set(values)) > 1
+
+
+def test_randint_rejects_empty_range():
+    with pytest.raises(ValidationError):
+        DeterministicRng(0).randint(5, 5)
+
+
+def test_choice_covers_all_items():
+    rng = DeterministicRng(1)
+    items = ["a", "b", "c"]
+    seen = {rng.choice(items) for _ in range(100)}
+    assert seen == set(items)
+
+
+def test_choice_rejects_empty_list():
+    with pytest.raises(ValidationError):
+        DeterministicRng(0).choice([])
+
+
+def test_shuffle_is_permutation_and_copies():
+    rng = DeterministicRng(5)
+    items = [1, 2, 3, 4, 5]
+    shuffled = rng.shuffle(items)
+    assert sorted(shuffled) == items
+    assert items == [1, 2, 3, 4, 5]  # original untouched
+
+
+def test_uniform_respects_bounds():
+    rng = DeterministicRng(9)
+    for _ in range(100):
+        value = rng.uniform(2.0, 3.0)
+        assert 2.0 <= value < 3.0
+
+
+def test_uniform_rejects_inverted_range():
+    with pytest.raises(ValidationError):
+        DeterministicRng(0).uniform(3.0, 2.0)

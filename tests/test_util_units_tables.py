@@ -1,0 +1,135 @@
+"""Unit conversions and ASCII rendering helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.util.tables import AsciiBarChart, AsciiTable, format_matrix
+from repro.util.units import (
+    cycles_to_seconds,
+    format_bytes,
+    format_seconds,
+    seconds_to_cycles,
+)
+
+
+class TestUnits:
+    def test_cycles_to_seconds_at_200mhz(self):
+        assert cycles_to_seconds(200_000_000, 200e6) == 1.0
+
+    def test_seconds_to_cycles_round_trip(self):
+        assert seconds_to_cycles(cycles_to_seconds(12345, 200e6), 200e6) == 12345
+
+    def test_zero_cycles_is_zero_seconds(self):
+        assert cycles_to_seconds(0, 200e6) == 0.0
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ValidationError):
+            cycles_to_seconds(-1, 200e6)
+
+    def test_nonpositive_clock_rejected(self):
+        with pytest.raises(ValidationError):
+            cycles_to_seconds(1, 0)
+        with pytest.raises(ValidationError):
+            seconds_to_cycles(1.0, -5)
+
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(0, "0 B"), (31, "31 B"), (1024, "1.0 KiB"), (8192, "8.0 KiB"),
+         (1024 * 1024, "1.0 MiB")],
+    )
+    def test_format_bytes(self, n, expected):
+        assert format_bytes(n) == expected
+
+    def test_format_bytes_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            format_bytes(-1)
+
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [(1.5, "1.50 s"), (0.0105, "10.5 ms"), (0.0000005, "0.5 us")],
+    )
+    def test_format_seconds(self, seconds, expected):
+        assert format_seconds(seconds) == expected
+
+
+class TestAsciiTable:
+    def test_basic_render_alignment(self):
+        table = AsciiTable(["name", "value"])
+        table.add_row(["a", 1])
+        table.add_row(["longer", 2.5])
+        rendered = table.render()
+        lines = rendered.splitlines()
+        assert lines[0].startswith("name")
+        assert "2.50" in rendered  # floats get two decimals
+        assert len({len(line) for line in lines}) == 1  # uniform width
+
+    def test_title_is_first_line(self):
+        table = AsciiTable(["x"], title="My Table")
+        table.add_row([1])
+        assert table.render().splitlines()[0] == "My Table"
+
+    def test_row_arity_checked(self):
+        table = AsciiTable(["a", "b"])
+        with pytest.raises(ValidationError):
+            table.add_row([1])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValidationError):
+            AsciiTable([])
+
+    def test_num_rows(self):
+        table = AsciiTable(["a"])
+        assert table.num_rows == 0
+        table.add_row([1])
+        assert table.num_rows == 1
+
+
+class TestAsciiBarChart:
+    def test_bars_scale_to_peak(self):
+        chart = AsciiBarChart(["s1", "s2"], width=10)
+        chart.add_group("g", [10.0, 5.0])
+        rendered = chart.render()
+        line_s1 = next(l for l in rendered.splitlines() if "s1" in l)
+        line_s2 = next(l for l in rendered.splitlines() if "s2" in l)
+        assert line_s1.count("#") == 10
+        assert line_s2.count("#") == 5
+
+    def test_zero_value_gets_no_bar(self):
+        chart = AsciiBarChart(["s"], width=10)
+        chart.add_group("g", [0.0])
+        line = next(l for l in chart.render().splitlines() if "|" in l)
+        assert "#" not in line
+
+    def test_group_arity_checked(self):
+        chart = AsciiBarChart(["a", "b"])
+        with pytest.raises(ValidationError):
+            chart.add_group("g", [1.0])
+
+    def test_negative_values_rejected(self):
+        chart = AsciiBarChart(["a"])
+        with pytest.raises(ValidationError):
+            chart.add_group("g", [-1.0])
+
+    def test_empty_chart_renders_title(self):
+        chart = AsciiBarChart(["a"], title="empty")
+        assert chart.render() == "empty"
+
+    def test_narrow_width_rejected(self):
+        with pytest.raises(ValidationError):
+            AsciiBarChart(["a"], width=5)
+
+
+class TestFormatMatrix:
+    def test_labels_and_values_present(self):
+        rendered = format_matrix([[1, 2], [3, 4]], ["r0", "r1"], ["c0", "c1"])
+        assert "r0" in rendered and "c1" in rendered and "4" in rendered
+
+    def test_mismatched_row_labels_rejected(self):
+        with pytest.raises(ValidationError):
+            format_matrix([[1]], ["a", "b"], ["c"])
+
+    def test_mismatched_column_labels_rejected(self):
+        with pytest.raises(ValidationError):
+            format_matrix([[1, 2]], ["a"], ["c"])

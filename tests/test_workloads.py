@@ -1,0 +1,143 @@
+"""The six Table-1 workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnknownWorkloadError, ValidationError
+from repro.procgraph.graph import ExtendedProcessGraph
+from repro.workloads.base import scaled
+from repro.workloads.suite import (
+    SUITE,
+    build_task,
+    build_workload_mix,
+    workload_names,
+)
+
+TASK_NAMES = workload_names()
+
+
+class TestScaled:
+    def test_identity_scale(self):
+        assert scaled(96, 1.0, multiple=24) == 96
+
+    def test_rounds_to_multiple(self):
+        assert scaled(96, 0.5, multiple=24) % 24 == 0
+
+    def test_minimum_enforced(self):
+        assert scaled(96, 0.01, minimum=24, multiple=24) == 24
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValidationError):
+            scaled(96, 0)
+        with pytest.raises(ValidationError):
+            scaled(96, 1.0, minimum=0)
+
+
+class TestSuiteRegistry:
+    def test_table1_order(self):
+        assert TASK_NAMES == [
+            "Med-Im04",
+            "MxM",
+            "Radar",
+            "Shape",
+            "Track",
+            "Usonic",
+        ]
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(UnknownWorkloadError):
+            build_task("nope")
+
+    def test_descriptions_match_table1(self):
+        by_name = {spec.name: spec.description for spec in SUITE}
+        assert by_name["Med-Im04"] == "medical image reconstruction"
+        assert by_name["Usonic"] == "feature-based object recognition"
+
+
+@pytest.mark.parametrize("name", TASK_NAMES)
+class TestEveryWorkload:
+    def test_process_count_within_paper_range(self, name):
+        task = build_task(name, scale=0.5)
+        assert 9 <= task.num_processes <= 37
+
+    def test_graph_is_acyclic(self, name):
+        task = build_task(name, scale=0.5)
+        task.process_graph().validate_acyclic()
+
+    def test_arrays_namespaced_by_task(self, name):
+        task = build_task(name, scale=0.5)
+        for process in task.processes:
+            for array_name in process.arrays:
+                assert array_name.startswith(f"{name}.")
+
+    def test_has_parallelism_and_dependences(self, name):
+        graph = build_task(name, scale=0.5).process_graph()
+        assert len(graph.independent_processes()) >= 1
+        assert graph.num_edges > 0
+
+    def test_deterministic_construction(self, name):
+        a = build_task(name, scale=0.5)
+        b = build_task(name, scale=0.5)
+        assert [p.pid for p in a.processes] == [p.pid for p in b.processes]
+        assert a.edges == b.edges
+
+    def test_scaling_changes_footprint(self, name):
+        small = build_task(name, scale=0.5).total_footprint_bytes()
+        large = build_task(name, scale=1.0).total_footprint_bytes()
+        assert large > small
+
+    def test_nonzero_work_everywhere(self, name):
+        task = build_task(name, scale=0.5)
+        for process in task.processes:
+            assert process.trip_count > 0
+
+
+class TestProcessCountsMatchDocs:
+    """Pin the exact per-task process counts the module docstrings claim."""
+
+    EXPECTED = {
+        "Med-Im04": 37,
+        "MxM": 33,
+        "Radar": 33,
+        "Shape": 37,
+        "Track": 37,
+        "Usonic": 9,
+    }
+
+    @pytest.mark.parametrize("name", TASK_NAMES)
+    def test_count(self, name):
+        assert build_task(name, scale=1.0).num_processes == self.EXPECTED[name]
+
+    def test_range_includes_paper_extremes(self):
+        counts = {build_task(n).num_processes for n in TASK_NAMES}
+        assert min(counts) == 9  # the paper's stated minimum
+        assert max(counts) == 37  # the paper's stated maximum
+
+
+class TestWorkloadMix:
+    def test_mix_sizes(self):
+        for num_tasks in range(1, 7):
+            epg = build_workload_mix(num_tasks, scale=0.5)
+            assert isinstance(epg, ExtendedProcessGraph)
+            assert len(epg.task_names) == num_tasks
+
+    def test_mix_order_is_cumulative(self):
+        epg = build_workload_mix(3, scale=0.5)
+        assert list(epg.task_names) == ["Med-Im04", "MxM", "Radar"]
+
+    def test_tasks_in_mix_are_data_disjoint(self):
+        epg = build_workload_mix(2, scale=0.5)
+        arrays_per_task = {}
+        for process in epg:
+            arrays_per_task.setdefault(process.task_name, set()).update(
+                process.arrays
+            )
+        tasks = list(arrays_per_task)
+        assert not (arrays_per_task[tasks[0]] & arrays_per_task[tasks[1]])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            build_workload_mix(0)
+        with pytest.raises(ValidationError):
+            build_workload_mix(7)
