@@ -12,7 +12,9 @@ The package implements the paper's complete system:
 - :mod:`repro.sched` — the RS / RRS / LS / LSM schedulers;
 - :mod:`repro.sim` — the MPSoC simulator (the Simics substitute);
 - :mod:`repro.workloads` — the six Table-1 applications;
-- :mod:`repro.experiments` — harnesses regenerating every table/figure.
+- :mod:`repro.experiments` — harnesses regenerating every table/figure;
+- :mod:`repro.campaign` — declarative, parallel, resumable scenario
+  sweeps over the (workload x machine x scheduler x seed) grid.
 
 Quickstart::
 

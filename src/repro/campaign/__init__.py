@@ -1,0 +1,75 @@
+"""Declarative, parallel, resumable scenario sweeps (the campaign engine).
+
+The paper's evaluation is a grid of (workload x scheduler x machine x
+seed) simulations.  This package makes that grid a first-class object:
+
+- :mod:`repro.campaign.spec` — frozen, JSON-serializable specs and their
+  cross-product expansion;
+- :mod:`repro.campaign.executor` — inline or multiprocessing execution
+  of the expanded cells, each through the classic ``run_comparison``
+  path;
+- :mod:`repro.campaign.store` — an append-only JSON-lines result store
+  keyed by spec hash, tolerant of crashes, powering ``--resume``;
+- :mod:`repro.campaign.rollup` — speedup/miss-rate/utilization rollups
+  and CSV/JSONL exports;
+- :mod:`repro.campaign.compat` — regrouping results into the
+  ``SchedulerComparison`` shape the figure renderers consume.
+
+Every per-figure harness (`figure6`, `figure7`, `sensitivity`,
+`ablation`) is a thin spec over this engine, and ``python -m repro
+campaign`` exposes arbitrary grids from the shell.
+"""
+
+from repro.campaign.compat import group_comparisons
+from repro.campaign.executor import (
+    CampaignOutcome,
+    RunResult,
+    execute_run,
+    run_campaign,
+)
+from repro.campaign.rollup import (
+    RollupRow,
+    render_rollup,
+    results_to_csv,
+    rollup_results,
+    write_results_csv,
+    write_results_jsonl,
+)
+from repro.campaign.spec import (
+    DEFAULT_SCHEDULERS,
+    MACHINE_PRESETS,
+    CampaignSpec,
+    MachineVariant,
+    RunSpec,
+    SchedulerSpec,
+    build_campaign_workload,
+    parse_workload_ref,
+    resolve_machine_preset,
+    suite_campaign,
+)
+from repro.campaign.store import ResultStore
+
+__all__ = [
+    "CampaignOutcome",
+    "CampaignSpec",
+    "DEFAULT_SCHEDULERS",
+    "MACHINE_PRESETS",
+    "MachineVariant",
+    "ResultStore",
+    "RollupRow",
+    "RunResult",
+    "RunSpec",
+    "SchedulerSpec",
+    "build_campaign_workload",
+    "execute_run",
+    "group_comparisons",
+    "parse_workload_ref",
+    "render_rollup",
+    "resolve_machine_preset",
+    "results_to_csv",
+    "rollup_results",
+    "run_campaign",
+    "suite_campaign",
+    "write_results_csv",
+    "write_results_jsonl",
+]

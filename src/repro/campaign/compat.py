@@ -1,0 +1,53 @@
+"""Bridge campaign results back to the per-figure harness API.
+
+The figure renderers consume :class:`SchedulerComparison` objects whose
+``results`` values only need ``.seconds`` and ``.miss_rate`` (plus cache
+totals for CSV export) — all of which a campaign
+:class:`~repro.campaign.executor.RunResult` provides.  This module
+regroups a flat result list back into comparisons so `figure6` and
+friends render byte-identically while running through the shared
+executor.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.campaign.executor import RunResult
+from repro.errors import CampaignError
+
+if TYPE_CHECKING:
+    from repro.experiments.runner import SchedulerComparison
+
+#: Maps a result to the comparison it belongs to (default: its workload).
+GroupFn = Callable[[RunResult], str]
+
+
+def group_comparisons(
+    results: Sequence[RunResult],
+    group: GroupFn | None = None,
+    label: Callable[[str], str] | None = None,
+) -> list["SchedulerComparison"]:
+    """Regroup flat results into one comparison per group key.
+
+    Groups appear in first-seen order (which, for an expanded campaign,
+    is declaration order).  ``label`` optionally rewrites the group key
+    into the comparison's display label (e.g. ``"mix:3"`` -> ``"|T|=3"``).
+    """
+    from repro.experiments.runner import SchedulerComparison
+
+    group = group if group is not None else (lambda result: result.workload)
+    comparisons: dict[str, SchedulerComparison] = {}
+    for result in results:
+        key = group(result)
+        comparison = comparisons.get(key)
+        if comparison is None:
+            display = label(key) if label is not None else key
+            comparison = SchedulerComparison(label=display)
+            comparisons[key] = comparison
+        if result.scheduler in comparison.results:
+            raise CampaignError(
+                f"duplicate scheduler {result.scheduler!r} in group {key!r}"
+            )
+        comparison.results[result.scheduler] = result
+    return list(comparisons.values())

@@ -1,0 +1,217 @@
+"""Parallel campaign execution.
+
+Each :class:`~repro.campaign.spec.RunSpec` cell is executed through the
+same :func:`~repro.experiments.runner.run_comparison` path the per-figure
+harnesses use — one fresh machine, EPG, and scheduler per cell — so a
+campaign cell is bit-identical to the equivalent single-figure run.
+Cells are independent by construction, which is what makes the fan-out
+trivial: ``jobs > 1`` ships the declarative specs to a
+:class:`~concurrent.futures.ProcessPoolExecutor` and streams results
+back into the JSON-lines store as they complete.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.cache.stats import CacheStats
+from repro.campaign.spec import CampaignSpec, RunSpec, build_campaign_workload
+from repro.campaign.store import ResultStore, as_store
+from repro.errors import CampaignError
+
+#: Progress callback: (result, completed_count, total_count).
+ProgressFn = Callable[["RunResult", int, int], None]
+
+
+@dataclass
+class RunResult:
+    """Aggregate metrics of one executed cell.
+
+    Deliberately flat and JSON-friendly.  The convenience properties at
+    the bottom make a ``RunResult`` a drop-in for
+    :class:`~repro.sim.results.SimulationResult` wherever the experiment
+    renderers and CSV exporters only need aggregates (seconds, miss rate,
+    cache totals, utilization).
+    """
+
+    key: str
+    workload: str
+    machine: str
+    scheduler: str
+    scheduler_name: str
+    seed: int
+    scale: float
+    seconds: float
+    makespan_cycles: int
+    miss_rate: float
+    hits: int
+    misses: int
+    utilization: float
+    per_core_utilization: list[float] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "key": self.key,
+            "workload": self.workload,
+            "machine": self.machine,
+            "scheduler": self.scheduler,
+            "scheduler_name": self.scheduler_name,
+            "seed": self.seed,
+            "scale": self.scale,
+            "seconds": self.seconds,
+            "makespan_cycles": self.makespan_cycles,
+            "miss_rate": self.miss_rate,
+            "hits": self.hits,
+            "misses": self.misses,
+            "utilization": self.utilization,
+            "per_core_utilization": self.per_core_utilization,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunResult":
+        return cls(
+            key=str(data["key"]),
+            workload=str(data["workload"]),
+            machine=str(data["machine"]),
+            scheduler=str(data["scheduler"]),
+            scheduler_name=str(data["scheduler_name"]),
+            seed=int(data["seed"]),
+            scale=float(data["scale"]),
+            seconds=float(data["seconds"]),
+            makespan_cycles=int(data["makespan_cycles"]),
+            miss_rate=float(data["miss_rate"]),
+            hits=int(data["hits"]),
+            misses=int(data["misses"]),
+            utilization=float(data["utilization"]),
+            per_core_utilization=[float(u) for u in data.get("per_core_utilization", [])],
+        )
+
+    # -- SimulationResult-compatible surface (what renderers/exporters read) --
+
+    @property
+    def total_cache(self) -> CacheStats:
+        """Aggregate hit/miss counters (write/eviction detail not kept)."""
+        return CacheStats(hits=self.hits, misses=self.misses)
+
+    def core_utilization(self) -> float:
+        """Mean fraction of the makespan cores spent busy."""
+        return self.utilization
+
+
+def execute_run(run: RunSpec) -> RunResult:
+    """Execute one cell; pure function of the spec (workers call this)."""
+    # Imported here, not at module level: the experiment harnesses are
+    # themselves thin campaign specs, so the two packages would otherwise
+    # form an import cycle.
+    from repro.experiments.runner import run_comparison
+
+    machine = run.machine.build()
+    epg = build_campaign_workload(run.workload, scale=run.scale, seed=run.seed)
+    scheduler = run.scheduler.build(run.seed)
+    comparison = run_comparison(
+        run.cell_key(), epg, machine=machine, schedulers=[scheduler], seed=run.seed
+    )
+    result = comparison.results[scheduler.name]
+    makespan = result.makespan_cycles
+    return RunResult(
+        key=run.cell_key(),
+        workload=run.workload,
+        machine=run.machine.name,
+        scheduler=run.scheduler.effective_label,
+        scheduler_name=run.scheduler.name,
+        seed=run.seed,
+        scale=run.scale,
+        seconds=result.seconds,
+        makespan_cycles=makespan,
+        miss_rate=result.miss_rate,
+        hits=result.total_cache.hits,
+        misses=result.total_cache.misses,
+        utilization=result.core_utilization(),
+        per_core_utilization=[
+            (core.busy_cycles / makespan) if makespan else 0.0
+            for core in result.cores
+        ],
+    )
+
+
+@dataclass
+class CampaignOutcome:
+    """Everything a campaign run produced."""
+
+    spec: CampaignSpec
+    results: list[RunResult]  # expansion order, cached cells included
+    executed: int
+    skipped: int
+    store_path: Path | None = None
+
+    @property
+    def total(self) -> int:
+        """Number of grid cells."""
+        return len(self.results)
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    jobs: int = 1,
+    store: ResultStore | str | Path | None = None,
+    resume: bool = False,
+    progress: ProgressFn | None = None,
+) -> CampaignOutcome:
+    """Expand and execute a campaign.
+
+    ``jobs=1`` runs inline (deterministic ordering, no pool overhead —
+    also what the refitted figure harnesses use); ``jobs>1`` fans cells
+    out over worker processes.  With ``resume=True`` and a store, cells
+    whose keys are already present are skipped; otherwise the store is
+    truncated and the whole grid runs.
+    """
+    if jobs < 1:
+        raise CampaignError(f"jobs must be >= 1, got {jobs}")
+    runs = spec.expand()
+    store_obj = as_store(store)
+    cached: dict[str, RunResult] = {}
+    if store_obj is not None:
+        if resume:
+            wanted = {run.cell_key() for run in runs}
+            cached = {
+                key: result
+                for key, result in store_obj.load().items()
+                if key in wanted
+            }
+        else:
+            store_obj.clear()
+
+    todo = [run for run in runs if run.cell_key() not in cached]
+    results_by_key = dict(cached)
+    total = len(runs)
+
+    def record(result: RunResult) -> None:
+        results_by_key[result.key] = result
+        if store_obj is not None:
+            store_obj.append(result)
+        if progress is not None:
+            progress(result, len(results_by_key), total)
+
+    if jobs == 1 or len(todo) <= 1:
+        for run in todo:
+            record(execute_run(run))
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {pool.submit(execute_run, run): run for run in todo}
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    record(future.result())
+
+    ordered = [results_by_key[run.cell_key()] for run in runs]
+    return CampaignOutcome(
+        spec=spec,
+        results=ordered,
+        executed=len(todo),
+        skipped=total - len(todo),
+        store_path=store_obj.path if store_obj is not None else None,
+    )

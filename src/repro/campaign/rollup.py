@@ -1,0 +1,173 @@
+"""Aggregate rollups and exports over campaign results.
+
+Rollups answer the paper's headline questions over an arbitrary grid:
+how much does each strategy save over the RS/RRS baselines, what happens
+to the miss rate, and how busy the cores stay — averaged across the seed
+axis of every (workload, machine) group.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro.campaign.executor import RunResult
+from repro.errors import CampaignError
+from repro.util.csvio import rows_to_csv, write_csv_text
+from repro.util.tables import AsciiTable
+
+#: Columns of the per-run CSV export.
+CSV_COLUMNS = (
+    "workload",
+    "machine",
+    "scheduler",
+    "seed",
+    "scale",
+    "seconds",
+    "makespan_cycles",
+    "miss_rate",
+    "hits",
+    "misses",
+    "utilization",
+)
+
+
+@dataclass(frozen=True)
+class RollupRow:
+    """One (workload, machine, scheduler) aggregate across seeds."""
+
+    workload: str
+    machine: str
+    scheduler: str
+    runs: int
+    mean_seconds: float
+    mean_miss_rate: float
+    mean_utilization: float
+    speedup_vs_rs: float | None  # mean per-seed time(RS)/time(self)
+    speedup_vs_rrs: float | None
+    miss_delta_vs_rs: float | None  # mean per-seed miss_rate - miss_rate(RS)
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values)
+
+
+def rollup_results(results: Sequence[RunResult]) -> list[RollupRow]:
+    """Aggregate per-run results into per-cell-group rollup rows.
+
+    Groups first-seen order is preserved, so rows come out in the same
+    order the campaign declared its axes.
+    """
+    if not results:
+        raise CampaignError("no campaign results to roll up")
+    # baselines per (workload, machine, seed)
+    baselines: dict[tuple, dict[str, RunResult]] = {}
+    for result in results:
+        cell = baselines.setdefault((result.workload, result.machine, result.seed), {})
+        if result.scheduler_name in ("RS", "RRS") and result.scheduler_name not in cell:
+            cell[result.scheduler_name] = result
+
+    groups: dict[tuple, list[RunResult]] = {}
+    for result in results:
+        groups.setdefault(
+            (result.workload, result.machine, result.scheduler), []
+        ).append(result)
+
+    rows: list[RollupRow] = []
+    for (workload, machine, scheduler), members in groups.items():
+        speedups_rs: list[float] = []
+        speedups_rrs: list[float] = []
+        miss_deltas: list[float] = []
+        for member in members:
+            cell = baselines.get((workload, machine, member.seed), {})
+            rs = cell.get("RS")
+            rrs = cell.get("RRS")
+            if rs is not None and member.seconds > 0:
+                speedups_rs.append(rs.seconds / member.seconds)
+                miss_deltas.append(member.miss_rate - rs.miss_rate)
+            if rrs is not None and member.seconds > 0:
+                speedups_rrs.append(rrs.seconds / member.seconds)
+        rows.append(
+            RollupRow(
+                workload=workload,
+                machine=machine,
+                scheduler=scheduler,
+                runs=len(members),
+                mean_seconds=_mean([m.seconds for m in members]),
+                mean_miss_rate=_mean([m.miss_rate for m in members]),
+                mean_utilization=_mean([m.utilization for m in members]),
+                speedup_vs_rs=_mean(speedups_rs) if speedups_rs else None,
+                speedup_vs_rrs=_mean(speedups_rrs) if speedups_rrs else None,
+                miss_delta_vs_rs=_mean(miss_deltas) if miss_deltas else None,
+            )
+        )
+    return rows
+
+
+def render_rollup(results: Sequence[RunResult], title: str = "Campaign rollup") -> str:
+    """ASCII table of the rollup rows."""
+
+    def ratio(value: float | None) -> str:
+        return f"{value:.2f}x" if value is not None else "-"
+
+    table = AsciiTable(
+        [
+            "workload",
+            "machine",
+            "scheduler",
+            "runs",
+            "time (ms)",
+            "miss rate",
+            "util",
+            "vs RS",
+            "vs RRS",
+            "Δmiss vs RS",
+        ],
+        title=title,
+    )
+    for row in rollup_results(results):
+        table.add_row(
+            [
+                row.workload,
+                row.machine,
+                row.scheduler,
+                str(row.runs),
+                f"{row.mean_seconds * 1e3:.3f}",
+                f"{row.mean_miss_rate:.4f}",
+                f"{row.mean_utilization:.2f}",
+                ratio(row.speedup_vs_rs),
+                ratio(row.speedup_vs_rrs),
+                (
+                    f"{row.miss_delta_vs_rs:+.4f}"
+                    if row.miss_delta_vs_rs is not None
+                    else "-"
+                ),
+            ]
+        )
+    return table.render()
+
+
+def results_to_csv(results: Sequence[RunResult]) -> str:
+    """Per-run CSV (one row per executed cell)."""
+    if not results:
+        raise CampaignError("no campaign results to export")
+    return rows_to_csv([result.to_dict() for result in results], CSV_COLUMNS)
+
+
+def write_results_csv(results: Sequence[RunResult], path: str | Path) -> Path:
+    """Write the per-run CSV to a file; returns the path."""
+    return write_csv_text(results_to_csv(results), path)
+
+
+def write_results_jsonl(results: Sequence[RunResult], path: str | Path) -> Path:
+    """Write results as JSON lines (same schema as the result store)."""
+    if not results:
+        raise CampaignError("no campaign results to export")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        "".join(json.dumps(result.to_dict()) + "\n" for result in results)
+    )
+    return path

@@ -1,0 +1,464 @@
+"""Declarative campaign specifications.
+
+A *campaign* is the paper's evaluation shape made explicit: the cross
+product of workloads, machine variants, schedulers, and seeds.  The spec
+layer is purely declarative — every element is a frozen dataclass of
+primitives, so a spec can be hashed (for result-store keying), serialized
+to JSON (for spec files), and pickled (for the multiprocessing executor)
+without ever touching a simulator.
+
+``CampaignSpec.expand()`` flattens the product into :class:`RunSpec`
+cells; :mod:`repro.campaign.executor` turns each cell into one simulation
+through the same :func:`~repro.experiments.runner.run_comparison` path
+the per-figure harnesses always used.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Callable, Mapping, Sequence
+
+from repro.errors import CampaignError
+from repro.procgraph.graph import ExtendedProcessGraph
+from repro.sched.base import Scheduler
+from repro.sched.fifo import FifoScheduler
+from repro.sched.locality import LocalityScheduler, StaticLocalityScheduler
+from repro.sched.locality_mapping import LocalityMappingScheduler
+from repro.sched.random_sched import RandomScheduler
+from repro.sched.round_robin import RoundRobinScheduler
+from repro.sim.config import MachineConfig
+from repro.util.rng import derive_seed
+from repro.util.units import KIB
+from repro.workloads.suite import (
+    SUITE,
+    build_random_mix,
+    build_task,
+    build_workload_mix,
+    workload_names,
+)
+
+
+def _canonical(obj: object) -> str:
+    """Stable JSON encoding used for hashes and cell keys."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def _pairs(mapping: Mapping[str, object]) -> tuple[tuple[str, object], ...]:
+    """A hashable, order-insensitive view of a keyword mapping."""
+    return tuple(sorted(mapping.items()))
+
+
+# -- workload references ----------------------------------------------------------
+
+
+def parse_workload_ref(ref: str) -> tuple[str, int | None]:
+    """Validate a workload reference; returns ``(kind, count)``.
+
+    Three forms are accepted:
+
+    - a Table-1 application name (``"MxM"``) — the app in isolation;
+    - ``"mix:N"`` — the Figure-7 cumulative mix of the first N apps;
+    - ``"random-mix:N"`` — N distinct apps, sampled and ordered by the
+      cell seed (see :func:`repro.workloads.suite.build_random_mix`).
+    """
+    if not isinstance(ref, str):
+        raise CampaignError(
+            f"workload reference must be a string, got {ref!r}"
+        )
+    if ref in workload_names():
+        return ("app", None)
+    for kind in ("mix", "random-mix"):
+        prefix = kind + ":"
+        if ref.startswith(prefix):
+            try:
+                count = int(ref[len(prefix):])
+            except ValueError:
+                raise CampaignError(f"malformed workload reference {ref!r}") from None
+            if not 1 <= count <= len(SUITE):
+                raise CampaignError(
+                    f"{ref!r}: count must be in [1, {len(SUITE)}]"
+                )
+            return (kind, count)
+    raise CampaignError(
+        f"unknown workload reference {ref!r}; expected a suite application "
+        f"({', '.join(workload_names())}), 'mix:N', or 'random-mix:N'"
+    )
+
+
+def build_campaign_workload(
+    ref: str, scale: float = 1.0, seed: int = 0
+) -> ExtendedProcessGraph:
+    """Instantiate the EPG a workload reference names."""
+    kind, count = parse_workload_ref(ref)
+    if kind == "app":
+        return ExtendedProcessGraph.from_tasks([build_task(ref, scale=scale)])
+    if kind == "mix":
+        return build_workload_mix(count, scale=scale)
+    return build_random_mix(count, scale=scale, seed=seed)
+
+
+# -- machine variants -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MachineVariant:
+    """A named delta against the Table-2 machine.
+
+    Only the overridden fields are stored, so the variant stays readable
+    in spec files and the hash does not change when unrelated
+    :class:`MachineConfig` defaults gain new fields.
+    """
+
+    name: str = "paper"
+    overrides: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        valid = {f.name for f in fields(MachineConfig)}
+        for field_name, _ in self.overrides:
+            if field_name not in valid:
+                raise CampaignError(
+                    f"machine variant {self.name!r} overrides unknown "
+                    f"MachineConfig field {field_name!r}"
+                )
+        # Validate the values too (MachineConfig's own checks), so a bad
+        # variant fails at spec time, not mid-campaign at its first cell.
+        from repro.errors import ReproError
+
+        try:
+            self.build()
+        except ReproError as exc:
+            raise CampaignError(
+                f"machine variant {self.name!r} is invalid: {exc}"
+            ) from exc
+
+    @classmethod
+    def from_overrides(cls, name: str, **overrides: object) -> "MachineVariant":
+        """Build a variant from keyword overrides."""
+        return cls(name=name, overrides=_pairs(overrides))
+
+    @classmethod
+    def from_config(cls, name: str, config: MachineConfig) -> "MachineVariant":
+        """Capture an existing config as a variant (diff vs. Table 2)."""
+        default = MachineConfig.paper_default()
+        diffs = {
+            f.name: getattr(config, f.name)
+            for f in fields(MachineConfig)
+            if getattr(config, f.name) != getattr(default, f.name)
+        }
+        return cls.from_overrides(name, **diffs)
+
+    def build(self) -> MachineConfig:
+        """Materialize the :class:`MachineConfig`."""
+        return MachineConfig.paper_default().with_overrides(**dict(self.overrides))
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "overrides": dict(self.overrides)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "MachineVariant":
+        if isinstance(data, str):
+            return resolve_machine_preset(data)
+        return cls.from_overrides(data["name"], **data.get("overrides", {}))
+
+
+#: Named machine presets accepted by ``--machines`` on the CLI.
+MACHINE_PRESETS: dict[str, MachineVariant] = {
+    "paper": MachineVariant(),
+    "cache-4k": MachineVariant.from_overrides("cache-4k", cache_size_bytes=4 * KIB),
+    "cache-16k": MachineVariant.from_overrides("cache-16k", cache_size_bytes=16 * KIB),
+    "cache-32k": MachineVariant.from_overrides("cache-32k", cache_size_bytes=32 * KIB),
+    "assoc-1": MachineVariant.from_overrides("assoc-1", cache_associativity=1),
+    "assoc-4": MachineVariant.from_overrides("assoc-4", cache_associativity=4),
+    "cores-4": MachineVariant.from_overrides("cores-4", num_cores=4),
+    "cores-16": MachineVariant.from_overrides("cores-16", num_cores=16),
+    "mem-50": MachineVariant.from_overrides("mem-50", memory_latency_cycles=50),
+    "mem-150": MachineVariant.from_overrides("mem-150", memory_latency_cycles=150),
+    "quantum-2k": MachineVariant.from_overrides("quantum-2k", quantum_cycles=2_000),
+    "quantum-32k": MachineVariant.from_overrides("quantum-32k", quantum_cycles=32_000),
+}
+
+
+def resolve_machine_preset(name: str) -> MachineVariant:
+    """Look up a preset by name."""
+    if name not in MACHINE_PRESETS:
+        raise CampaignError(
+            f"unknown machine preset {name!r}; "
+            f"known presets: {', '.join(sorted(MACHINE_PRESETS))}"
+        )
+    return MACHINE_PRESETS[name]
+
+
+# -- scheduler specs --------------------------------------------------------------
+
+#: Scheduler factories: registry name -> (cell seed, **params) -> Scheduler.
+SCHEDULER_REGISTRY: dict[str, Callable[..., Scheduler]] = {
+    "RS": lambda seed, **params: RandomScheduler(seed=seed, **params),
+    "RRS": lambda seed, **params: RoundRobinScheduler(**params),
+    "LS": lambda seed, **params: LocalityScheduler(**params),
+    "LS-static": lambda seed, **params: StaticLocalityScheduler(**params),
+    "LSM": lambda seed, **params: LocalityMappingScheduler(**params),
+    "FCFS": lambda seed, **params: FifoScheduler(**params),
+}
+
+
+@dataclass(frozen=True)
+class SchedulerSpec:
+    """One scheduling strategy, optionally parameterized and relabelled."""
+
+    name: str
+    params: tuple[tuple[str, object], ...] = ()
+    label: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.name not in SCHEDULER_REGISTRY:
+            raise CampaignError(
+                f"unknown scheduler {self.name!r}; "
+                f"known schedulers: {', '.join(sorted(SCHEDULER_REGISTRY))}"
+            )
+
+    @classmethod
+    def of(
+        cls, name: str, label: str | None = None, **params: object
+    ) -> "SchedulerSpec":
+        """Build a spec from keyword params."""
+        return cls(name=name, params=_pairs(params), label=label)
+
+    @property
+    def effective_label(self) -> str:
+        """The column label results are reported under."""
+        return self.label if self.label is not None else self.name
+
+    def build(self, seed: int) -> Scheduler:
+        """Instantiate the scheduler for one cell."""
+        try:
+            return SCHEDULER_REGISTRY[self.name](seed, **dict(self.params))
+        except TypeError as exc:
+            raise CampaignError(
+                f"bad params {dict(self.params)!r} for scheduler "
+                f"{self.name!r}: {exc}"
+            ) from exc
+
+    def to_dict(self) -> dict:
+        data: dict = {"name": self.name}
+        if self.params:
+            data["params"] = dict(self.params)
+        if self.label is not None:
+            data["label"] = self.label
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping | str) -> "SchedulerSpec":
+        if isinstance(data, str):
+            return cls(name=data)
+        return cls.of(
+            data["name"], label=data.get("label"), **data.get("params", {})
+        )
+
+
+#: The paper's four strategies in legend order, as campaign specs.
+DEFAULT_SCHEDULERS: tuple[SchedulerSpec, ...] = (
+    SchedulerSpec("RS"),
+    SchedulerSpec("RRS"),
+    SchedulerSpec("LS"),
+    SchedulerSpec("LSM"),
+)
+
+
+# -- run cells --------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One cell of the campaign grid: fully declarative, picklable."""
+
+    workload: str
+    machine: MachineVariant
+    scheduler: SchedulerSpec
+    seed: int
+    scale: float = 1.0
+
+    def cell_key(self) -> str:
+        """Stable identifier for the result store.
+
+        Human-readable prefix plus a fingerprint of the parts the prefix
+        cannot disambiguate (machine overrides, scheduler params).
+        """
+        fingerprint = hashlib.sha256(
+            _canonical(
+                {
+                    "machine": dict(self.machine.overrides),
+                    "scheduler": [self.scheduler.name, dict(self.scheduler.params)],
+                }
+            ).encode("utf-8")
+        ).hexdigest()[:8]
+        return (
+            f"{self.workload}|{self.machine.name}|"
+            f"{self.scheduler.effective_label}|seed={self.seed}|"
+            f"scale={self.scale}|{fingerprint}"
+        )
+
+    def derived_seed(self, *labels: str | int) -> int:
+        """A per-cell child seed for any auxiliary randomness.
+
+        The scheduler itself receives the cell's ``seed`` directly (so a
+        one-cell campaign reproduces ``run_comparison`` bit for bit); use
+        this for extra streams that must decorrelate across cells.
+        """
+        return derive_seed(
+            self.seed,
+            self.workload,
+            self.machine.name,
+            self.scheduler.effective_label,
+            *labels,
+        )
+
+
+# -- the campaign -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """The declarative cross product the executor expands and runs."""
+
+    workloads: tuple[str, ...]
+    machines: tuple[MachineVariant, ...] = (MachineVariant(),)
+    schedulers: tuple[SchedulerSpec, ...] = DEFAULT_SCHEDULERS
+    seeds: tuple[int, ...] = (0,)
+    scale: float = 1.0
+    name: str = "campaign"
+
+    def __post_init__(self) -> None:
+        if not (self.workloads and self.machines and self.schedulers and self.seeds):
+            raise CampaignError(
+                "campaign needs at least one workload, machine, scheduler, and seed"
+            )
+        if self.scale <= 0:
+            raise CampaignError(f"scale must be positive, got {self.scale}")
+        for ref in self.workloads:
+            parse_workload_ref(ref)
+        for axis, values in (
+            ("workload", self.workloads),
+            ("machine", [m.name for m in self.machines]),
+            ("scheduler", [s.effective_label for s in self.schedulers]),
+            ("seed", self.seeds),
+        ):
+            if len(set(values)) != len(values):
+                raise CampaignError(
+                    f"duplicate {axis} entries would collide in the result "
+                    f"store: {list(values)}"
+                )
+
+    @property
+    def num_cells(self) -> int:
+        """Size of the expanded grid."""
+        return (
+            len(self.workloads)
+            * len(self.machines)
+            * len(self.schedulers)
+            * len(self.seeds)
+        )
+
+    def expand(self) -> list[RunSpec]:
+        """Flatten the cross product, workload-major, in declaration order."""
+        return [
+            RunSpec(
+                workload=workload,
+                machine=machine,
+                scheduler=scheduler,
+                seed=seed,
+                scale=self.scale,
+            )
+            for workload in self.workloads
+            for machine in self.machines
+            for scheduler in self.schedulers
+            for seed in self.seeds
+        ]
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "scale": self.scale,
+            "workloads": list(self.workloads),
+            "machines": [m.to_dict() for m in self.machines],
+            "schedulers": [s.to_dict() for s in self.schedulers],
+            "seeds": list(self.seeds),
+        }
+
+    def spec_hash(self) -> str:
+        """Short stable digest keying the default result store."""
+        return hashlib.sha256(
+            _canonical(self.to_dict()).encode("utf-8")
+        ).hexdigest()[:12]
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "CampaignSpec":
+        known = {"name", "scale", "workloads", "machines", "schedulers", "seeds"}
+        unknown = set(data) - known
+        if unknown:
+            # a typo'd axis name would otherwise silently run the default
+            # grid in its place — hours of compute on the wrong experiment
+            raise CampaignError(
+                f"unknown campaign spec keys {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        try:
+            workloads = tuple(data["workloads"])
+        except KeyError:
+            raise CampaignError("campaign spec needs a 'workloads' list") from None
+        machines = tuple(
+            MachineVariant.from_dict(m) for m in data.get("machines", [{"name": "paper"}])
+        )
+        schedulers = tuple(
+            SchedulerSpec.from_dict(s)
+            for s in data.get("schedulers", [s.name for s in DEFAULT_SCHEDULERS])
+        )
+        try:
+            seeds = tuple(int(s) for s in data.get("seeds", [0]))
+            scale = float(data.get("scale", 1.0))
+        except (TypeError, ValueError) as exc:
+            raise CampaignError(f"bad campaign spec value: {exc}") from exc
+        return cls(
+            workloads=workloads,
+            machines=machines,
+            schedulers=schedulers,
+            seeds=seeds,
+            scale=scale,
+            name=str(data.get("name", "campaign")),
+        )
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "CampaignSpec":
+        """Load a JSON spec file."""
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CampaignError(f"cannot read campaign spec {path}: {exc}") from exc
+        if not isinstance(data, Mapping):
+            raise CampaignError(f"campaign spec {path} must be a JSON object")
+        return cls.from_dict(data)
+
+
+def suite_campaign(
+    seeds: Sequence[int] = (0, 1),
+    schedulers: Sequence[SchedulerSpec] = DEFAULT_SCHEDULERS,
+    machines: Sequence[MachineVariant] = (MachineVariant(),),
+    scale: float = 1.0,
+    name: str = "suite",
+) -> CampaignSpec:
+    """The default grid: every Table-1 application x the four schedulers.
+
+    With the default two seeds this is a 6 x 4 x 1 x 2 = 48-cell grid —
+    the paper's Figure-6 axis rerun with seed replication.
+    """
+    return CampaignSpec(
+        workloads=tuple(workload_names()),
+        machines=tuple(machines),
+        schedulers=tuple(schedulers),
+        seeds=tuple(seeds),
+        scale=scale,
+        name=name,
+    )

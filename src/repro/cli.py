@@ -1,16 +1,8 @@
 """Command-line interface: regenerate any paper artefact from a shell.
 
-Usage (after ``pip install -e .``)::
-
-    python -m repro tables                 # Tables 1 and 2
-    python -m repro figure2                # the Section-2 worked example
-    python -m repro figure6 [--scale S]    # isolated applications
-    python -m repro figure7 [--max-tasks N] [--csv out.csv]
-    python -m repro sensitivity [--tasks N]
-    python -m repro ablation [--tasks N]
-
-Every subcommand prints the rendered ASCII artefact; ``--csv`` also
-writes the raw per-scheduler rows for post-processing.
+The usage block below is appended to this docstring at import time by
+:func:`render_cli_usage`, generated from the argparse parser itself so
+the documented flags can never drift from the real ones.
 """
 
 from __future__ import annotations
@@ -19,6 +11,20 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro.campaign.executor import RunResult, run_campaign
+from repro.campaign.rollup import (
+    render_rollup,
+    write_results_csv,
+    write_results_jsonl,
+)
+from repro.campaign.spec import (
+    CampaignSpec,
+    SchedulerSpec,
+    resolve_machine_preset,
+    suite_campaign,
+)
+from repro.campaign.store import ResultStore
+from repro.errors import CampaignError, ReproError
 from repro.experiments.ablation import render_ablation, run_ablation
 from repro.experiments.export import write_csv
 from repro.experiments.figure2 import render_figure2
@@ -34,7 +40,7 @@ def _build_parser() -> argparse.ArgumentParser:
         description=(
             "Reproduction of 'Locality-Aware Process Scheduling for "
             "Embedded MPSoCs' (DATE 2005): regenerate the paper's tables "
-            "and figures."
+            "and figures, or sweep arbitrary scenario grids."
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
@@ -45,27 +51,219 @@ def _build_parser() -> argparse.ArgumentParser:
     fig6 = sub.add_parser("figure6", help="run the isolated-application figure")
     fig6.add_argument("--scale", type=float, default=1.0)
     fig6.add_argument("--seed", type=int, default=0)
+    fig6.add_argument("--jobs", type=int, default=1)
     fig6.add_argument("--csv", type=str, default=None)
 
     fig7 = sub.add_parser("figure7", help="run the concurrent-mix figure")
     fig7.add_argument("--scale", type=float, default=1.0)
     fig7.add_argument("--seed", type=int, default=0)
     fig7.add_argument("--max-tasks", type=int, default=6)
+    fig7.add_argument("--jobs", type=int, default=1)
     fig7.add_argument("--csv", type=str, default=None)
 
     sens = sub.add_parser("sensitivity", help="run the parameter sweeps")
     sens.add_argument("--tasks", type=int, default=3)
     sens.add_argument("--scale", type=float, default=1.0)
+    sens.add_argument("--jobs", type=int, default=1)
 
     abl = sub.add_parser("ablation", help="run the design ablations")
     abl.add_argument("--tasks", type=int, default=4)
     abl.add_argument("--scale", type=float, default=1.0)
+    abl.add_argument("--jobs", type=int, default=1)
+
+    camp = sub.add_parser(
+        "campaign",
+        help="run a declarative (workload x machine x scheduler x seed) grid",
+    )
+    camp.add_argument(
+        "--spec", type=str, default=None,
+        help="JSON campaign spec file (overrides the inline grid flags)",
+    )
+    camp.add_argument(
+        "--workloads", type=str, default="all",
+        help="comma list: app names, 'all', 'mix:N', 'random-mix:N'",
+    )
+    camp.add_argument(
+        "--machines", type=str, default="paper",
+        help="comma list of machine presets (e.g. paper,cache-16k,cores-4)",
+    )
+    camp.add_argument(
+        "--schedulers", type=str, default="RS,RRS,LS,LSM",
+        help="comma list of scheduler names (RS,RRS,LS,LSM,LS-static,FCFS)",
+    )
+    camp.add_argument(
+        "--seeds", type=str, default="0,1",
+        help="comma list of integer seeds (one grid axis)",
+    )
+    camp.add_argument("--scale", type=float, default=1.0)
+    camp.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the parallel executor",
+    )
+    camp.add_argument(
+        "--resume", action="store_true",
+        help="skip cells already present in the result store",
+    )
+    camp.add_argument(
+        "--store", type=str, default=None,
+        help="result store path (default: .repro-campaign/<spec-hash>.jsonl)",
+    )
+    camp.add_argument(
+        "--csv", type=str, default=None,
+        help="also export per-run rows as CSV",
+    )
+    camp.add_argument(
+        "--jsonl", type=str, default=None,
+        help="also export per-run rows as JSON lines",
+    )
+    camp.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-cell progress lines",
+    )
     return parser
 
 
+def render_cli_usage() -> str:
+    """The docstring usage block, generated from the parser.
+
+    One line per subcommand with every optional flag and its metavar, so
+    the documentation is definitionally in sync with the parser.
+    """
+    parser = _build_parser()
+    subparsers = next(
+        action
+        for action in parser._actions
+        if isinstance(action, argparse._SubParsersAction)
+    )
+    return _render_usage_lines(subparsers)
+
+
+def _render_usage_lines(subparsers: argparse._SubParsersAction) -> str:
+    lines = ["Usage (after ``pip install -e .``)::", ""]
+    for name, subparser in subparsers.choices.items():
+        flags = []
+        for action in subparser._actions:
+            if isinstance(action, argparse._HelpAction):
+                continue
+            option = action.option_strings[-1]
+            if action.nargs == 0:
+                flags.append(f"[{option}]")
+            else:
+                flags.append(f"[{option} {action.dest.upper()}]")
+        suffix = (" " + " ".join(flags)) if flags else ""
+        lines.append(f"    python -m repro {name}{suffix}")
+    lines += [
+        "",
+        "Every subcommand prints a rendered ASCII artefact; ``--csv`` also",
+        "writes raw rows for post-processing, and ``campaign`` keeps a",
+        "resumable JSON-lines result store keyed by the spec hash.",
+    ]
+    return "\n".join(lines)
+
+
+# The generation walks argparse internals (_actions and friends); if a
+# future Python changes them, degrade to the plain docstring rather than
+# breaking every CLI invocation at import time.
+try:
+    __doc__ = (__doc__ or "").rstrip() + "\n\n" + render_cli_usage() + "\n"
+except Exception:  # pragma: no cover - depends on the Python version
+    pass
+
+
+def _split_csv_flag(raw: str, flag: str) -> list[str]:
+    items = [item.strip() for item in raw.split(",") if item.strip()]
+    if not items:
+        raise CampaignError(f"--{flag} must name at least one entry")
+    return items
+
+
+def _campaign_spec_from_args(args: argparse.Namespace) -> CampaignSpec:
+    """Build the campaign spec a ``campaign`` invocation describes."""
+    if args.spec is not None:
+        return CampaignSpec.from_file(args.spec)
+    try:
+        seeds = tuple(int(s) for s in _split_csv_flag(args.seeds, "seeds"))
+    except ValueError:
+        raise CampaignError(
+            f"--seeds must be a comma list of integers, got {args.seeds!r}"
+        ) from None
+    schedulers = tuple(
+        SchedulerSpec(name) for name in _split_csv_flag(args.schedulers, "schedulers")
+    )
+    machines = tuple(
+        resolve_machine_preset(name)
+        for name in _split_csv_flag(args.machines, "machines")
+    )
+    workload_items = _split_csv_flag(args.workloads, "workloads")
+    if workload_items == ["all"]:
+        return suite_campaign(
+            seeds=seeds, schedulers=schedulers, machines=machines, scale=args.scale
+        )
+    workloads: list[str] = []
+    for item in workload_items:
+        if item == "all":
+            from repro.workloads.suite import workload_names
+
+            workloads.extend(workload_names())
+        else:
+            workloads.append(item)
+    return CampaignSpec(
+        workloads=tuple(workloads),
+        machines=machines,
+        schedulers=schedulers,
+        seeds=seeds,
+        scale=args.scale,
+    )
+
+
+def _run_campaign_command(args: argparse.Namespace) -> int:
+    spec = _campaign_spec_from_args(args)
+    store = ResultStore(
+        args.store
+        if args.store is not None
+        else ResultStore.default_path(spec.spec_hash())
+    )
+
+    def progress(result: RunResult, done: int, total: int) -> None:
+        if not args.quiet:
+            print(
+                f"  [{done}/{total}] {result.workload} @ {result.machine} "
+                f"/ {result.scheduler} seed={result.seed}: "
+                f"{result.seconds * 1e3:.3f} ms, miss {result.miss_rate:.4f}"
+            )
+
+    print(
+        f"campaign {spec.name!r} ({spec.spec_hash()}): {spec.num_cells} cells "
+        f"({len(spec.workloads)} workloads x {len(spec.machines)} machines x "
+        f"{len(spec.schedulers)} schedulers x {len(spec.seeds)} seeds), "
+        f"jobs={args.jobs}"
+    )
+    outcome = run_campaign(
+        spec, jobs=args.jobs, store=store, resume=args.resume, progress=progress
+    )
+    if outcome.skipped:
+        print(f"  [resume] skipped {outcome.skipped} completed cells")
+    print()
+    print(render_rollup(outcome.results, title=f"Campaign rollup: {spec.name}"))
+    print(f"\n[store: {outcome.store_path}]")
+    if args.csv:
+        print(f"[csv written to {write_results_csv(outcome.results, args.csv)}]")
+    if args.jsonl:
+        print(f"[jsonl written to {write_results_jsonl(outcome.results, args.jsonl)}]")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
-    """Entry point; returns a process exit code."""
+    """Entry point; returns a process exit code (2 on a usage error)."""
     args = _build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "tables":
         print(render_table1())
         print()
@@ -73,21 +271,31 @@ def main(argv: Sequence[str] | None = None) -> int:
     elif args.command == "figure2":
         print(render_figure2())
     elif args.command == "figure6":
-        comparisons = run_figure6(scale=args.scale, seed=args.seed)
+        comparisons = run_figure6(scale=args.scale, seed=args.seed, jobs=args.jobs)
         print(render_figure6(comparisons))
         if args.csv:
             print(f"\n[csv written to {write_csv(comparisons, args.csv)}]")
     elif args.command == "figure7":
         comparisons = run_figure7(
-            scale=args.scale, seed=args.seed, max_tasks=args.max_tasks
+            scale=args.scale, seed=args.seed, max_tasks=args.max_tasks, jobs=args.jobs
         )
         print(render_figure7(comparisons))
         if args.csv:
             print(f"\n[csv written to {write_csv(comparisons, args.csv)}]")
     elif args.command == "sensitivity":
-        print(render_sensitivity(run_sensitivity(num_tasks=args.tasks, scale=args.scale)))
+        print(
+            render_sensitivity(
+                run_sensitivity(num_tasks=args.tasks, scale=args.scale, jobs=args.jobs)
+            )
+        )
     elif args.command == "ablation":
-        print(render_ablation(run_ablation(num_tasks=args.tasks, scale=args.scale)))
+        print(
+            render_ablation(
+                run_ablation(num_tasks=args.tasks, scale=args.scale, jobs=args.jobs)
+            )
+        )
+    elif args.command == "campaign":
+        return _run_campaign_command(args)
     return 0
 
 

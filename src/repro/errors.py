@@ -129,3 +129,7 @@ class UnknownWorkloadError(WorkloadError, KeyError):
 
 class ExperimentError(ReproError):
     """An experiment harness was configured inconsistently."""
+
+
+class CampaignError(ExperimentError):
+    """A campaign spec, store, or executor was configured inconsistently."""

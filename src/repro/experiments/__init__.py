@@ -18,6 +18,9 @@ Each module owns one artefact:
 
 Every harness returns plain data records and renders an ASCII artefact,
 so benchmarks, tests, and the examples all consume the same entry points.
+The simulation-backed harnesses (figure6/figure7/sensitivity/ablation)
+are thin declarative specs executed through :mod:`repro.campaign`, which
+also exposes arbitrary grids via ``python -m repro campaign``.
 """
 
 from repro.experiments.runner import (

@@ -19,13 +19,10 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.procgraph.graph import ProcessGraph
-from repro.sched.locality import LocalityScheduler, StaticLocalityScheduler
-from repro.sched.locality_mapping import LocalityMappingScheduler
+from repro.campaign.executor import run_campaign
+from repro.campaign.spec import CampaignSpec, MachineVariant, SchedulerSpec
 from repro.sim.config import MachineConfig
-from repro.sim.simulator import MPSoCSimulator
 from repro.util.tables import AsciiTable
-from repro.workloads.suite import build_workload_mix
 
 
 @dataclass(frozen=True)
@@ -38,54 +35,98 @@ class AblationRow:
     miss_rate: float
 
 
+#: The ablation grid: (study, variant, scheduler spec), in report order.
+ABLATION_VARIANTS: tuple[tuple[str, str, SchedulerSpec], ...] = (
+    # 1. dispatch model
+    (
+        "dispatch model",
+        "dispatch-time (LS)",
+        SchedulerSpec.of("LS", label="dispatch model: dispatch-time (LS)"),
+    ),
+    (
+        "dispatch model",
+        "static plan (Figure 3 literal)",
+        SchedulerSpec.of("LS-static", label="dispatch model: static plan"),
+    ),
+    # 2. trim policy (static form, where the trim step actually runs)
+    (
+        "trim policy",
+        "max-sharing (prose)",
+        SchedulerSpec.of("LS-static", label="trim: max-sharing", trim="max-sharing"),
+    ),
+    (
+        "trim policy",
+        "min-sharing (pseudocode)",
+        SchedulerSpec.of("LS-static", label="trim: min-sharing", trim="min-sharing"),
+    ),
+    # 3. re-layout threshold
+    (
+        "re-layout threshold",
+        "no re-layout (LS)",
+        SchedulerSpec.of("LS", label="re-layout: none (LS)"),
+    ),
+    (
+        "re-layout threshold",
+        "T = mean conflicts (paper)",
+        SchedulerSpec.of("LSM", label="re-layout: T = mean"),
+    ),
+    (
+        "re-layout threshold",
+        "T = 0 (remap everything related)",
+        SchedulerSpec.of("LSM", label="re-layout: T = 0", conflict_threshold=0.0),
+    ),
+    (
+        "re-layout threshold",
+        "T = inf (remap nothing)",
+        SchedulerSpec.of("LSM", label="re-layout: T = inf", conflict_threshold=math.inf),
+    ),
+)
+
+
+def campaign_spec_ablation(
+    num_tasks: int = 4,
+    scale: float = 1.0,
+    machine: MachineConfig | None = None,
+    seed: int = 0,
+) -> CampaignSpec:
+    """The ablation grid as a campaign: one scheduler variant per cell."""
+    variant = (
+        MachineVariant()
+        if machine is None
+        else MachineVariant.from_config("ablation", machine)
+    )
+    return CampaignSpec(
+        workloads=(f"mix:{num_tasks}",),
+        machines=(variant,),
+        schedulers=tuple(spec for _, _, spec in ABLATION_VARIANTS),
+        seeds=(seed,),
+        scale=scale,
+        name="ablation",
+    )
+
+
 def run_ablation(
     num_tasks: int = 4,
     scale: float = 1.0,
     machine: MachineConfig | None = None,
+    seed: int = 0,
+    jobs: int = 1,
 ) -> list[AblationRow]:
     """Run all three ablations over the |T|=num_tasks mix."""
-    machine = machine if machine is not None else MachineConfig.paper_default()
-    epg = build_workload_mix(num_tasks, scale=scale)
-    simulator = MPSoCSimulator(machine)
-    rows: list[AblationRow] = []
-
-    def measure(study: str, variant: str, scheduler) -> None:
-        result = simulator.run(epg, scheduler)
-        rows.append(
-            AblationRow(
-                study=study,
-                variant=variant,
-                seconds=result.seconds,
-                miss_rate=result.miss_rate,
-            )
+    spec = campaign_spec_ablation(
+        num_tasks=num_tasks, scale=scale, machine=machine, seed=seed
+    )
+    outcome = run_campaign(spec, jobs=jobs)
+    by_label = {result.scheduler: result for result in outcome.results}
+    return [
+        AblationRow(
+            study=study,
+            variant=variant,
+            seconds=by_label[scheduler.effective_label].seconds,
+            miss_rate=by_label[scheduler.effective_label].miss_rate,
         )
-
-    # 1. dispatch model
-    measure("dispatch model", "dispatch-time (LS)", LocalityScheduler())
-    measure("dispatch model", "static plan (Figure 3 literal)", StaticLocalityScheduler())
-
-    # 2. trim policy (static form, where the trim step actually runs)
-    measure("trim policy", "max-sharing (prose)", StaticLocalityScheduler(trim="max-sharing"))
-    measure("trim policy", "min-sharing (pseudocode)", StaticLocalityScheduler(trim="min-sharing"))
-
-    # 3. re-layout threshold
-    measure("re-layout threshold", "no re-layout (LS)", LocalityScheduler())
-    measure(
-        "re-layout threshold",
-        "T = mean conflicts (paper)",
-        LocalityMappingScheduler(),
-    )
-    measure(
-        "re-layout threshold",
-        "T = 0 (remap everything related)",
-        LocalityMappingScheduler(conflict_threshold=0.0),
-    )
-    measure(
-        "re-layout threshold",
-        "T = inf (remap nothing)",
-        LocalityMappingScheduler(conflict_threshold=math.inf),
-    )
-    return rows
+        for study, variant, scheduler in ABLATION_VARIANTS
+    ]
 
 
 def render_ablation(rows: list[AblationRow]) -> str:

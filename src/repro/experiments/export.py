@@ -7,13 +7,12 @@ post-processed (plotting, regression tracking) outside this library.
 
 from __future__ import annotations
 
-import csv
-import io
 from pathlib import Path
 from typing import Sequence
 
 from repro.errors import ExperimentError
 from repro.experiments.runner import SCHEDULER_ORDER, SchedulerComparison
+from repro.util.csvio import rows_to_csv, write_csv_text
 
 #: Columns written for each (workload, scheduler) pair.
 CSV_COLUMNS = (
@@ -59,17 +58,11 @@ def comparisons_to_csv(comparisons: Sequence[SchedulerComparison]) -> str:
     rows = comparisons_to_rows(comparisons)
     if not rows:
         raise ExperimentError("no results to export")
-    buffer = io.StringIO()
-    writer = csv.DictWriter(buffer, fieldnames=CSV_COLUMNS)
-    writer.writeheader()
-    writer.writerows(rows)
-    return buffer.getvalue()
+    return rows_to_csv(rows, CSV_COLUMNS)
 
 
 def write_csv(
     comparisons: Sequence[SchedulerComparison], path: str | Path
 ) -> Path:
     """Write comparisons to a CSV file; returns the path."""
-    path = Path(path)
-    path.write_text(comparisons_to_csv(comparisons))
-    return path
+    return write_csv_text(comparisons_to_csv(comparisons), path)

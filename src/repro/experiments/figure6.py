@@ -13,30 +13,45 @@ paper's observations, which this harness regenerates qualitatively:
 
 from __future__ import annotations
 
-from repro.experiments.runner import (
-    SCHEDULER_ORDER,
-    SchedulerComparison,
-    run_comparison,
-)
-from repro.procgraph.graph import ExtendedProcessGraph
+from repro.campaign.compat import group_comparisons
+from repro.campaign.executor import run_campaign
+from repro.campaign.spec import CampaignSpec, MachineVariant
+from repro.experiments.runner import SCHEDULER_ORDER, SchedulerComparison
 from repro.sim.config import MachineConfig
 from repro.util.tables import AsciiBarChart, AsciiTable
-from repro.workloads.suite import SUITE, build_task
+from repro.workloads.suite import workload_names
+
+
+def campaign_spec_figure6(
+    machine: MachineConfig | None = None,
+    scale: float = 1.0,
+    seed: int = 0,
+) -> CampaignSpec:
+    """Figure 6 as a declarative campaign: each app in isolation."""
+    variant = (
+        MachineVariant()
+        if machine is None
+        else MachineVariant.from_config("figure6", machine)
+    )
+    return CampaignSpec(
+        workloads=tuple(workload_names()),
+        machines=(variant,),
+        seeds=(seed,),
+        scale=scale,
+        name="figure6",
+    )
 
 
 def run_figure6(
     machine: MachineConfig | None = None,
     scale: float = 1.0,
     seed: int = 0,
+    jobs: int = 1,
 ) -> list[SchedulerComparison]:
     """Run every application in isolation; one comparison per app."""
-    comparisons = []
-    for spec in SUITE:
-        epg = ExtendedProcessGraph.from_tasks([build_task(spec.name, scale=scale)])
-        comparisons.append(
-            run_comparison(spec.name, epg, machine=machine, seed=seed)
-        )
-    return comparisons
+    spec = campaign_spec_figure6(machine=machine, scale=scale, seed=seed)
+    outcome = run_campaign(spec, jobs=jobs)
+    return group_comparisons(outcome.results)
 
 
 def render_figure6(comparisons: list[SchedulerComparison]) -> str:

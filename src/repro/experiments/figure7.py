@@ -13,14 +13,35 @@ paper's observations, regenerated qualitatively:
 
 from __future__ import annotations
 
-from repro.experiments.runner import (
-    SCHEDULER_ORDER,
-    SchedulerComparison,
-    run_comparison,
-)
+from repro.campaign.compat import group_comparisons
+from repro.campaign.executor import run_campaign
+from repro.campaign.spec import CampaignSpec, MachineVariant
+from repro.experiments.runner import SCHEDULER_ORDER, SchedulerComparison
 from repro.sim.config import MachineConfig
 from repro.util.tables import AsciiBarChart, AsciiTable
-from repro.workloads.suite import SUITE, build_workload_mix
+from repro.workloads.suite import SUITE
+
+
+def campaign_spec_figure7(
+    machine: MachineConfig | None = None,
+    scale: float = 1.0,
+    seed: int = 0,
+    max_tasks: int | None = None,
+) -> CampaignSpec:
+    """Figure 7 as a declarative campaign over the cumulative mixes."""
+    limit = max_tasks if max_tasks is not None else len(SUITE)
+    variant = (
+        MachineVariant()
+        if machine is None
+        else MachineVariant.from_config("figure7", machine)
+    )
+    return CampaignSpec(
+        workloads=tuple(f"mix:{num_tasks}" for num_tasks in range(1, limit + 1)),
+        machines=(variant,),
+        seeds=(seed,),
+        scale=scale,
+        name="figure7",
+    )
 
 
 def run_figure7(
@@ -28,16 +49,17 @@ def run_figure7(
     scale: float = 1.0,
     seed: int = 0,
     max_tasks: int | None = None,
+    jobs: int = 1,
 ) -> list[SchedulerComparison]:
     """Run the cumulative mixes |T| = 1..6 (or up to ``max_tasks``)."""
-    limit = max_tasks if max_tasks is not None else len(SUITE)
-    comparisons = []
-    for num_tasks in range(1, limit + 1):
-        epg = build_workload_mix(num_tasks, scale=scale)
-        comparisons.append(
-            run_comparison(f"|T|={num_tasks}", epg, machine=machine, seed=seed)
-        )
-    return comparisons
+    spec = campaign_spec_figure7(
+        machine=machine, scale=scale, seed=seed, max_tasks=max_tasks
+    )
+    outcome = run_campaign(spec, jobs=jobs)
+    return group_comparisons(
+        outcome.results,
+        label=lambda ref: f"|T|={ref.split(':', 1)[1]}",
+    )
 
 
 def render_figure7(comparisons: list[SchedulerComparison]) -> str:

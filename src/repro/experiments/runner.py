@@ -37,7 +37,20 @@ def default_schedulers(seed: int = 0) -> list[Scheduler]:
 
 @dataclass
 class SchedulerComparison:
-    """Results of one workload under several schedulers."""
+    """Results of one workload under several schedulers.
+
+    ``results`` values are aggregate-compatible result records: either a
+    full :class:`~repro.sim.results.SimulationResult` (when produced by
+    :func:`run_comparison` directly) or a campaign
+    :class:`~repro.campaign.executor.RunResult` (when regrouped from a
+    campaign by :func:`repro.campaign.compat.group_comparisons`).  Both
+    provide ``seconds``, ``miss_rate``, ``makespan_cycles``,
+    ``total_cache``, and ``core_utilization()`` — the surface the figure
+    renderers and CSV export consume.  Per-process/per-core detail
+    (``processes``, ``cores``, write/eviction stats) exists only on
+    ``SimulationResult``; consumers needing it should run
+    ``run_comparison`` themselves rather than a figure harness.
+    """
 
     label: str
     results: dict[str, SimulationResult] = field(default_factory=dict)

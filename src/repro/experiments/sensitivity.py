@@ -11,12 +11,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.campaign.compat import group_comparisons
+from repro.campaign.executor import run_campaign
+from repro.campaign.spec import CampaignSpec, MachineVariant
 from repro.errors import ExperimentError
-from repro.experiments.runner import SchedulerComparison, run_comparison
-from repro.sim.config import MachineConfig
+from repro.experiments.runner import SchedulerComparison
 from repro.util.tables import AsciiTable
 from repro.util.units import KIB
-from repro.workloads.suite import build_workload_mix
 
 
 @dataclass(frozen=True)
@@ -38,27 +39,54 @@ DEFAULT_SWEEPS: tuple[tuple[str, str, tuple], ...] = (
 )
 
 
+def campaign_spec_sensitivity(
+    num_tasks: int = 3,
+    scale: float = 1.0,
+    seed: int = 0,
+    sweeps: tuple[tuple[str, str, tuple], ...] = DEFAULT_SWEEPS,
+) -> CampaignSpec:
+    """The sweeps as one campaign: a machine variant per sweep point."""
+    if num_tasks < 1:
+        raise ExperimentError(f"num_tasks must be >= 1, got {num_tasks}")
+    variants = tuple(
+        MachineVariant.from_overrides(f"{parameter}={value}", **{field: value})
+        for parameter, field, values in sweeps
+        for value in values
+    )
+    return CampaignSpec(
+        workloads=(f"mix:{num_tasks}",),
+        machines=variants,
+        seeds=(seed,),
+        scale=scale,
+        name="sensitivity",
+    )
+
+
 def run_sensitivity(
     num_tasks: int = 3,
     scale: float = 1.0,
     seed: int = 0,
     sweeps: tuple[tuple[str, str, tuple], ...] = DEFAULT_SWEEPS,
+    jobs: int = 1,
 ) -> list[SweepPoint]:
     """Run every sweep over the |T|=num_tasks mix."""
-    if num_tasks < 1:
-        raise ExperimentError(f"num_tasks must be >= 1, got {num_tasks}")
-    epg = build_workload_mix(num_tasks, scale=scale)
-    points = []
-    for parameter, field, values in sweeps:
-        for value in values:
-            machine = MachineConfig.paper_default().with_overrides(**{field: value})
-            comparison = run_comparison(
-                f"{parameter}={value}", epg, machine=machine, seed=seed
-            )
-            points.append(
-                SweepPoint(parameter=parameter, value=value, comparison=comparison)
-            )
-    return points
+    spec = campaign_spec_sensitivity(
+        num_tasks=num_tasks, scale=scale, seed=seed, sweeps=sweeps
+    )
+    outcome = run_campaign(spec, jobs=jobs)
+    comparisons = group_comparisons(
+        outcome.results, group=lambda result: result.machine
+    )
+    by_label = {comparison.label: comparison for comparison in comparisons}
+    return [
+        SweepPoint(
+            parameter=parameter,
+            value=value,
+            comparison=by_label[f"{parameter}={value}"],
+        )
+        for parameter, _, values in sweeps
+        for value in values
+    ]
 
 
 def render_sensitivity(points: list[SweepPoint]) -> str:

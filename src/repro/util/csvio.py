@@ -1,0 +1,41 @@
+"""Shared CSV formatting for the experiment and campaign exporters.
+
+Both exporters flatten their records into dicts first; this module owns
+the single dict-rows -> CSV text path so column handling, quoting, and
+encoding decisions live in one place.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Mapping, Sequence
+
+
+def rows_to_csv(
+    rows: Sequence[Mapping[str, object]], columns: Sequence[str]
+) -> str:
+    """Render dict rows as CSV text (header + one line per row).
+
+    Extra keys beyond ``columns`` are dropped; missing keys render empty.
+    """
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(columns), extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({column: row.get(column, "") for column in columns})
+    return buffer.getvalue()
+
+
+def write_csv_text(text: str, path: str | Path) -> Path:
+    """Write rendered CSV to a file (creating parents); returns the path.
+
+    Parent creation matters for the campaign exporters: the export runs
+    *after* the whole grid has executed, and a missing directory must
+    not throw away hours of completed work.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    return path

@@ -10,6 +10,7 @@ from __future__ import annotations
 from repro.errors import UnknownWorkloadError, ValidationError
 from repro.procgraph.graph import ExtendedProcessGraph
 from repro.procgraph.task import Task
+from repro.util.rng import DeterministicRng
 from repro.workloads.base import WorkloadSpec
 from repro.workloads.medim04 import build_medim04
 from repro.workloads.mxm import build_mxm
@@ -54,4 +55,24 @@ def build_workload_mix(num_tasks: int, scale: float = 1.0) -> ExtendedProcessGra
             f"num_tasks must be in [1, {len(SUITE)}], got {num_tasks}"
         )
     tasks = [spec.build(scale=scale) for spec in SUITE[:num_tasks]]
+    return ExtendedProcessGraph.from_tasks(tasks)
+
+
+def build_random_mix(
+    num_tasks: int, scale: float = 1.0, seed: int = 0
+) -> ExtendedProcessGraph:
+    """A randomized concurrent mix: ``num_tasks`` distinct applications.
+
+    Samples without replacement (the suite's tasks are pairwise
+    data-disjoint only across *different* applications) and concatenates
+    them in a shuffled order.  The draw is fully determined by ``seed``
+    and ``num_tasks``, so campaign runs are reproducible cell by cell.
+    """
+    if not 1 <= num_tasks <= len(SUITE):
+        raise ValidationError(
+            f"num_tasks must be in [1, {len(SUITE)}], got {num_tasks}"
+        )
+    rng = DeterministicRng(seed, "random-mix", num_tasks)
+    chosen = rng.shuffle(list(SUITE))[:num_tasks]
+    tasks = [spec.build(scale=scale) for spec in chosen]
     return ExtendedProcessGraph.from_tasks(tasks)
