@@ -1,0 +1,233 @@
+"""Microbenchmarks for the simulation hot path (``python -m repro bench``).
+
+Times the cache kernels (scalar reference, vectorized engine, memoized
+execution), the preemptive budget loop, and one figure-7 concurrent mix
+end to end with the fast engine enabled and disabled, then writes the
+results as JSON (default ``BENCH_PR2.json``) so the performance
+trajectory is tracked from PR 2 onward.  ``--quick`` shrinks every
+workload to CI-smoke size.
+
+All numbers are wall-clock seconds (best of ``repeats``) or derived
+accesses/second; the JSON also embeds the memo hit statistics of the
+figure run, so a regression in either raw kernel speed or memo
+effectiveness shows up in the artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.cache.fast_engine import analyze_trace, simulate_trace, warm_adjust
+from repro.cache.geometry import CacheGeometry
+from repro.cache.memo import TRACE_MEMO, set_fast_cache, set_trace_memo
+from repro.cache.sa_cache import SetAssociativeCache
+
+#: Wall-clock figure-7 time of the pre-PR scalar implementation,
+#: measured on the development machine right before the engine landed
+#: (``python -m repro figure7``, defaults).  Kept as a fixed reference
+#: so the headline speedup in the JSON artifact has a stable baseline.
+PRE_ENGINE_FIGURE7_SECONDS = 10.94
+
+
+def _best(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _bench_kernels(quick: bool) -> dict:
+    """Scalar vs vectorized vs memoized whole-trace execution."""
+    geometry = CacheGeometry(8192, 2, 32)
+    n = 20_000 if quick else 200_000
+    rng = np.random.default_rng(7)
+    results = {}
+    for label, lines in (
+        ("random", rng.integers(0, 4096, size=n).astype(np.int64)),
+        (
+            "loopy",
+            (
+                np.tile(np.arange(n // 8, dtype=np.int64) % 1024, 8)
+                + rng.integers(0, 2, size=n)
+            ),
+        ),
+    ):
+        writes = rng.random(n) < 0.2
+
+        def scalar():
+            SetAssociativeCache(geometry).run_trace(lines, writes)
+
+        def vectorized():
+            simulate_trace(
+                lines, writes, geometry.num_sets, geometry.associativity
+            )
+
+        analysis = analyze_trace(
+            lines, writes, geometry.num_sets, geometry.associativity
+        )
+        warm = SetAssociativeCache(geometry)
+        warm.run_trace(rng.integers(0, 4096, size=512).astype(np.int64))
+        warm_sets, warm_dirty = warm.state_view()
+
+        def adjusted():
+            warm_adjust(analysis, warm_sets, warm_dirty)
+
+        scalar_s = _best(scalar)
+        vector_s = _best(vectorized)
+        adjust_s = _best(adjusted)
+        results[label] = {
+            "accesses": n,
+            "scalar_mps": round(n / scalar_s / 1e6, 2),
+            "vectorized_mps": round(n / vector_s / 1e6, 2),
+            "memo_adjust_mps": round(n / adjust_s / 1e6, 2),
+            "vectorized_speedup": round(scalar_s / vector_s, 2),
+            "memo_adjust_speedup": round(scalar_s / adjust_s, 1),
+        }
+    return results
+
+
+def _bench_budget(quick: bool) -> dict:
+    """The preemptive (RRS) budget loop, list-reconversion fix included."""
+    geometry = CacheGeometry(8192, 2, 32)
+    n = 20_000 if quick else 100_000
+    rng = np.random.default_rng(11)
+    lines = rng.integers(0, 2048, size=n).astype(np.int64)
+    rows = list(
+        zip(
+            (lines & (geometry.num_sets - 1)).tolist(),
+            lines.tolist(),
+            [False] * n,
+            [3] * n,
+        )
+    )
+
+    def run_rows():
+        cache = SetAssociativeCache(geometry)
+        index = 0
+        while index < n:
+            index, _, _, _ = cache.run_budget_rows(rows, index, 75, 8000)
+
+    def run_arrays():
+        cache = SetAssociativeCache(geometry)
+        index = 0
+        while index < n:
+            index, _, _, _ = cache.run_trace_budget(
+                lines, None, index, 2, 77, None, 8000
+            )
+
+    rows_s = _best(run_rows)
+    arrays_s = _best(run_arrays)
+    return {
+        "accesses": n,
+        "rows_mps": round(n / rows_s / 1e6, 2),
+        "array_reconvert_mps": round(n / arrays_s / 1e6, 2),
+        "rows_speedup": round(arrays_s / rows_s, 2),
+    }
+
+
+def _bench_figure7(quick: bool) -> dict:
+    """Figure 7 end to end, fast engine on vs off (scalar reference)."""
+    from repro.campaign.executor import clear_cell_memo
+    from repro.experiments.figure7 import run_figure7
+
+    max_tasks = 2 if quick else None
+
+    # The first pass runs everything cold — this is what a fresh
+    # ``python -m repro figure7`` costs (minus interpreter startup) and
+    # what the headline speedup is measured on.  It also warms the
+    # one-time state both engines share (workload graphs, iteration
+    # spaces, data sets, traces); the subsequent passes then start with
+    # cold trace/cell memos but warm workloads, so the fast-vs-scalar
+    # comparison isolates trace execution.
+    start = time.perf_counter()
+    run_figure7(max_tasks=max_tasks)
+    cold_s = time.perf_counter() - start
+
+    TRACE_MEMO.clear()
+    clear_cell_memo()
+    start = time.perf_counter()
+    run_figure7(max_tasks=max_tasks)
+    fast_s = time.perf_counter() - start
+    memo_stats = TRACE_MEMO.stats()
+
+    clear_cell_memo()
+    previous = set_fast_cache(False)
+    set_trace_memo(False)
+    try:
+        start = time.perf_counter()
+        run_figure7(max_tasks=max_tasks)
+        scalar_s = time.perf_counter() - start
+    finally:
+        set_fast_cache(previous)
+        set_trace_memo(True)
+    result = {
+        "max_tasks": max_tasks or 6,
+        "cold_seconds": round(cold_s, 3),
+        "warm_workloads_seconds": round(fast_s, 3),
+        "scalar_engine_seconds": round(scalar_s, 3),
+        "engine_speedup": round(scalar_s / fast_s, 2),
+        "trace_memo": memo_stats,
+    }
+    if not quick:
+        result["pre_pr_baseline_seconds"] = PRE_ENGINE_FIGURE7_SECONDS
+        result["speedup_vs_pre_pr"] = round(
+            PRE_ENGINE_FIGURE7_SECONDS / cold_s, 2
+        )
+    return result
+
+
+def run_bench(quick: bool = False) -> dict:
+    """Run every microbenchmark; returns the JSON-ready result tree."""
+    return {
+        "quick": quick,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cache_kernels": _bench_kernels(quick),
+        "budget_loop": _bench_budget(quick),
+        "figure7": _bench_figure7(quick),
+    }
+
+
+def write_bench(results: dict, path: str | Path) -> Path:
+    """Write the result tree as indented JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def render_bench(results: dict) -> str:
+    """A terse human-readable summary of the result tree."""
+    kernels = results["cache_kernels"]
+    figure7 = results["figure7"]
+    lines = ["Benchmark summary" + (" (quick)" if results["quick"] else "")]
+    for label, row in kernels.items():
+        lines.append(
+            f"  {label:7s} scalar {row['scalar_mps']:6.2f} M acc/s | "
+            f"vectorized {row['vectorized_mps']:6.2f} M acc/s | "
+            f"memo-adjust {row['memo_adjust_mps']:8.2f} M acc/s"
+        )
+    budget = results["budget_loop"]
+    lines.append(
+        f"  budget  rows {budget['rows_mps']:6.2f} M acc/s "
+        f"({budget['rows_speedup']}x vs per-quantum reconversion)"
+    )
+    lines.append(
+        f"  figure7(|T|<={figure7['max_tasks']}) cold {figure7['cold_seconds']}s;"
+        f" warm workloads: fast {figure7['warm_workloads_seconds']}s"
+        f" vs scalar engine {figure7['scalar_engine_seconds']}s"
+        f" ({figure7['engine_speedup']}x)"
+    )
+    if "speedup_vs_pre_pr" in figure7:
+        lines.append(
+            f"  figure7 vs pre-engine baseline "
+            f"{figure7['pre_pr_baseline_seconds']}s: "
+            f"{figure7['speedup_vs_pre_pr']}x"
+        )
+    return "\n".join(lines)

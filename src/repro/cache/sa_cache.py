@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.cache.fast_engine import CacheState
 from repro.cache.geometry import CacheGeometry
 from repro.cache.stats import CacheStats
 from repro.errors import ValidationError
@@ -31,8 +32,16 @@ class SetAssociativeCache:
         self._geometry = geometry
         self._num_sets = geometry.num_sets
         self._assoc = geometry.associativity
-        # One MRU-first list of resident line numbers per set.
-        self._sets: list[list[int]] = [[] for _ in range(self._num_sets)]
+        # num_sets is a power of two (CacheGeometry validates all three
+        # parameters), so set selection is a mask — measurably cheaper
+        # than % in the per-access loops.
+        self._set_mask = geometry.num_sets - 1
+        # One MRU-first list of resident line numbers per set.  After
+        # load_state the inner sequences are shared immutable tuples
+        # (copy-on-write); _materialize() turns them back into lists
+        # before any scalar mutation.
+        self._sets: list = [[] for _ in range(self._num_sets)]
+        self._sets_shared = False
         self._dirty: set[int] = set()
         self.stats = CacheStats()
 
@@ -44,13 +53,21 @@ class SetAssociativeCache:
     def reset(self) -> None:
         """Invalidate all lines and zero the statistics."""
         self._sets = [[] for _ in range(self._num_sets)]
+        self._sets_shared = False
         self._dirty = set()
         self.stats = CacheStats()
 
     def flush(self) -> None:
         """Invalidate all lines, keeping the statistics."""
         self._sets = [[] for _ in range(self._num_sets)]
+        self._sets_shared = False
         self._dirty = set()
+
+    def _materialize(self) -> None:
+        """Turn shared snapshot tuples back into mutable per-set lists."""
+        if self._sets_shared:
+            self._sets = list(map(list, self._sets))
+            self._sets_shared = False
 
     # -- inspection -----------------------------------------------------------
 
@@ -63,7 +80,7 @@ class SetAssociativeCache:
 
     def contains_line(self, line: int) -> bool:
         """True if the line is resident (does not touch LRU state)."""
-        return line in self._sets[line % self._num_sets]
+        return line in self._sets[line & self._set_mask]
 
     def set_occupancy(self, set_index: int) -> int:
         """Number of resident ways in one set."""
@@ -72,6 +89,38 @@ class SetAssociativeCache:
                 f"set index {set_index} out of range [0, {self._num_sets})"
             )
         return len(self._sets[set_index])
+
+    # -- state snapshots (vectorized engine / memoization interop) -------------
+
+    def export_state(self) -> CacheState:
+        """An immutable snapshot of the tag state (statistics excluded)."""
+        return CacheState(
+            sets=tuple(map(tuple, self._sets)),
+            dirty=frozenset(self._dirty),
+        )
+
+    def load_state(self, state: CacheState) -> None:
+        """Install a snapshot, replacing the tag state (statistics kept).
+
+        The snapshot's per-set tuples are installed as-is (copy-on-write:
+        any later scalar mutation materializes lists first), so chained
+        engine executions never copy way lists.
+        """
+        if state.num_sets != self._num_sets:
+            raise ValidationError(
+                f"state has {state.num_sets} sets, cache has {self._num_sets}"
+            )
+        self._sets = list(state.sets)
+        self._sets_shared = True
+        self._dirty = set(state.dirty)
+
+    def state_view(self) -> tuple[list, set[int]]:
+        """A zero-copy read-only view of (per-set MRU lists, dirty set).
+
+        For the engine glue in :mod:`repro.cache.memo`, which only reads;
+        anyone else should take :meth:`export_state` snapshots.
+        """
+        return self._sets, self._dirty
 
     # -- single access ---------------------------------------------------------
 
@@ -83,7 +132,8 @@ class SetAssociativeCache:
         """Access a line number directly; returns True on hit."""
         if line < 0:
             raise ValidationError(f"negative line number {line}")
-        ways = self._sets[line % self._num_sets]
+        self._materialize()
+        ways = self._sets[line & self._set_mask]
         stats = self.stats
         if line in ways:
             if ways[0] != line:
@@ -118,8 +168,9 @@ class SetAssociativeCache:
         is the hot path for non-preemptive process execution, so the loop
         body is kept minimal.
         """
+        self._materialize()
         sets = self._sets
-        num_sets = self._num_sets
+        set_mask = self._set_mask
         assoc = self._assoc
         dirty = self._dirty
         stats = self.stats
@@ -130,7 +181,7 @@ class SetAssociativeCache:
         write_misses = 0
         if writes is None:
             for line in np.asarray(lines, dtype=np.int64).tolist():
-                ways = sets[line % num_sets]
+                ways = sets[line & set_mask]
                 if line in ways:
                     hits += 1
                     if ways[0] != line:
@@ -148,7 +199,7 @@ class SetAssociativeCache:
             line_list = np.asarray(lines, dtype=np.int64).tolist()
             write_list = np.asarray(writes, dtype=bool).tolist()
             for line, is_write in zip(line_list, write_list):
-                ways = sets[line % num_sets]
+                ways = sets[line & set_mask]
                 if line in ways:
                     hits += 1
                     if ways[0] != line:
@@ -199,20 +250,29 @@ class SetAssociativeCache:
             raise ValidationError(f"start index {start} out of range")
         if budget <= 0:
             raise ValidationError(f"budget must be positive, got {budget}")
+        self._materialize()
         sets = self._sets
-        num_sets = self._num_sets
+        set_mask = self._set_mask
         assoc = self._assoc
         dirty = self._dirty
-        line_list = np.asarray(lines, dtype=np.int64).tolist()
+        # Plain lists pass through untouched: the preemptive driver calls
+        # this once per quantum, and re-converting the full trace on every
+        # dispatch made RRS O(trace_len × quanta).  ProcessTrace caches
+        # the converted lists (see ProcessTrace.as_lists).
+        line_list = (
+            lines
+            if isinstance(lines, list)
+            else np.asarray(lines, dtype=np.int64).tolist()
+        )
         write_list = (
-            np.asarray(writes, dtype=bool).tolist()
-            if writes is not None
-            else None
+            writes
+            if isinstance(writes, list) or writes is None
+            else np.asarray(writes, dtype=bool).tolist()
         )
         extra_list = (
-            np.asarray(extra_cycles, dtype=np.int64).tolist()
-            if extra_cycles is not None
-            else None
+            extra_cycles
+            if isinstance(extra_cycles, list) or extra_cycles is None
+            else np.asarray(extra_cycles, dtype=np.int64).tolist()
         )
         used = 0
         hits = 0
@@ -225,7 +285,7 @@ class SetAssociativeCache:
         while index < end and used < budget:
             line = line_list[index]
             is_write = write_list[index] if write_list is not None else False
-            ways = sets[line % num_sets]
+            ways = sets[line & set_mask]
             if line in ways:
                 hits += 1
                 used += hit_cost
@@ -255,6 +315,72 @@ class SetAssociativeCache:
         self.stats.write_hits += write_hits
         self.stats.write_misses += write_misses
         self.stats.dirty_evictions += dirty_evictions
+        return index, used, hits, misses
+
+    def run_budget_rows(
+        self,
+        rows: list[tuple[int, int, bool, int]],
+        start: int,
+        miss_extra: int,
+        budget: int,
+    ) -> tuple[int, int, int, int]:
+        """Budgeted execution over precomputed per-access rows.
+
+        ``rows`` come from :meth:`ProcessTrace.budget_rows`: each entry is
+        ``(set_index, line, is_write, base_cost)`` with the hit latency
+        and the access's compute cycles folded into ``base_cost``; a miss
+        additionally costs ``miss_extra``.  Semantically identical to
+        :meth:`run_trace_budget` (same counters, same stop rule) with the
+        per-access bookkeeping stripped to one index and one add — this
+        is the preemptive driver's hot loop, entered once per quantum.
+        """
+        if start < 0 or start > len(rows):
+            raise ValidationError(f"start index {start} out of range")
+        if budget <= 0:
+            raise ValidationError(f"budget must be positive, got {budget}")
+        self._materialize()
+        sets = self._sets
+        assoc = self._assoc
+        dirty = self._dirty
+        used = 0
+        hits = 0
+        misses = 0
+        write_hits = 0
+        write_misses = 0
+        dirty_evictions = 0
+        index = start
+        end = len(rows)
+        while index < end and used < budget:
+            set_index, line, is_write, base = rows[index]
+            index += 1
+            ways = sets[set_index]
+            if line in ways:
+                hits += 1
+                used += base
+                if ways[0] != line:
+                    ways.remove(line)
+                    ways.insert(0, line)
+                if is_write:
+                    write_hits += 1
+                    dirty.add(line)
+            else:
+                misses += 1
+                used += base + miss_extra
+                if is_write:
+                    write_misses += 1
+                    dirty.add(line)
+                ways.insert(0, line)
+                if len(ways) > assoc:
+                    victim = ways.pop()
+                    if victim in dirty:
+                        dirty.discard(victim)
+                        dirty_evictions += 1
+        stats = self.stats
+        stats.hits += hits
+        stats.misses += misses
+        stats.write_hits += write_hits
+        stats.write_misses += write_misses
+        stats.dirty_evictions += dirty_evictions
         return index, used, hits, misses
 
     def __repr__(self) -> str:

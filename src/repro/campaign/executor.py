@@ -13,14 +13,20 @@ back into the JSON-lines store as they complete.
 from __future__ import annotations
 
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable
 
 from repro.cache.stats import CacheStats
-from repro.campaign.spec import CampaignSpec, RunSpec, build_campaign_workload
+from repro.campaign.spec import (
+    CampaignSpec,
+    RunSpec,
+    build_campaign_workload,
+    parse_workload_ref,
+)
 from repro.campaign.store import ResultStore, as_store
 from repro.errors import CampaignError
+from repro.util.memo import BoundedDict
 
 #: Progress callback: (result, completed_count, total_count).
 ProgressFn = Callable[["RunResult", int, int], None]
@@ -101,6 +107,32 @@ class RunResult:
         return self.utilization
 
 
+#: Per-process memo of seed-invariant cells: a deterministic scheduler
+#: on a seed-independent workload produces identical results for every
+#: seed of the grid, so its replicas reuse one simulation.
+_CELL_MEMO: BoundedDict = BoundedDict(4096)
+
+
+def clear_cell_memo() -> None:
+    """Drop all memoized seed-invariant cells (benchmarks, tests)."""
+    _CELL_MEMO.clear()
+
+
+def _seedless_cell_key(run: RunSpec, scheduler) -> tuple | None:
+    """Seed-independent identity of a cell, or None if the seed matters."""
+    kind, _ = parse_workload_ref(run.workload)
+    if scheduler.seed_sensitive or kind == "random-mix":
+        return None
+    return (
+        run.workload,
+        run.scale,
+        run.machine.name,
+        run.machine.overrides,
+        run.scheduler.name,
+        run.scheduler.params,
+    )
+
+
 def execute_run(run: RunSpec) -> RunResult:
     """Execute one cell; pure function of the spec (workers call this)."""
     # Imported here, not at module level: the experiment harnesses are
@@ -108,15 +140,26 @@ def execute_run(run: RunSpec) -> RunResult:
     # form an import cycle.
     from repro.experiments.runner import run_comparison
 
+    scheduler = run.scheduler.build(run.seed)
+    memo_key = _seedless_cell_key(run, scheduler)
+    if memo_key is not None:
+        cached = _CELL_MEMO.get(memo_key)
+        if cached is not None:
+            # Same simulation, this cell's identity (labels are cosmetic).
+            return replace(
+                cached,
+                key=run.cell_key(),
+                seed=run.seed,
+                scheduler=run.scheduler.effective_label,
+            )
     machine = run.machine.build()
     epg = build_campaign_workload(run.workload, scale=run.scale, seed=run.seed)
-    scheduler = run.scheduler.build(run.seed)
     comparison = run_comparison(
         run.cell_key(), epg, machine=machine, schedulers=[scheduler], seed=run.seed
     )
     result = comparison.results[scheduler.name]
     makespan = result.makespan_cycles
-    return RunResult(
+    run_result = RunResult(
         key=run.cell_key(),
         workload=run.workload,
         machine=run.machine.name,
@@ -135,6 +178,9 @@ def execute_run(run: RunSpec) -> RunResult:
             for core in result.cores
         ],
     )
+    if memo_key is not None:
+        _CELL_MEMO.put(memo_key, run_result)
+    return run_result
 
 
 @dataclass

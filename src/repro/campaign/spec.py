@@ -30,6 +30,7 @@ from repro.sched.locality_mapping import LocalityMappingScheduler
 from repro.sched.random_sched import RandomScheduler
 from repro.sched.round_robin import RoundRobinScheduler
 from repro.sim.config import MachineConfig
+from repro.util.memo import BoundedDict
 from repro.util.rng import derive_seed
 from repro.util.units import KIB
 from repro.workloads.suite import (
@@ -88,16 +89,36 @@ def parse_workload_ref(ref: str) -> tuple[str, int | None]:
     )
 
 
+#: (ref, scale, effective seed) → frozen EPG memo.  One campaign cell
+#: per scheduler otherwise rebuilds the same deterministic workload —
+#: including its enumerated iteration spaces and data sets — once per
+#: cell; sharing the graph object lets every derived cache (data sets,
+#: sharing matrices, built traces) amortize across the whole grid.
+_WORKLOAD_MEMO: BoundedDict = BoundedDict(32)
+
+
 def build_campaign_workload(
     ref: str, scale: float = 1.0, seed: int = 0
 ) -> ExtendedProcessGraph:
-    """Instantiate the EPG a workload reference names."""
+    """Instantiate the EPG a workload reference names (memoized, frozen).
+
+    The returned graph is shared between cells and therefore frozen;
+    callers needing a mutable graph should build one through
+    :mod:`repro.workloads.suite` directly.
+    """
     kind, count = parse_workload_ref(ref)
-    if kind == "app":
-        return ExtendedProcessGraph.from_tasks([build_task(ref, scale=scale)])
-    if kind == "mix":
-        return build_workload_mix(count, scale=scale)
-    return build_random_mix(count, scale=scale, seed=seed)
+    key = (ref, float(scale), seed if kind == "random-mix" else None)
+    epg = _WORKLOAD_MEMO.get(key)
+    if epg is None:
+        if kind == "app":
+            epg = ExtendedProcessGraph.from_tasks([build_task(ref, scale=scale)])
+        elif kind == "mix":
+            epg = build_workload_mix(count, scale=scale)
+        else:
+            epg = build_random_mix(count, scale=scale, seed=seed)
+        epg.freeze()
+        _WORKLOAD_MEMO.put(key, epg)
+    return epg
 
 
 # -- machine variants -------------------------------------------------------------

@@ -9,29 +9,17 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
-from repro.campaign.executor import RunResult, run_campaign
-from repro.campaign.rollup import (
-    render_rollup,
-    write_results_csv,
-    write_results_jsonl,
-)
-from repro.campaign.spec import (
-    CampaignSpec,
-    SchedulerSpec,
-    resolve_machine_preset,
-    suite_campaign,
-)
-from repro.campaign.store import ResultStore
 from repro.errors import CampaignError, ReproError
-from repro.experiments.ablation import render_ablation, run_ablation
-from repro.experiments.export import write_csv
-from repro.experiments.figure2 import render_figure2
-from repro.experiments.figure6 import render_figure6, run_figure6
-from repro.experiments.figure7 import render_figure7, run_figure7
-from repro.experiments.sensitivity import render_sensitivity, run_sensitivity
-from repro.experiments.tables import render_table1, render_table2
+
+# The experiment and campaign machinery (and numpy underneath) is
+# imported inside the dispatch functions: building the parser must stay
+# cheap so ``python -m repro <cmd>`` spends its wall time on the command,
+# and a usage error costs milliseconds.
+if TYPE_CHECKING:
+    from repro.campaign.executor import RunResult
+    from repro.campaign.spec import CampaignSpec
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -70,6 +58,19 @@ def _build_parser() -> argparse.ArgumentParser:
     abl.add_argument("--tasks", type=int, default=4)
     abl.add_argument("--scale", type=float, default=1.0)
     abl.add_argument("--jobs", type=int, default=1)
+
+    bench = sub.add_parser(
+        "bench",
+        help="time the cache kernels and one figure-7 mix; write JSON",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="CI-smoke sizes (seconds, not minutes)",
+    )
+    bench.add_argument(
+        "--output", type=str, default="BENCH_PR2.json",
+        help="where to write the JSON results",
+    )
 
     camp = sub.add_parser(
         "campaign",
@@ -177,8 +178,15 @@ def _split_csv_flag(raw: str, flag: str) -> list[str]:
     return items
 
 
-def _campaign_spec_from_args(args: argparse.Namespace) -> CampaignSpec:
+def _campaign_spec_from_args(args: argparse.Namespace) -> "CampaignSpec":
     """Build the campaign spec a ``campaign`` invocation describes."""
+    from repro.campaign.spec import (
+        CampaignSpec,
+        SchedulerSpec,
+        resolve_machine_preset,
+        suite_campaign,
+    )
+
     if args.spec is not None:
         return CampaignSpec.from_file(args.spec)
     try:
@@ -217,6 +225,14 @@ def _campaign_spec_from_args(args: argparse.Namespace) -> CampaignSpec:
 
 
 def _run_campaign_command(args: argparse.Namespace) -> int:
+    from repro.campaign.executor import RunResult, run_campaign
+    from repro.campaign.rollup import (
+        render_rollup,
+        write_results_csv,
+        write_results_jsonl,
+    )
+    from repro.campaign.store import ResultStore
+
     spec = _campaign_spec_from_args(args)
     store = ResultStore(
         args.store
@@ -224,7 +240,7 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
         else ResultStore.default_path(spec.spec_hash())
     )
 
-    def progress(result: RunResult, done: int, total: int) -> None:
+    def progress(result: "RunResult", done: int, total: int) -> None:
         if not args.quiet:
             print(
                 f"  [{done}/{total}] {result.workload} @ {result.machine} "
@@ -265,17 +281,27 @@ def main(argv: Sequence[str] | None = None) -> int:
 
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "tables":
+        from repro.experiments.tables import render_table1, render_table2
+
         print(render_table1())
         print()
         print(render_table2())
     elif args.command == "figure2":
+        from repro.experiments.figure2 import render_figure2
+
         print(render_figure2())
     elif args.command == "figure6":
+        from repro.experiments.export import write_csv
+        from repro.experiments.figure6 import render_figure6, run_figure6
+
         comparisons = run_figure6(scale=args.scale, seed=args.seed, jobs=args.jobs)
         print(render_figure6(comparisons))
         if args.csv:
             print(f"\n[csv written to {write_csv(comparisons, args.csv)}]")
     elif args.command == "figure7":
+        from repro.experiments.export import write_csv
+        from repro.experiments.figure7 import render_figure7, run_figure7
+
         comparisons = run_figure7(
             scale=args.scale, seed=args.seed, max_tasks=args.max_tasks, jobs=args.jobs
         )
@@ -283,17 +309,30 @@ def _dispatch(args: argparse.Namespace) -> int:
         if args.csv:
             print(f"\n[csv written to {write_csv(comparisons, args.csv)}]")
     elif args.command == "sensitivity":
+        from repro.experiments.sensitivity import (
+            render_sensitivity,
+            run_sensitivity,
+        )
+
         print(
             render_sensitivity(
                 run_sensitivity(num_tasks=args.tasks, scale=args.scale, jobs=args.jobs)
             )
         )
     elif args.command == "ablation":
+        from repro.experiments.ablation import render_ablation, run_ablation
+
         print(
             render_ablation(
                 run_ablation(num_tasks=args.tasks, scale=args.scale, jobs=args.jobs)
             )
         )
+    elif args.command == "bench":
+        from repro.bench import render_bench, run_bench, write_bench
+
+        results = run_bench(quick=args.quick)
+        print(render_bench(results))
+        print(f"\n[json written to {write_bench(results, args.output)}]")
     elif args.command == "campaign":
         return _run_campaign_command(args)
     return 0

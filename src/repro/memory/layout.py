@@ -125,6 +125,48 @@ class DataLayout:
         """Total allocated bytes across all arrays (excluding gaps)."""
         return sum(spec.size_bytes for spec in self._arrays.values())
 
+    def fingerprint(self) -> tuple:
+        """Hashable content identity: two equal fingerprints map every
+        element of every array to the same address.
+
+        Used to key the per-process trace memo, so schedulers that share
+        a layout (by content, not object identity) share built traces.
+        Computed once; the layout is immutable after construction.
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is None:
+            cached = (
+                "base",
+                tuple(
+                    (name, self._bases[name], spec.element_size, spec.num_elements)
+                    for name, spec in sorted(self._arrays.items())
+                ),
+            )
+            self._fingerprint = cached
+        return cached
+
+    def fingerprint_for(self, names) -> tuple:
+        """Content identity restricted to the given arrays.
+
+        A process's trace depends only on the addresses of the arrays it
+        touches, so keying its trace memo on this sub-fingerprint lets
+        workload mixes that grow (the Figure-7 cumulative mixes) reuse
+        traces built under smaller mixes: the shared arrays keep their
+        bases, and the later arrivals don't invalidate anything.
+        """
+        return (
+            "base",
+            tuple(
+                (
+                    name,
+                    self.base(name),
+                    self._arrays[name].element_size,
+                    self._arrays[name].num_elements,
+                )
+                for name in sorted(names)
+            ),
+        )
+
     # -- the addr(.) function ----------------------------------------------------
 
     def addr(self, name: str, flat_index: int) -> int:

@@ -34,6 +34,12 @@ from repro.memory.layout import DataLayout, _align_up
 from repro.programs.arrays import ArraySpec
 
 
+#: Remapped regions start at this address when the base layout ends
+#: below it (8 MiB — comfortably above the suite's footprints while
+#: keeping line tags small enough for the engine's radix-sort path).
+REMAP_REGION_FLOOR = 8 * 1024 * 1024
+
+
 def half_page_remap_offsets(
     offsets: np.ndarray, cache_page: int, b: int
 ) -> np.ndarray:
@@ -73,8 +79,18 @@ class RemappedLayout:
         self._geometry = geometry
         self._b_offsets = dict(b_offsets)
         # Fresh page-aligned regions (2x size) above the base layout.
+        # Regions start at a fixed floor when the base layout fits below
+        # it: a page-aligned uniform placement leaves every line's cache
+        # set (addr mod cache page) — and therefore all hit/miss
+        # behaviour — untouched, while making remapped traces
+        # byte-identical across workload mixes that share a process but
+        # differ in total footprint, which is what lets the trace memo
+        # (repro.cache.memo) reuse their analyses.  Oversized layouts
+        # simply fall back to packing right above the base layout.
         self._region_bases: dict[str, int] = {}
-        cursor = _align_up(base_layout.end_address, page)
+        cursor = _align_up(
+            max(base_layout.end_address, REMAP_REGION_FLOOR), page
+        )
         for name in sorted(self._b_offsets):
             spec = base_layout.spec(name)
             self._region_bases[name] = cursor
@@ -120,6 +136,49 @@ class RemappedLayout:
         if name not in self._b_offsets:
             raise UnknownArrayError(name)
         return self._b_offsets[name]
+
+    def fingerprint(self) -> tuple:
+        """Hashable content identity (see :meth:`DataLayout.fingerprint`).
+
+        The base fingerprint plus the cache page and the per-array
+        ``(b, region base)`` choices fully determine ``addr'(.)``.
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is None:
+            cached = (
+                "remap",
+                self._base.fingerprint(),
+                self._geometry.cache_page,
+                tuple(
+                    (name, self._b_offsets[name], self._region_bases[name])
+                    for name in sorted(self._b_offsets)
+                ),
+            )
+            self._fingerprint = cached
+        return cached
+
+    def fingerprint_for(self, names) -> tuple:
+        """Content identity restricted to the given arrays
+        (see :meth:`DataLayout.fingerprint_for`).
+
+        When none of the named arrays is remapped, their addresses are
+        exactly the base layout's, so the base sub-fingerprint is
+        returned verbatim — a process untouched by the re-layout then
+        shares its memoized trace with the base-layout schedulers.
+        """
+        remapped = tuple(
+            (name, self._b_offsets[name], self._region_bases[name])
+            for name in sorted(names)
+            if name in self._b_offsets
+        )
+        if not remapped:
+            return self._base.fingerprint_for(names)
+        return (
+            "remap",
+            self._base.fingerprint_for(names),
+            self._geometry.cache_page,
+            remapped,
+        )
 
     # -- the addr'(.) function ---------------------------------------------------
 

@@ -16,10 +16,43 @@ from repro.errors import DimensionMismatchError, ValidationError
 
 
 def _canonicalize(points: np.ndarray) -> np.ndarray:
-    """Sort lexicographically and drop duplicate rows."""
+    """Sort lexicographically and drop duplicate rows.
+
+    Point arrays that arrive already in canonical order — grid
+    enumerations, images of monotonic access maps, merges of disjoint
+    ranges — skip ``np.unique``'s sort: sorted 1-D input deduplicates
+    with a boundary scan, and lex-strictly-increasing n-D input is
+    already canonical.
+    """
     if points.size == 0:
         return points.reshape(0, points.shape[1] if points.ndim == 2 else 0)
+    if points.shape[1] == 1:
+        flat = points[:, 0]
+        if bool(np.all(flat[1:] >= flat[:-1])):
+            keep = np.empty(len(flat), dtype=bool)
+            keep[0] = True
+            np.not_equal(flat[1:], flat[:-1], out=keep[1:])
+            return points[keep]
+    elif _lex_strictly_increasing(points):
+        # Copy: the canonical array gets frozen, the input stays the
+        # caller's.
+        return points.copy()
     return np.unique(points, axis=0)
+
+
+def _lex_strictly_increasing(points: np.ndarray) -> bool:
+    """Whether consecutive rows are strictly lexicographically increasing."""
+    if len(points) <= 1:
+        return True
+    head, tail = points[:-1], points[1:]
+    less = np.zeros(len(head), dtype=bool)
+    equal = np.ones(len(head), dtype=bool)
+    for column in range(points.shape[1]):
+        a = head[:, column]
+        b = tail[:, column]
+        less |= equal & (a < b)
+        equal &= a == b
+    return bool(np.all(less))
 
 
 def _as_void(points: np.ndarray) -> np.ndarray:
@@ -130,6 +163,29 @@ class PointSet:
             return self
         return PointSet(np.concatenate([self._points, other._points]), dim=self._dim)
 
+    @classmethod
+    def union_all(cls, sets: Sequence["PointSet"]) -> "PointSet":
+        """Union of many sets in one concatenate-and-canonicalize pass.
+
+        Equivalent to folding :meth:`union`, but pairwise folding re-sorts
+        the accumulated points once per operand; workload-wide footprint
+        merges use this instead.
+        """
+        sets = list(sets)
+        if not sets:
+            raise ValidationError("union_all needs at least one set")
+        dim = sets[0].dim
+        for other in sets[1:]:
+            sets[0]._check_compatible(other)
+        non_empty = [s for s in sets if not s.is_empty()]
+        if not non_empty:
+            return cls.empty(dim)
+        if len(non_empty) == 1:
+            return non_empty[0]
+        return cls(
+            np.concatenate([s._points for s in non_empty]), dim=dim
+        )
+
     def difference(self, other: "PointSet") -> "PointSet":
         """Points in ``self`` but not in ``other``."""
         self._check_compatible(other)
@@ -144,14 +200,36 @@ class PointSet:
         return PointSet(remaining.view(np.int64).reshape(-1, self._dim), dim=self._dim)
 
     def intersection_size(self, other: "PointSet") -> int:
-        """``len(self ∩ other)`` without materialising the intermediate set."""
+        """``len(self ∩ other)`` without materialising the intermediate set.
+
+        For 1-D sets this is a binary-search count — canonical points are
+        already sorted and unique, so probing the larger side with the
+        smaller avoids ``intersect1d``'s sort of the concatenation (the
+        sharing matrix calls this for every process pair).
+        """
         self._check_compatible(other)
         if self.is_empty() or other.is_empty():
             return 0
         if self._dim == 1:
-            return int(
-                np.intersect1d(self.flat(), other.flat(), assume_unique=True).size
-            )
+            haystack = self._points[:, 0]
+            needles = other._points[:, 0]
+            # Partitioned processes mostly touch disjoint index ranges
+            # of a shared array, and co-readers often touch identical
+            # ones; both resolve without a search.
+            if haystack[-1] < needles[0] or needles[-1] < haystack[0]:
+                return 0
+            if (
+                len(haystack) == len(needles)
+                and haystack[0] == needles[0]
+                and haystack[-1] == needles[-1]
+                and np.array_equal(haystack, needles)
+            ):
+                return len(haystack)
+            if len(haystack) < len(needles):
+                haystack, needles = needles, haystack
+            found = np.searchsorted(haystack, needles)
+            found[found == len(haystack)] = 0
+            return int(np.count_nonzero(haystack[found] == needles))
         return int(
             np.intersect1d(
                 _as_void(self._points), _as_void(other._points), assume_unique=True

@@ -30,11 +30,36 @@ class ProcessGraph:
         self._processes: dict[str, Process] = {}
         self._successors: dict[str, set[str]] = {}
         self._predecessors: dict[str, set[str]] = {}
+        self._frozen = False
 
     # -- construction --------------------------------------------------------
 
+    def freeze(self) -> "ProcessGraph":
+        """Make the graph immutable; further structural edits raise.
+
+        Frozen graphs can be shared safely — the workload memo hands the
+        same graph object to many campaign cells, and derived caches
+        (sharing matrices, built traces) rely on the structure never
+        changing underneath them.  Returns ``self`` for chaining.
+        """
+        self._frozen = True
+        return self
+
+    @property
+    def frozen(self) -> bool:
+        """Whether structural edits are disabled."""
+        return self._frozen
+
+    def _check_mutable(self) -> None:
+        if self._frozen:
+            raise ValidationError(
+                "graph is frozen (shared via the workload memo); build a "
+                "new graph instead of mutating a cached one"
+            )
+
     def add_process(self, process: Process) -> None:
         """Add a node; process ids must be unique."""
+        self._check_mutable()
         if not isinstance(process, Process):
             raise ValidationError(f"expected a Process, got {type(process).__name__}")
         if process.pid in self._processes:
@@ -45,6 +70,7 @@ class ProcessGraph:
 
     def add_edge(self, from_pid: str, to_pid: str) -> None:
         """Add the dependence ``from -> to`` (``to`` waits for ``from``)."""
+        self._check_mutable()
         if from_pid not in self._processes:
             raise UnknownProcessError(from_pid)
         if to_pid not in self._processes:

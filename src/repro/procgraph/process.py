@@ -14,13 +14,21 @@ from repro.errors import ValidationError
 from repro.presburger.points import PointSet
 from repro.programs.arrays import ArraySpec
 from repro.programs.fragments import FragmentPiece
+from repro.util.memo import BoundedDict
 from repro.util.validation import check_type
 
 
 class Process:
     """One schedulable process belonging to a task."""
 
-    __slots__ = ("_pid", "_task_name", "_pieces", "_data_cache")
+    __slots__ = (
+        "_pid",
+        "_task_name",
+        "_pieces",
+        "_data_cache",
+        "_trace_cache",
+        "_arrays_cache",
+    )
 
     def __init__(
         self, pid: str, task_name: str, pieces: Sequence[FragmentPiece]
@@ -39,6 +47,8 @@ class Process:
         self._task_name = task_name
         self._pieces = pieces
         self._data_cache: dict[str, PointSet] | None = None
+        self._trace_cache = BoundedDict(8)
+        self._arrays_cache: dict[str, ArraySpec] | None = None
 
     @property
     def pid(self) -> str:
@@ -57,18 +67,20 @@ class Process:
 
     @property
     def arrays(self) -> dict[str, ArraySpec]:
-        """All arrays this process touches, by name."""
-        merged: dict[str, ArraySpec] = {}
-        for piece in self._pieces:
-            for name, spec in piece.arrays.items():
-                existing = merged.get(name)
-                if existing is not None and existing != spec:
-                    raise ValidationError(
-                        f"process {self._pid!r} sees conflicting declarations "
-                        f"for array {name!r}"
-                    )
-                merged[name] = spec
-        return merged
+        """All arrays this process touches, by name (computed once)."""
+        if self._arrays_cache is None:
+            merged: dict[str, ArraySpec] = {}
+            for piece in self._pieces:
+                for name, spec in piece.arrays.items():
+                    existing = merged.get(name)
+                    if existing is not None and existing != spec:
+                        raise ValidationError(
+                            f"process {self._pid!r} sees conflicting "
+                            f"declarations for array {name!r}"
+                        )
+                    merged[name] = spec
+            self._arrays_cache = merged
+        return dict(self._arrays_cache)
 
     @property
     def trip_count(self) -> int:
@@ -96,6 +108,14 @@ class Process:
                     merged[name] = points
         self._data_cache = merged
         return dict(merged)
+
+    def trace_cache_get(self, key):
+        """Fetch a memoized memory trace (see :func:`repro.sim.trace.build_trace`)."""
+        return self._trace_cache.get(key)
+
+    def trace_cache_put(self, key, trace) -> None:
+        """Memoize a built memory trace, bounded to a handful of layouts."""
+        self._trace_cache.put(key, trace)
 
     def footprint_bytes(self) -> int:
         """Total distinct bytes touched across all arrays."""

@@ -113,7 +113,14 @@ class ProgramFragment:
 class FragmentPiece:
     """A fragment restricted to one process's share of the iterations."""
 
-    __slots__ = ("_fragment", "_subset", "_label", "_points_cache", "_data_cache")
+    __slots__ = (
+        "_fragment",
+        "_subset",
+        "_label",
+        "_points_cache",
+        "_data_cache",
+        "_columns_cache",
+    )
 
     def __init__(self, fragment: ProgramFragment, subset: BasicSet, label: str) -> None:
         self._fragment = fragment
@@ -121,6 +128,7 @@ class FragmentPiece:
         self._label = label
         self._points_cache: PointSet | None = None
         self._data_cache: dict[str, PointSet] | None = None
+        self._columns_cache: list[tuple[ArraySpec, np.ndarray, bool]] | None = None
 
     @property
     def fragment(self) -> ProgramFragment:
@@ -196,7 +204,11 @@ class FragmentPiece:
         ``flat_offsets[n]`` is the element touched by this access in the
         n-th iteration (iterations in lexicographic order).  The simulator
         interleaves the columns row-by-row to recover program order.
+        Cached: trace builders call this once per layout, and the offset
+        columns are layout-independent.
         """
+        if self._columns_cache is not None:
+            return list(self._columns_cache)
         points = self.iteration_points()
         loop_vars = self._fragment.nest.variables
         columns: dict[str, np.ndarray] = {
@@ -205,8 +217,10 @@ class FragmentPiece:
         result = []
         for access in self._fragment.accesses:
             offsets = access.access_map(loop_vars).apply_columns(columns)[:, 0]
+            offsets.setflags(write=False)
             result.append((access.array, offsets, access.is_write))
-        return result
+        self._columns_cache = result
+        return list(result)
 
     def __repr__(self) -> str:
         return f"FragmentPiece({self._fragment.name}/{self._label})"

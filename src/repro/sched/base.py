@@ -80,6 +80,14 @@ class Scheduler(abc.ABC):
     #: Short name used in reports ("RS", "RRS", "LS", "LSM", ...).
     name: str = "?"
 
+    #: Whether the produced plan depends on the run seed.  Deterministic
+    #: strategies may set this to False, which lets the campaign executor
+    #: reuse one cell's simulation for its seed replicas.  The default is
+    #: True — the safe direction: a scheduler that consumes randomness
+    #: but forgets to override it merely loses the memoization, instead
+    #: of silently reporting cloned results across seeds.
+    seed_sensitive: bool = True
+
     @abc.abstractmethod
     def prepare(
         self,

@@ -26,6 +26,7 @@ class FifoScheduler(Scheduler):
     """FCFS: dispatch the longest-waiting ready process, run to completion."""
 
     name = "FCFS"
+    seed_sensitive = False
 
     def prepare(
         self,

@@ -42,11 +42,13 @@ if TYPE_CHECKING:
 
 from typing import Literal, Sequence
 
-from repro.errors import InfeasibleScheduleError, ValidationError
+import numpy as np
+
+from repro.errors import InfeasibleScheduleError, UnknownProcessError, ValidationError
 from repro.memory.layout import DataLayout
 from repro.procgraph.graph import ProcessGraph
 from repro.sched.base import PlanMode, Scheduler, SchedulerPlan
-from repro.sharing.matrix import SharingMatrix, compute_sharing_matrix
+from repro.sharing.matrix import SharingMatrix, sharing_matrix_for
 
 TrimPolicy = Literal["max-sharing", "min-sharing"]
 
@@ -60,7 +62,13 @@ def make_locality_picker(sharing: SharingMatrix):
     2. tie-break by minimising ``Σ_r M[q][r]`` over the processes
        currently running on other cores (do not duplicate their data);
     3. final tie: lexicographic pid.
+
+    Scoring gathers whole matrix rows instead of per-pair lookups — the
+    picker runs on every dispatch of every dynamic simulation, and the
+    selected pid is identical to the scalar ``min(ready, key=score)``.
     """
+    matrix = sharing.matrix
+    index = {pid: i for i, pid in enumerate(sharing.pids)}
 
     def picker(
         core_id: int,
@@ -68,14 +76,31 @@ def make_locality_picker(sharing: SharingMatrix):
         last_pid: str | None,
         running: Sequence[str],
     ) -> str:
-        running = [pid for pid in running]
-
-        def score(pid: str) -> tuple[int, int, str]:
-            affinity = sharing.shared(last_pid, pid) if last_pid is not None else 0
-            concurrent = sum(sharing.shared(pid, other) for other in running)
-            return (-affinity, concurrent, pid)
-
-        return min(ready, key=score)
+        if len(ready) == 1:
+            return ready[0]
+        try:
+            rows = np.fromiter(
+                (index[pid] for pid in ready), dtype=np.intp, count=len(ready)
+            )
+            last_row = index[last_pid] if last_pid is not None else None
+            cols = np.fromiter(
+                (index[pid] for pid in running), dtype=np.intp, count=len(running)
+            )
+        except KeyError as exc:
+            raise UnknownProcessError(exc.args[0]) from None
+        if last_row is not None:
+            affinity = matrix[last_row, rows]
+        else:
+            affinity = np.zeros(len(rows), dtype=np.int64)
+        if len(cols):
+            concurrent = matrix[rows[:, None], cols].sum(axis=1)
+        else:
+            concurrent = np.zeros(len(rows), dtype=np.int64)
+        best = min(
+            range(len(ready)),
+            key=lambda k: (-affinity[k], concurrent[k], ready[k]),
+        )
+        return ready[best]
 
     return picker
 
@@ -151,6 +176,7 @@ class LocalityScheduler(Scheduler):
     """LS: the paper's locality-aware scheduler as a dispatch policy."""
 
     name = "LS"
+    seed_sensitive = False
 
     def prepare(
         self,
@@ -159,7 +185,7 @@ class LocalityScheduler(Scheduler):
         layout: DataLayout,
     ) -> SchedulerPlan:
         """Precompute the sharing matrix; dispatch greedily at run time."""
-        sharing = compute_sharing_matrix(epg.processes())
+        sharing = sharing_matrix_for(epg)
         return SchedulerPlan(
             scheduler_name=self.name,
             mode=PlanMode.DYNAMIC,
@@ -173,6 +199,7 @@ class StaticLocalityScheduler(Scheduler):
     """LS-static: the Figure-3 pseudocode as a fixed ahead-of-time plan."""
 
     name = "LS-static"
+    seed_sensitive = False
 
     def __init__(self, trim: TrimPolicy = "max-sharing") -> None:
         if trim not in ("max-sharing", "min-sharing"):
@@ -186,7 +213,7 @@ class StaticLocalityScheduler(Scheduler):
         layout: DataLayout,
     ) -> SchedulerPlan:
         """Compute the sharing matrix and run Figure 3 ahead of time."""
-        sharing = compute_sharing_matrix(epg.processes())
+        sharing = sharing_matrix_for(epg)
         queues = figure3_schedule(epg, sharing, machine.num_cores, trim=self._trim)
         return SchedulerPlan(
             scheduler_name=self.name,

@@ -34,27 +34,69 @@ from repro.memory.remap import RemappedLayout
 from repro.procgraph.graph import ProcessGraph
 from repro.sched.base import PlanMode, Scheduler, SchedulerPlan
 from repro.sched.locality import TrimPolicy, figure3_schedule, make_locality_picker
-from repro.sharing.conflicts import compute_conflict_matrix
-from repro.sharing.matrix import compute_sharing_matrix
+from repro.sharing.conflicts import compute_conflict_matrix, unique_lines
+from repro.sharing.matrix import sharing_matrix_for
 from repro.presburger.points import PointSet
+from repro.util.memo import BoundedDict
+
+
+#: Memo of per-array footprint unions keyed by the identity of the
+#: contributing point sets.  The values pin their inputs (ids stay valid
+#: while an entry lives), so with memoized workloads the union over one
+#: task's processes is computed once per campaign, not once per mix that
+#: includes the task.
+_UNION_MEMO: BoundedDict = BoundedDict(512)
+
+
+def _union_memoized(name: str, sets: list[PointSet]) -> PointSet:
+    key = (name, tuple(id(points) for points in sets))
+    entry = _UNION_MEMO.get(key)
+    if entry is None:
+        entry = (tuple(sets), PointSet.union_all(sets))
+        _UNION_MEMO.put(key, entry)
+    return entry[1]
+
+
+#: Hot-line-count memo, pinned-id keyed like :data:`_UNION_MEMO`.  The
+#: count depends only on the footprint, the array's base address, the
+#: element size, and the line size — all stable across the mixes that
+#: share a (memoized) process.
+_HOT_LINES_MEMO: BoundedDict = BoundedDict(4096)
+
+
+def _hot_lines(points: PointSet, layout: DataLayout, name: str, line_size: int) -> int:
+    spec = layout.spec(name)
+    key = (id(points), layout.base(name), spec.element_size, line_size)
+    entry = _HOT_LINES_MEMO.get(key)
+    if entry is None:
+        addrs = layout.addrs(name, points.flat())
+        hot = int(unique_lines(addrs // line_size).size)
+        entry = (points, hot)
+        _HOT_LINES_MEMO.put(key, entry)
+    return entry[1]
 
 
 def workload_footprints(epg: ProcessGraph) -> dict[str, PointSet]:
-    """Union of every process's footprint, per array (conflict-matrix input)."""
-    merged: dict[str, PointSet] = {}
+    """Union of every process's footprint, per array (conflict-matrix input).
+
+    Collects all per-process sets first and unions each array once —
+    pairwise folding re-canonicalized the growing footprint per process,
+    which dominated LSM preparation on large mixes.
+    """
+    groups: dict[str, list[PointSet]] = {}
     for process in epg:
         for name, points in process.data_sets().items():
-            if name in merged:
-                merged[name] = merged[name].union(points)
-            else:
-                merged[name] = points
-    return merged
+            groups.setdefault(name, []).append(points)
+    return {
+        name: _union_memoized(name, sets) for name, sets in groups.items()
+    }
 
 
 class LocalityMappingScheduler(Scheduler):
     """LSM: the Figure-3 schedule plus the Figure-4/5 re-layout."""
 
     name = "LSM"
+    seed_sensitive = False
 
     def __init__(
         self,
@@ -71,7 +113,7 @@ class LocalityMappingScheduler(Scheduler):
         layout: DataLayout,
     ) -> SchedulerPlan:
         """Plan with Figure 3, re-layout with Figures 4–5, dispatch like LS."""
-        sharing = compute_sharing_matrix(epg.processes())
+        sharing = sharing_matrix_for(epg)
         planned_queues = figure3_schedule(
             epg, sharing, machine.num_cores, trim=self._trim
         )
@@ -116,13 +158,13 @@ class LocalityMappingScheduler(Scheduler):
         # number of distinct lines any single process touches on it (the
         # block that must stay resident for the reuse LSM protects).
         array_lines: dict[str, int] = {}
+        line_size = geometry.line_size
         for process in epg:
             for name, points in process.data_sets().items():
                 if points.is_empty():
                     array_lines.setdefault(name, 0)
                     continue
-                addrs = layout.addrs(name, points.flat())
-                hot = int(np.unique(geometry.lines_of(addrs)).size)
+                hot = _hot_lines(points, layout, name, line_size)
                 array_lines[name] = max(array_lines.get(name, 0), hot)
         decision = select_relayout(
             conflicts,

@@ -30,6 +30,7 @@ class RoundRobinScheduler(Scheduler):
     """RRS: shared-FIFO preemptive round-robin."""
 
     name = "RRS"
+    seed_sensitive = False
 
     def __init__(self, quantum_cycles: int | None = None) -> None:
         if quantum_cycles is not None and quantum_cycles <= 0:

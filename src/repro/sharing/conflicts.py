@@ -20,7 +20,24 @@ import numpy as np
 from repro.cache.geometry import CacheGeometry
 from repro.errors import UnknownArrayError, ValidationError
 from repro.presburger.points import PointSet
+from repro.util.memo import BoundedDict
 from repro.util.tables import format_matrix
+
+
+def unique_lines(lines: np.ndarray) -> np.ndarray:
+    """Distinct values of a line-number array, without sorting when possible.
+
+    Line arrays derived from canonical (sorted) footprints through any
+    monotonic ``addr(.)`` — both the base and the Figure-4 remapped
+    layout are monotonic per array — arrive non-decreasing, so
+    deduplication is a boundary scan; anything else falls back to
+    :func:`np.unique`.
+    """
+    if len(lines) <= 1:
+        return lines
+    if np.all(lines[1:] >= lines[:-1]):
+        return lines[np.r_[True, lines[1:] != lines[:-1]]]
+    return np.unique(lines)
 
 
 class ConflictMatrix:
@@ -113,9 +130,36 @@ def compute_conflict_matrix(
         points = footprints[name]
         if points.is_empty():
             continue
-        addrs = layout.addrs(name, points.flat())
-        lines = np.unique(geometry.lines_of(addrs))
-        sets = lines % geometry.num_sets
-        histograms[row] = np.bincount(sets, minlength=geometry.num_sets)
+        histograms[row] = _set_histogram(points, layout, name, geometry)
     matrix = histograms @ histograms.T
     return ConflictMatrix(names, matrix)
+
+
+#: Per-array set-histogram memo.  Entries pin the footprint PointSet and
+#: the layout, so neither id key can be recycled while the entry lives;
+#: with memoized workloads and stable bases, growing mixes recompute
+#: nothing.
+_HISTOGRAM_MEMO: BoundedDict = BoundedDict(2048)
+
+
+def _set_histogram(
+    points: PointSet, layout, name: str, geometry: CacheGeometry
+) -> np.ndarray:
+    base = getattr(layout, "base", None)
+    key = (
+        id(points),
+        base(name) if base is not None else id(layout),
+        layout.spec(name).element_size,
+        geometry.line_size,
+        geometry.num_sets,
+    )
+    entry = _HISTOGRAM_MEMO.get(key)
+    if entry is None:
+        addrs = layout.addrs(name, points.flat())
+        lines = unique_lines(geometry.lines_of(addrs))
+        histogram = np.bincount(
+            lines % geometry.num_sets, minlength=geometry.num_sets
+        )
+        entry = (points, layout, histogram)
+        _HISTOGRAM_MEMO.put(key, entry)
+    return entry[2]

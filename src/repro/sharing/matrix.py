@@ -12,13 +12,18 @@ near-linear for workload mixes whose tasks are data-disjoint.
 
 from __future__ import annotations
 
-from typing import Sequence
+import weakref
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from repro.errors import UnknownProcessError, ValidationError
 from repro.procgraph.process import Process
+from repro.util.memo import BoundedDict
 from repro.util.tables import format_matrix
+
+if TYPE_CHECKING:
+    from repro.procgraph.graph import ProcessGraph
 
 
 class SharingMatrix:
@@ -131,16 +136,65 @@ def compute_sharing_matrix(processes: Sequence[Process]) -> SharingMatrix:
             len(points) * element_sizes[i][name]
             for name, points in data_sets[i].items()
         )
-        for j in range(i + 1, n):
-            common = data_sets[i].keys() & data_sets[j].keys()
-            if not common:
-                continue
-            shared = 0
-            for name in common:
-                shared += (
-                    data_sets[i][name].intersection_size(data_sets[j][name])
-                    * element_sizes[i][name]
+    # Visit only pairs that actually share an array: walk each array's
+    # owner list instead of testing all O(n²) pairs for common names —
+    # for data-disjoint task mixes almost every pair shares nothing.
+    owners: dict[str, list[int]] = {}
+    for i, footprint in enumerate(data_sets):
+        for name in footprint:
+            owners.setdefault(name, []).append(i)
+    for name, holders in owners.items():
+        if len(holders) < 2:
+            continue
+        for a in range(len(holders)):
+            i = holders[a]
+            points_i = data_sets[i][name]
+            size = element_sizes[i][name]
+            for b in range(a + 1, len(holders)):
+                j = holders[b]
+                shared = (
+                    _pair_intersection(points_i, data_sets[j][name]) * size
                 )
-            matrix[i, j] = shared
-            matrix[j, i] = shared
+                matrix[i, j] += shared
+                matrix[j, i] += shared
     return SharingMatrix(pids, matrix)
+
+
+#: Pairwise intersection-size memo.  Keys are the operand ids; the entry
+#: pins both operands, so an id can never be recycled while its entry is
+#: alive.  Point sets are cached on (memoized) processes, so overlapping
+#: workload mixes re-request the same pairs once per matrix.
+_PAIR_MEMO: BoundedDict = BoundedDict(65536)
+
+
+def _pair_intersection(a, b) -> int:
+    key = (id(a), id(b)) if id(a) <= id(b) else (id(b), id(a))
+    entry = _PAIR_MEMO.get(key)
+    if entry is None:
+        entry = (a, b, a.intersection_size(b))
+        _PAIR_MEMO.put(key, entry)
+    return entry[2]
+
+
+#: Graph-keyed matrix memo; entries die with their graph.
+_MATRIX_CACHE: "weakref.WeakKeyDictionary[ProcessGraph, SharingMatrix]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def sharing_matrix_for(epg: "ProcessGraph") -> SharingMatrix:
+    """The sharing matrix of a whole graph, memoized per graph object.
+
+    LS, LS-static, and LSM each need the identical matrix for the same
+    EPG; memoizing here means one experiment (and every campaign cell
+    sharing a memoized workload graph) computes it once.  The matrix is
+    immutable and the cache is weak, so sharing it is safe and the entry
+    vanishes with the graph.  A graph that gained processes since the
+    cached computation (the pid tuple is the validity check) is simply
+    recomputed.
+    """
+    matrix = _MATRIX_CACHE.get(epg)
+    if matrix is None or matrix.pids != epg.pids:
+        matrix = compute_sharing_matrix(epg.processes())
+        _MATRIX_CACHE[epg] = matrix
+    return matrix

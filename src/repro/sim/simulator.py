@@ -28,10 +28,12 @@ Modelling notes (documented substitutions for Simics):
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 
 import numpy as np
 
+from repro.cache.memo import execute_trace, fast_cache_enabled
 from repro.cache.miss_classifier import MissClassifier
 from repro.cache.sa_cache import SetAssociativeCache
 from repro.cache.stats import CacheStats
@@ -108,9 +110,9 @@ class MPSoCSimulator:
             hits, misses, config.cache_hit_cycles, config.miss_cycles
         )
 
-    def _writeback_cycles(self, delta: CacheStats) -> int:
+    def _writeback_cycles(self, dirty_evictions: int) -> int:
         if self._config.charge_writebacks:
-            return delta.dirty_evictions * self._config.memory_latency_cycles
+            return dirty_evictions * self._config.memory_latency_cycles
         return 0
 
     def _run_whole_trace(
@@ -121,6 +123,13 @@ class MPSoCSimulator:
     ) -> tuple[int, int]:
         """Run a full trace; slow per-access path only when classifying."""
         if classifier is None:
+            if fast_cache_enabled():
+                return execute_trace(
+                    cache,
+                    trace.lines,
+                    trace.writes,
+                    fingerprint=trace.fingerprint(),
+                )
             return cache.run_trace(trace.lines, trace.writes)
         hits = 0
         misses = 0
@@ -183,12 +192,13 @@ class MPSoCSimulator:
                     start = max(free_at[core], ready_at)
                     trace = traces[pid]
                     cache = caches[core]
-                    before = cache.stats.snapshot()
+                    evictions_before = cache.stats.dirty_evictions
                     classifier = classifiers[core] if classifiers else None
                     hits, misses = self._run_whole_trace(cache, classifier, trace)
-                    delta = cache.stats.delta_since(before)
                     duration = self._duration(trace, hits, misses)
-                    duration += self._writeback_cycles(delta)
+                    duration += self._writeback_cycles(
+                        cache.stats.dirty_evictions - evictions_before
+                    )
                     duration += self._config.context_switch_cycles
                     completion[pid] = start + duration
                     records[pid] = ProcessRecord(
@@ -244,7 +254,13 @@ class MPSoCSimulator:
         caches, classifiers = self._make_caches()
         events = EventQueue()
         pending = {pid: len(epg.predecessors(pid)) for pid in epg.pids}
+        # ``ready`` is a heap: newly released pids are pushed in O(log n)
+        # instead of re-sorting the whole list on every completion event.
+        # Pickers still see the identical fully-sorted tuple (built once
+        # per dispatch batch), so every dispatch decision — including
+        # RS's rng consumption order — is unchanged.
         ready = sorted(pid for pid, count in pending.items() if count == 0)
+        ready_view: tuple[str, ...] | None = tuple(ready)
         completed: set[str] = set()
         idle: set[int] = set(range(num_cores))
         last_pid: list[str | None] = [None] * num_cores
@@ -254,27 +270,33 @@ class MPSoCSimulator:
         records: dict[str, ProcessRecord] = {}
 
         def dispatch_idle_cores(now: int) -> None:
+            nonlocal ready_view
             while ready and idle:
+                if ready_view is None:
+                    ready_view = tuple(sorted(ready))
                 core = min(idle)
                 co_running = tuple(
                     running[c] for c in sorted(running) if c != core
                 )
-                pid = plan.picker(core, tuple(ready), last_pid[core], co_running)
+                pid = plan.picker(core, ready_view, last_pid[core], co_running)
                 if pid not in ready:
                     raise SchedulingError(
                         f"picker returned {pid!r}, not in the ready set"
                     )
                 ready.remove(pid)
+                heapq.heapify(ready)
+                ready_view = tuple(item for item in ready_view if item != pid)
                 idle.discard(core)
                 running[core] = pid
                 trace = traces[pid]
                 cache = caches[core]
                 classifier = classifiers[core] if classifiers else None
-                before = cache.stats.snapshot()
+                evictions_before = cache.stats.dirty_evictions
                 hits, misses = self._run_whole_trace(cache, classifier, trace)
-                delta = cache.stats.delta_since(before)
                 duration = self._duration(trace, hits, misses)
-                duration += self._writeback_cycles(delta)
+                duration += self._writeback_cycles(
+                    cache.stats.dirty_evictions - evictions_before
+                )
                 duration += self._config.context_switch_cycles
                 records[pid] = ProcessRecord(
                     pid=pid,
@@ -302,8 +324,8 @@ class MPSoCSimulator:
             for successor in sorted(epg.successors(pid)):
                 pending[successor] -= 1
                 if pending[successor] == 0:
-                    ready.append(successor)
-            ready.sort()
+                    heapq.heappush(ready, successor)
+                    ready_view = None
             idle.add(core)
             dispatch_idle_cores(now)
         if len(completed) != len(epg):
@@ -346,6 +368,13 @@ class MPSoCSimulator:
         quantum = plan.quantum_cycles
         config = self._config
         caches, _ = self._make_caches()
+        set_mask = config.geometry().num_sets - 1
+        hit_cost = config.cache_hit_cycles
+        miss_extra = config.memory_latency_cycles
+        rows_of = {
+            pid: trace.budget_rows(set_mask, hit_cost)
+            for pid, trace in traces.items()
+        }
         events = EventQueue()
         pending = {pid: len(epg.predecessors(pid)) for pid in epg.pids}
         queue: deque[str] = deque(
@@ -372,17 +401,16 @@ class MPSoCSimulator:
                 first_dispatch[pid] = now
             trace = traces[pid]
             cache = caches[core]
-            before = cache.stats.snapshot()
-            next_index, used, hits, misses = cache.run_trace_budget(
-                trace.lines,
-                trace.writes,
+            evictions_before = cache.stats.dirty_evictions
+            next_index, used, hits, misses = cache.run_budget_rows(
+                rows_of[pid],
                 cursor[pid],
-                config.cache_hit_cycles,
-                config.miss_cycles,
-                trace.extra_cycles,
+                miss_extra,
                 quantum,
             )
-            used += self._writeback_cycles(cache.stats.delta_since(before))
+            used += self._writeback_cycles(
+                cache.stats.dirty_evictions - evictions_before
+            )
             used += config.context_switch_cycles
             cursor[pid] = next_index
             hits_acc[pid] += hits

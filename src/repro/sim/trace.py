@@ -5,6 +5,12 @@ affine accesses produce: iterations in lexicographic order, accesses in
 program order within each iteration, addresses resolved through the plan's
 layout (base or remapped), lines through the cache geometry.  Non-memory
 work is charged as ``extra_cycles`` on the first access of each iteration.
+
+Because a trace is a pure function of ``(process, layout, geometry)``,
+:func:`build_trace` memoizes its result on the process object keyed by
+the layout's content fingerprint and the geometry: the schedulers of one
+comparison (and campaign cells sharing memoized workloads) rebuild each
+process trace zero times instead of once per scheduler.
 """
 
 from __future__ import annotations
@@ -14,8 +20,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.cache.geometry import CacheGeometry
+from repro.cache.memo import trace_fingerprint
 from repro.errors import ValidationError
 from repro.procgraph.process import Process
+from repro.util.memo import BoundedDict
 
 
 @dataclass(frozen=True)
@@ -51,14 +59,96 @@ class ProcessTrace:
             )
         return hits * hit_cost + misses * miss_cost + self.total_compute_cycles
 
+    def fingerprint(self) -> bytes:
+        """Digest of the cache-visible content (lines + writes), cached.
+
+        This keys the cross-run execution memo
+        (:mod:`repro.cache.memo`); traces with equal fingerprints behave
+        identically on any cache state.
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is None:
+            cached = trace_fingerprint(self.lines, self.writes)
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
+
+    def as_lists(self) -> tuple[list, list, list]:
+        """The trace arrays as plain Python lists, converted once.
+
+        The preemptive (shared-queue) driver walks traces access by
+        access in Python; handing it lists avoids re-converting the full
+        arrays on every quantum dispatch.
+        """
+        cached = getattr(self, "_lists", None)
+        if cached is None:
+            cached = (
+                self.lines.tolist(),
+                self.writes.tolist(),
+                self.extra_cycles.tolist(),
+            )
+            object.__setattr__(self, "_lists", cached)
+        return cached
+
+    def budget_rows(
+        self, set_mask: int, hit_cost: int
+    ) -> list[tuple[int, int, bool, int]]:
+        """Per-access ``(set, line, is_write, base_cost)`` rows, cached.
+
+        ``base_cost`` folds the hit latency into the per-access compute
+        cycles, so the budgeted loop
+        (:meth:`SetAssociativeCache.run_budget_rows`) does one list
+        index and one add per access instead of three indexes and a
+        modulo.  Keyed by ``(set_mask, hit_cost)`` — the only machine
+        parameters baked into the rows.
+        """
+        caches = getattr(self, "_budget_rows", None)
+        if caches is None:
+            caches = BoundedDict(4)
+            object.__setattr__(self, "_budget_rows", caches)
+        key = (set_mask, hit_cost)
+        rows = caches.get(key)
+        if rows is None:
+            rows = list(
+                zip(
+                    (self.lines & set_mask).tolist(),
+                    self.lines.tolist(),
+                    self.writes.tolist(),
+                    (self.extra_cycles + hit_cost).tolist(),
+                )
+            )
+            caches.put(key, rows)
+        return rows
+
 
 def build_trace(process: Process, layout, geometry: CacheGeometry) -> ProcessTrace:
     """Generate the trace of one process under a concrete layout.
 
     ``layout`` is duck-typed: any object with ``addrs(name, flat_indices)``
     (:class:`~repro.memory.layout.DataLayout` or
-    :class:`~repro.memory.remap.RemappedLayout`).
+    :class:`~repro.memory.remap.RemappedLayout`).  Layouts that also
+    expose a content ``fingerprint()`` get the per-process memo: the
+    built trace is cached on the process and reused whenever the same
+    process is traced under a content-identical layout and geometry.
     """
+    layout_fp = getattr(layout, "fingerprint_for", None)
+    memo_key = None
+    if layout_fp is not None:
+        # Scope the fingerprint to the arrays this process touches, so
+        # growing a mix (which appends arrays without moving existing
+        # ones) keeps earlier processes' traces valid.
+        memo_key = (layout_fp(tuple(process.arrays)), geometry)
+        cached = process.trace_cache_get(memo_key)
+        if cached is not None:
+            return cached
+    trace = _build_trace_uncached(process, layout, geometry)
+    if memo_key is not None:
+        process.trace_cache_put(memo_key, trace)
+    return trace
+
+
+def _build_trace_uncached(
+    process: Process, layout, geometry: CacheGeometry
+) -> ProcessTrace:
     line_chunks: list[np.ndarray] = []
     write_chunks: list[np.ndarray] = []
     extra_chunks: list[np.ndarray] = []

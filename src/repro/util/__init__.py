@@ -1,5 +1,6 @@
 """Shared utilities: deterministic RNG, unit conversion, tables, validation."""
 
+from repro.util.memo import BoundedDict
 from repro.util.rng import DeterministicRng, derive_seed
 from repro.util.tables import AsciiBarChart, AsciiTable, format_matrix
 from repro.util.units import (
@@ -20,6 +21,7 @@ from repro.util.validation import (
 __all__ = [
     "AsciiBarChart",
     "AsciiTable",
+    "BoundedDict",
     "DeterministicRng",
     "KIB",
     "MIB",

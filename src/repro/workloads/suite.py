@@ -10,6 +10,7 @@ from __future__ import annotations
 from repro.errors import UnknownWorkloadError, ValidationError
 from repro.procgraph.graph import ExtendedProcessGraph
 from repro.procgraph.task import Task
+from repro.util.memo import BoundedDict
 from repro.util.rng import DeterministicRng
 from repro.workloads.base import WorkloadSpec
 from repro.workloads.medim04 import build_medim04
@@ -30,6 +31,14 @@ SUITE: tuple[WorkloadSpec, ...] = (
 
 _BY_NAME = {spec.name: spec for spec in SUITE}
 
+#: (name, scale) → Task memo.  Suite tasks are deterministic pure
+#: functions of their scale, and Task/Process objects are structurally
+#: immutable (their only mutable state is append-only derived caches:
+#: data sets, iteration points, built traces).  Sharing one Task object
+#: across every mix and campaign cell that names it is what lets those
+#: caches pay off across whole experiment grids.
+_TASK_MEMO: BoundedDict = BoundedDict(64)
+
 
 def workload_names() -> list[str]:
     """The six application names, in Table-1 order."""
@@ -37,10 +46,15 @@ def workload_names() -> list[str]:
 
 
 def build_task(name: str, scale: float = 1.0) -> Task:
-    """Build one application by name."""
+    """Build one application by name (memoized per ``(name, scale)``)."""
     if name not in _BY_NAME:
         raise UnknownWorkloadError(name, workload_names())
-    return _BY_NAME[name].build(scale=scale)
+    key = (name, float(scale))
+    task = _TASK_MEMO.get(key)
+    if task is None:
+        task = _BY_NAME[name].build(scale=scale)
+        _TASK_MEMO.put(key, task)
+    return task
 
 
 def build_workload_mix(num_tasks: int, scale: float = 1.0) -> ExtendedProcessGraph:
@@ -54,7 +68,7 @@ def build_workload_mix(num_tasks: int, scale: float = 1.0) -> ExtendedProcessGra
         raise ValidationError(
             f"num_tasks must be in [1, {len(SUITE)}], got {num_tasks}"
         )
-    tasks = [spec.build(scale=scale) for spec in SUITE[:num_tasks]]
+    tasks = [build_task(spec.name, scale=scale) for spec in SUITE[:num_tasks]]
     return ExtendedProcessGraph.from_tasks(tasks)
 
 
@@ -74,5 +88,5 @@ def build_random_mix(
         )
     rng = DeterministicRng(seed, "random-mix", num_tasks)
     chosen = rng.shuffle(list(SUITE))[:num_tasks]
-    tasks = [spec.build(scale=scale) for spec in chosen]
+    tasks = [build_task(spec.name, scale=scale) for spec in chosen]
     return ExtendedProcessGraph.from_tasks(tasks)
