@@ -1,9 +1,10 @@
 """Concurrent workload mixes — the paper's Figure-7 scenario.
 
-Runs the cumulative application mixes |T| = 1..6 under all four
-schedulers and prints the completion-time series plus the grouped bar
-chart, showing the locality-aware strategies' growing advantage (and
-LSM's conflict repair) as multiprogramming pressure rises.
+Builds the cumulative mixes |T| = 1..N as one ``Scenario`` grid (the
+``mix:N`` workload family from the registry), runs it through the
+``Engine``, and regroups the flat results into the comparisons the
+Figure-7 renderer consumes — the same path ``python -m repro figure7``
+takes, spelled out as facade calls.
 
 Run:  python examples/concurrent_workloads.py  [--max-tasks N] [--scale S]
 """
@@ -12,7 +13,8 @@ from __future__ import annotations
 
 import argparse
 
-from repro.experiments.figure7 import render_figure7, run_figure7
+from repro.api import Engine, Scenario, group_comparisons
+from repro.experiments.figure7 import render_figure7
 
 
 def main() -> None:
@@ -25,7 +27,16 @@ def main() -> None:
     )
     args = parser.parse_args()
 
-    comparisons = run_figure7(scale=args.scale, max_tasks=args.max_tasks)
+    scenario = (
+        Scenario()
+        .workload(*(f"mix:{n}" for n in range(1, args.max_tasks + 1)))
+        .scale(args.scale)
+        .name("figure7")
+    )
+    outcome = Engine().run_campaign(scenario)
+    comparisons = group_comparisons(
+        outcome.results, label=lambda ref: f"|T|={ref.split(':', 1)[1]}"
+    )
     print(render_figure7(comparisons))
 
     last = comparisons[-1]

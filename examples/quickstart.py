@@ -1,24 +1,17 @@
 """Quickstart: schedule one application under all four strategies.
 
-Builds the paper's MxM task (triple matrix multiplication), runs it on
-the Table-2 MPSoC under RS, RRS, LS, and LSM, and prints the completion
-times and cache statistics.
+Everything goes through the ``repro.api`` facade: a fluent ``Scenario``
+describes *what* to run (the paper's MxM task on the Table-2 MPSoC under
+RS, RRS, LS, and LSM), and the ``Engine`` runs it, returning the same
+typed records the figure harnesses use.
 
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import (
-    LocalityMappingScheduler,
-    LocalityScheduler,
-    MachineConfig,
-    MPSoCSimulator,
-    RandomScheduler,
-    RoundRobinScheduler,
-)
-from repro.procgraph import ExtendedProcessGraph
-from repro.workloads import build_task
+from repro import MachineConfig
+from repro.api import Engine, Scenario
 
 
 def main() -> None:
@@ -27,33 +20,34 @@ def main() -> None:
     for parameter, value in machine.describe():
         print(f"  {parameter}: {value}")
 
-    task = build_task("MxM")
-    epg = ExtendedProcessGraph.from_tasks([task])
-    print(
-        f"\nWorkload: {task.name} — {task.num_processes} processes, "
-        f"{epg.num_edges} dependence edges"
+    # One workload, one machine, one seed, four schedulers -> one
+    # comparison.  Axes left unset take the paper's defaults, so
+    # .scheduler(...) below is only spelled out for the tour.
+    scenario = (
+        Scenario()
+        .workload("MxM")
+        .scheduler("RS", "RRS", "LS", "LSM")
+        .seed(1)
     )
+    comparison = Engine().compare(scenario)
 
-    simulator = MPSoCSimulator(machine)
-    schedulers = [
-        RandomScheduler(seed=1),
-        RoundRobinScheduler(),
-        LocalityScheduler(),
-        LocalityMappingScheduler(),
-    ]
     print("\nResults:")
     baseline = None
-    for scheduler in schedulers:
-        result = simulator.run(epg, scheduler)
+    for name, seconds in comparison.ordered_seconds():
+        result = comparison.results[name]
         if baseline is None:
-            baseline = result.seconds
-        speedup = baseline / result.seconds
+            baseline = seconds
         print(
-            f"  {result.scheduler_name:>4}: {result.seconds * 1e3:7.3f} ms"
+            f"  {name:>4}: {seconds * 1e3:7.3f} ms"
             f"  (miss rate {result.miss_rate:.3f},"
             f" utilisation {result.core_utilization():.2f},"
-            f" {speedup:.2f}x vs RS)"
+            f" {baseline / seconds:.2f}x vs RS)"
         )
+
+    print(
+        f"\nLS is {comparison.speedup('RS', 'LS'):.2f}x faster than RS; "
+        f"LSM reaches {comparison.speedup('RS', 'LSM'):.2f}x."
+    )
 
 
 if __name__ == "__main__":

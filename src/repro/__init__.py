@@ -14,7 +14,10 @@ The package implements the paper's complete system:
 - :mod:`repro.workloads` — the six Table-1 applications;
 - :mod:`repro.experiments` — harnesses regenerating every table/figure;
 - :mod:`repro.campaign` — declarative, parallel, resumable scenario
-  sweeps over the (workload x machine x scheduler x seed) grid.
+  sweeps over the (workload x machine x scheduler x seed) grid;
+- :mod:`repro.api` — the public facade: scheduler/workload/machine
+  registries (plugin decorators included), the fluent ``Scenario``
+  builder, and the ``Engine`` behind every entry point.
 
 Quickstart::
 
@@ -41,7 +44,16 @@ from repro.sched import (
 from repro.sharing import SharingMatrix, compute_sharing_matrix
 from repro.sim import MachineConfig, MPSoCSimulator, SimulationResult
 
-__version__ = "1.0.0"
+# The single source of truth for the version is the installed package
+# metadata (pyproject.toml).  Running from a source checkout via
+# PYTHONPATH=src has no metadata, so fall back to the pinned literal —
+# keep it in sync with pyproject.toml's [project] version.
+try:
+    from importlib.metadata import PackageNotFoundError, version as _dist_version
+
+    __version__ = _dist_version("repro-mpsoc-locality")
+except PackageNotFoundError:  # pragma: no cover - depends on install mode
+    __version__ = "1.1.0"
 
 __all__ = [
     "CacheGeometry",

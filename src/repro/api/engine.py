@@ -1,0 +1,225 @@
+"""The :class:`Engine` — one execution surface behind every entry point.
+
+The engine owns the cell loop that used to live in three places (the
+example scripts' inline ``MPSoCSimulator.run`` loops, the experiment
+harnesses' ``run_comparison``, and the campaign executor): it takes
+anything that normalizes to :class:`~repro.campaign.spec.RunSpec` cells
+and runs them under one of three policies —
+
+- ``"serial"`` — in declaration order, in-process (deterministic, no
+  pool overhead; what the figure harnesses use);
+- ``"threads"`` — a thread pool; worthwhile because the cache kernels
+  release the GIL inside numpy, and required when plugin schedulers or
+  workloads were registered at runtime (thread workers see them);
+- ``"processes"`` — the multiprocessing fan-out campaigns always used.
+  Worker processes re-import :mod:`repro`, so runtime-registered
+  plugins are only visible where the start method is ``fork`` (the
+  Linux default) or the plugin module is imported on worker start.
+
+Results are the existing typed records (:class:`RunResult`,
+:class:`CampaignOutcome`, :class:`SchedulerComparison`), so everything
+downstream — rollups, CSV export, figure renderers, resume — is
+unchanged.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+
+from repro.api.scenario import Scenario
+from repro.campaign.spec import CampaignSpec, RunSpec
+from repro.errors import CampaignError
+
+if TYPE_CHECKING:
+    from repro.campaign.executor import CampaignOutcome, ProgressFn, RunResult
+    from repro.campaign.store import ResultStore
+    from repro.experiments.runner import SchedulerComparison
+
+#: The supported execution policies, in cheapest-first order.
+EXECUTION_POLICIES = ("serial", "threads", "processes")
+
+#: Per-result callback invoked as cells complete (completion order).
+ResultFn = Callable[["RunResult"], None]
+
+
+def _as_run_specs(runnable: object) -> list[RunSpec]:
+    """Normalize any facade input to a flat list of grid cells."""
+    if isinstance(runnable, RunSpec):
+        return [runnable]
+    if isinstance(runnable, (Scenario, CampaignSpec)):
+        return runnable.expand()
+    if isinstance(runnable, Iterable) and not isinstance(runnable, (str, bytes)):
+        runs: list[RunSpec] = []
+        for item in runnable:
+            runs.extend(_as_run_specs(item))
+        return runs
+    raise CampaignError(
+        f"cannot run {runnable!r}: expected a Scenario, CampaignSpec, "
+        f"RunSpec, or an iterable of those"
+    )
+
+
+@dataclass
+class Engine:
+    """Runs scenarios; construction is cheap and carries only policy.
+
+    ``jobs`` is the worker count for the pooled policies; ``policy=None``
+    picks ``"serial"`` for ``jobs=1`` and ``"processes"`` otherwise
+    (the campaign executor's historical behavior).  ``store``/``resume``
+    apply to :meth:`run_campaign` only, mirroring
+    :func:`repro.campaign.executor.run_campaign`.
+    """
+
+    jobs: int = 1
+    policy: str | None = None
+    store: "ResultStore | str | Path | None" = None
+    resume: bool = False
+    progress: "ProgressFn | None" = None
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise CampaignError(f"jobs must be >= 1, got {self.jobs}")
+        if self.policy is not None and self.policy not in EXECUTION_POLICIES:
+            raise CampaignError(
+                f"unknown execution policy {self.policy!r}; expected one "
+                f"of {', '.join(EXECUTION_POLICIES)}"
+            )
+
+    # -- single cell ---------------------------------------------------------
+
+    def run(self, runnable: object) -> "RunResult":
+        """Run exactly one cell and return its :class:`RunResult`."""
+        runs = _as_run_specs(runnable)
+        if len(runs) != 1:
+            raise CampaignError(
+                f"Engine.run() executes exactly one cell, got {len(runs)}; "
+                f"use run_many() or run_campaign() for grids"
+            )
+        from repro.campaign.executor import execute_run
+
+        return execute_run(runs[0])
+
+    # -- flat fan-out --------------------------------------------------------
+
+    def run_many(
+        self,
+        runnables: object,
+        policy: str | None = None,
+        jobs: int | None = None,
+        on_result: ResultFn | None = None,
+    ) -> "list[RunResult]":
+        """Run every cell; returns results in declaration order.
+
+        ``on_result`` fires as cells complete (completion order under the
+        pooled policies).  This is *the* cell loop — the campaign
+        executor and the figure harnesses all funnel through here.
+        """
+        runs = _as_run_specs(runnables)
+        jobs = self.jobs if jobs is None else jobs
+        if jobs < 1:
+            raise CampaignError(f"jobs must be >= 1, got {jobs}")
+        policy = policy if policy is not None else self.policy
+        if policy is None:
+            policy = "serial" if jobs == 1 else "processes"
+        if policy not in EXECUTION_POLICIES:
+            raise CampaignError(
+                f"unknown execution policy {policy!r}; expected one of "
+                f"{', '.join(EXECUTION_POLICIES)}"
+            )
+        if jobs == 1 or len(runs) <= 1:
+            policy = "serial"
+
+        from repro.campaign.executor import execute_run
+
+        if policy == "serial":
+            results = []
+            for run in runs:
+                result = execute_run(run)
+                if on_result is not None:
+                    on_result(result)
+                results.append(result)
+            return results
+
+        pool_cls = ThreadPoolExecutor if policy == "threads" else ProcessPoolExecutor
+        ordered: "list[RunResult | None]" = [None] * len(runs)
+        with pool_cls(max_workers=jobs) as pool:
+            futures = {
+                pool.submit(execute_run, run): index
+                for index, run in enumerate(runs)
+            }
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    result = future.result()
+                    ordered[futures[future]] = result
+                    if on_result is not None:
+                        on_result(result)
+        return ordered  # type: ignore[return-value] — every slot filled
+
+    # -- full campaigns (store, resume, rollup-ready outcome) ----------------
+
+    def run_campaign(
+        self,
+        campaign: "Scenario | CampaignSpec",
+        jobs: int | None = None,
+        policy: str | None = None,
+    ) -> "CampaignOutcome":
+        """Run a whole grid with store/resume handling.
+
+        Thin front door over :func:`repro.campaign.executor.run_campaign`
+        (which itself loops through :meth:`run_many`), so CLI campaigns
+        and facade campaigns share one code path.
+        """
+        from repro.campaign.executor import run_campaign
+
+        spec = campaign.to_campaign() if isinstance(campaign, Scenario) else campaign
+        if not isinstance(spec, CampaignSpec):
+            raise CampaignError(
+                f"run_campaign() needs a Scenario or CampaignSpec, "
+                f"got {campaign!r}"
+            )
+        return run_campaign(
+            spec,
+            jobs=self.jobs if jobs is None else jobs,
+            store=self.store,
+            resume=self.resume,
+            progress=self.progress,
+            policy=policy if policy is not None else self.policy,
+        )
+
+    # -- scheduler comparisons (the run_comparison shape) --------------------
+
+    def compare(
+        self,
+        runnable: "Scenario | CampaignSpec | Sequence[RunSpec]",
+        policy: str | None = None,
+    ) -> "SchedulerComparison":
+        """Run one workload/machine/seed under several schedulers.
+
+        Returns the same :class:`SchedulerComparison` record the figure
+        renderers and CSV exporters consume — the facade replacement for
+        calling :func:`repro.experiments.runner.run_comparison` by hand.
+        """
+        from repro.campaign.compat import group_comparisons
+
+        runs = _as_run_specs(runnable)
+        # group on the full frozen MachineVariant, not just its name, so
+        # same-named variants with different overrides cannot merge
+        groups = {(r.workload, r.machine, r.seed, r.scale) for r in runs}
+        if len(groups) != 1:
+            raise CampaignError(
+                f"compare() wants one workload/machine/seed under several "
+                f"schedulers; got {len(groups)} distinct cells — use "
+                f"run_many() and group_comparisons() instead"
+            )
+        results = self.run_many(runs, policy=policy)
+        return group_comparisons(results)[0]

@@ -1,0 +1,222 @@
+"""The generic plugin registry behind the :mod:`repro.api` facade.
+
+A :class:`Registry` is an ordered ``name -> value`` table with decorator
+registration, discovery (:meth:`Registry.names`, :meth:`Registry.entries`),
+and unknown-name errors that enumerate the valid names and suggest the
+nearest match.  The concrete scheduler/workload/machine registries in
+:mod:`repro.api.registries` are instances of this one class, so a
+third-party plugin registers the same way a builtin does — the only
+difference is the ``origin`` tag shown by ``python -m repro list``.
+"""
+
+from __future__ import annotations
+
+import re
+import warnings
+from collections.abc import Iterator, MutableMapping
+from dataclasses import dataclass
+from typing import Callable, Generic, TypeVar
+
+from repro.errors import RegistryError, UnknownEntryError
+
+T = TypeVar("T")
+
+#: Registered names must be CLI-safe: they appear in comma-separated
+#: flag lists and (for workloads) in ``name:N`` references, so commas,
+#: colons, and whitespace are excluded.
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.+-]*$")
+
+
+@dataclass(frozen=True)
+class RegistryEntry(Generic[T]):
+    """One registered value plus the metadata discovery tools show."""
+
+    name: str
+    value: T
+    description: str = ""
+    origin: str = "plugin"  # "builtin" for the paper's own entries
+
+
+class Registry(Generic[T]):
+    """An ordered, discoverable ``name -> value`` table.
+
+    Entries keep registration order (builtins register in paper order,
+    plugins append), which is the order discovery and ``repro list``
+    report them in.
+    """
+
+    def __init__(self, kind: str) -> None:
+        #: Human-readable singular noun used in error messages
+        #: ("scheduler", "workload", "machine preset").
+        self.kind = kind
+        self._entries: dict[str, RegistryEntry[T]] = {}
+
+    # -- registration --------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        value: T | None = None,
+        *,
+        description: str = "",
+        origin: str = "plugin",
+        overwrite: bool = False,
+    ):
+        """Register ``value`` under ``name``; usable as a decorator.
+
+        With ``value`` omitted, returns a decorator that registers the
+        decorated object and hands it back unchanged.  Re-registering a
+        taken name is an error unless ``overwrite=True`` — silently
+        shadowing a builtin is exactly the kind of spooky action a
+        plugin system must refuse.
+        """
+        if value is None:
+            def decorate(obj: T) -> T:
+                self.register(
+                    name,
+                    obj,
+                    description=description,
+                    origin=origin,
+                    overwrite=overwrite,
+                )
+                return obj
+
+            return decorate
+        if not isinstance(name, str) or not _NAME_RE.match(name):
+            raise RegistryError(
+                f"invalid {self.kind} name {name!r}: names must match "
+                f"{_NAME_RE.pattern} (they appear in CLI comma lists and "
+                f"'name:N' references)"
+            )
+        if name in self._entries and not overwrite:
+            raise RegistryError(
+                f"{self.kind} {name!r} is already registered "
+                f"(origin: {self._entries[name].origin}); pass "
+                f"overwrite=True to replace it"
+            )
+        if not description:
+            description = _first_doc_line(value)
+        self._entries[name] = RegistryEntry(
+            name=name, value=value, description=description, origin=origin
+        )
+        return value
+
+    def unregister(self, name: str) -> None:
+        """Remove an entry (plugin teardown, tests)."""
+        self.get_entry(name)  # raise the helpful error on unknown names
+        del self._entries[name]
+
+    # -- lookup and discovery ------------------------------------------------
+
+    def get_entry(self, name: str) -> RegistryEntry[T]:
+        """The full entry for ``name``; raises :class:`UnknownEntryError`."""
+        try:
+            return self._entries[name]
+        except (KeyError, TypeError):
+            raise UnknownEntryError(self.kind, name, self.names()) from None
+
+    def get(self, name: str) -> T:
+        """The registered value for ``name``."""
+        return self.get_entry(name).value
+
+    def names(self) -> list[str]:
+        """Registered names, in registration order."""
+        return list(self._entries)
+
+    def entries(self) -> list[RegistryEntry[T]]:
+        """All entries, in registration order."""
+        return list(self._entries.values())
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"Registry({self.kind!r}, {self.names()!r})"
+
+    def legacy_mapping(
+        self,
+        replacement: str,
+        wrap: Callable | None = None,
+        unwrap: Callable | None = None,
+    ) -> "LegacyRegistryView":
+        """A dict-like deprecation shim over this registry.
+
+        Old call sites that indexed the closed factory tables
+        (``SCHEDULER_REGISTRY["LS"]``, ``MACHINE_PRESETS["paper"]``)
+        keep working through the returned view; mutating it still
+        registers, but warns and points at ``replacement``.  ``wrap``
+        adapts registry values to the old mapping's value type on read;
+        ``unwrap`` is its inverse, applied on write.
+        """
+        return LegacyRegistryView(self, replacement, wrap, unwrap)
+
+
+class LegacyRegistryView(MutableMapping):
+    """Mutable mapping facade kept for the pre-``repro.api`` call paths.
+
+    Reads are silent (they are harmless and the figures' own code used
+    them); writes emit a :class:`DeprecationWarning` naming the
+    registration decorator that replaces them, then forward to the
+    registry so legacy registrations stay visible everywhere.
+    """
+
+    def __init__(
+        self,
+        registry: Registry,
+        replacement: str,
+        wrap: Callable | None = None,
+        unwrap: Callable | None = None,
+    ) -> None:
+        self._registry = registry
+        self._replacement = replacement
+        #: Optional value adapters (e.g. machine override tuples <-> the
+        #: MachineVariant objects the old mapping held): ``wrap`` on
+        #: read, ``unwrap`` on write.
+        self._wrap = wrap
+        self._unwrap = unwrap
+
+    def __getitem__(self, name: str):
+        value = self._registry.get(name)  # UnknownEntryError is a KeyError
+        return self._wrap(name, value) if self._wrap is not None else value
+
+    def __setitem__(self, name: str, value) -> None:
+        warnings.warn(
+            f"registering a {self._registry.kind} by mapping assignment is "
+            f"deprecated; use {self._replacement} instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if self._unwrap is not None:
+            value = self._unwrap(name, value)
+        self._registry.register(name, value, overwrite=True)
+
+    def __delitem__(self, name: str) -> None:
+        warnings.warn(
+            f"deleting a {self._registry.kind} by mapping deletion is "
+            f"deprecated; use the registry's unregister() instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._registry.unregister(name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._registry)
+
+    def __len__(self) -> int:
+        return len(self._registry)
+
+    def __repr__(self) -> str:
+        return f"LegacyRegistryView({self._registry!r})"
+
+
+def _first_doc_line(value: object) -> str:
+    doc = getattr(value, "__doc__", None)
+    if not doc:
+        return ""
+    return doc.strip().splitlines()[0].rstrip(".")

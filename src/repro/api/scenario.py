@@ -1,0 +1,230 @@
+"""The fluent :class:`Scenario` builder — one grammar for every run.
+
+A scenario is the paper's evaluation shape — (workload x machine x
+scheduler x seed) — expressed by chaining axis calls::
+
+    from repro.api import Engine, Scenario
+
+    result = Engine().run(
+        Scenario().workload("MxM").machine(cache_kib=16).scheduler("LSM").seed(7)
+    )
+
+Each axis call returns a *new* scenario (the builder is a frozen
+dataclass), and everything normalizes to the existing frozen
+:class:`~repro.campaign.spec.RunSpec` / :class:`~repro.campaign.spec.CampaignSpec`
+records, so cell keys, spec hashes, ``--resume``, and the executor's
+memoization behave exactly as if the spec had been written by hand.
+Unset axes take the same defaults the campaign layer always used: the
+Table-2 machine, the paper's four schedulers in legend order, seed 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+from repro.campaign.spec import (
+    DEFAULT_SCHEDULERS,
+    CampaignSpec,
+    MachineVariant,
+    RunSpec,
+    SchedulerSpec,
+    parse_workload_ref,
+    resolve_machine_preset,
+)
+from repro.errors import CampaignError
+from repro.sim.config import MachineConfig
+from repro.util.units import KIB
+
+if TYPE_CHECKING:
+    from repro.campaign.executor import RunResult
+    from repro.experiments.runner import SchedulerComparison
+
+#: Ergonomic keyword aliases accepted by :meth:`Scenario.machine` on top
+#: of the raw :class:`~repro.sim.config.MachineConfig` field names.
+_MACHINE_ALIASES = {
+    "cache_kib": lambda v: ("cache_size_bytes", int(v) * KIB),
+    "cores": lambda v: ("num_cores", v),
+    "assoc": lambda v: ("cache_associativity", v),
+    "quantum": lambda v: ("quantum_cycles", v),
+    "mem_latency": lambda v: ("memory_latency_cycles", v),
+}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """Immutable fluent builder over the campaign grid axes."""
+
+    workloads: tuple[str, ...] = ()
+    machines: tuple[MachineVariant, ...] = ()
+    schedulers: tuple[SchedulerSpec, ...] = ()
+    seeds: tuple[int, ...] = ()
+    scale_factor: float = 1.0
+    title: str | None = None
+
+    # -- axis builders -------------------------------------------------------
+
+    def workload(self, *refs: str) -> "Scenario":
+        """Append workload references (``"MxM"``, ``"mix:3"``, plugin names)."""
+        for ref in refs:
+            parse_workload_ref(ref)  # fail fast, with the helpful error
+        return replace(self, workloads=self.workloads + tuple(refs))
+
+    def machine(
+        self,
+        preset: "str | MachineVariant | MachineConfig | None" = None,
+        *,
+        name: str | None = None,
+        **overrides: object,
+    ) -> "Scenario":
+        """Append a machine: a preset name, variant, config, or overrides.
+
+        Keyword overrides are :class:`MachineConfig` fields, plus the
+        shorthands ``cache_kib``, ``cores``, ``assoc``, ``quantum``, and
+        ``mem_latency``.  Overrides apply *on top of* a named preset when
+        both are given.
+        """
+        resolved: dict[str, object] = {}
+        for key, value in overrides.items():
+            field, field_value = (
+                _MACHINE_ALIASES[key](value)
+                if key in _MACHINE_ALIASES
+                else (key, value)
+            )
+            resolved[field] = field_value
+        if isinstance(preset, MachineVariant):
+            if resolved:
+                base = dict(preset.overrides)
+                base.update(resolved)
+                variant = MachineVariant.from_overrides(
+                    name or _override_name(base), **base
+                )
+            elif name is not None and name != preset.name:
+                variant = MachineVariant(name=name, overrides=preset.overrides)
+            else:
+                variant = preset
+        elif isinstance(preset, MachineConfig):
+            variant = MachineVariant.from_config(name or "custom", preset)
+            if resolved:
+                base = dict(variant.overrides)
+                base.update(resolved)
+                variant = MachineVariant.from_overrides(
+                    name or _override_name(base), **base
+                )
+        elif isinstance(preset, str):
+            variant = resolve_machine_preset(preset)
+            if resolved:
+                base = dict(variant.overrides)
+                base.update(resolved)
+                variant = MachineVariant.from_overrides(
+                    name or f"{preset}+{_override_name(resolved)}", **base
+                )
+            elif name is not None:
+                variant = MachineVariant(name=name, overrides=variant.overrides)
+        elif preset is None:
+            variant = MachineVariant.from_overrides(
+                name or (_override_name(resolved) if resolved else "paper"),
+                **resolved,
+            )
+        else:
+            raise CampaignError(
+                f"machine() takes a preset name, MachineVariant, or "
+                f"MachineConfig, got {preset!r}"
+            )
+        return replace(self, machines=self.machines + (variant,))
+
+    def scheduler(
+        self,
+        *names: "str | SchedulerSpec",
+        label: str | None = None,
+        **params: object,
+    ) -> "Scenario":
+        """Append schedulers by registry name (or prebuilt specs).
+
+        ``label`` and ``**params`` parameterize a single scheduler
+        (``.scheduler("LSM", label="T0", conflict_threshold=0.0)``);
+        several names at once append plain specs in the given order.
+        """
+        if (label is not None or params) and len(names) != 1:
+            raise CampaignError(
+                "scheduler(label=..., **params) parameterizes exactly one "
+                "scheduler; chain separate .scheduler() calls instead"
+            )
+        specs = []
+        for entry in names:
+            if isinstance(entry, SchedulerSpec):
+                if label is not None or params:
+                    raise CampaignError(
+                        "a prebuilt SchedulerSpec already carries its label "
+                        "and params; pass the scheduler name as a string to "
+                        "parameterize it here"
+                    )
+                specs.append(entry)
+            else:
+                specs.append(SchedulerSpec.of(entry, label=label, **params))
+        return replace(self, schedulers=self.schedulers + tuple(specs))
+
+    def seed(self, *seeds: int) -> "Scenario":
+        """Append replication seeds (one grid axis)."""
+        return replace(self, seeds=self.seeds + tuple(int(s) for s in seeds))
+
+    def scale(self, scale: float) -> "Scenario":
+        """Set the workload size multiplier (shared by every cell)."""
+        return replace(self, scale_factor=float(scale))
+
+    def name(self, title: str) -> "Scenario":
+        """Set the campaign name (keys the default result store)."""
+        return replace(self, title=str(title))
+
+    # -- normalization -------------------------------------------------------
+
+    def to_campaign(self) -> CampaignSpec:
+        """Normalize to the frozen grid spec (defaults for unset axes)."""
+        if not self.workloads:
+            raise CampaignError(
+                "a scenario needs at least one workload; add .workload(...)"
+            )
+        kwargs: dict = {}
+        if self.title is not None:
+            kwargs["name"] = self.title
+        return CampaignSpec(
+            workloads=self.workloads,
+            machines=self.machines or (MachineVariant(),),
+            schedulers=self.schedulers or DEFAULT_SCHEDULERS,
+            seeds=self.seeds or (0,),
+            scale=self.scale_factor,
+            **kwargs,
+        )
+
+    def expand(self) -> list[RunSpec]:
+        """The scenario's grid cells, in declaration order."""
+        return self.to_campaign().expand()
+
+    def to_run_spec(self) -> RunSpec:
+        """Normalize to exactly one cell; errors if the grid is larger."""
+        runs = self.expand()
+        if len(runs) != 1:
+            raise CampaignError(
+                f"scenario expands to {len(runs)} cells, not 1; pin every "
+                f"axis (or use Engine.run_many / Engine.run_campaign)"
+            )
+        return runs[0]
+
+    # -- conveniences --------------------------------------------------------
+
+    def run(self, engine: "object | None" = None) -> "RunResult":
+        """Run a single-cell scenario (``Engine().run(self)``)."""
+        from repro.api.engine import Engine
+
+        return (engine or Engine()).run(self)
+
+    def compare(self, engine: "object | None" = None) -> "SchedulerComparison":
+        """Run one workload/machine/seed under several schedulers."""
+        from repro.api.engine import Engine
+
+        return (engine or Engine()).compare(self)
+
+
+def _override_name(overrides: dict[str, object]) -> str:
+    """A readable auto-name for keyword-built machine variants."""
+    return ",".join(f"{field}={value}" for field, value in sorted(overrides.items()))

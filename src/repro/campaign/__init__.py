@@ -17,7 +17,9 @@ seed) simulations.  This package makes that grid a first-class object:
 
 Every per-figure harness (`figure6`, `figure7`, `sensitivity`,
 `ablation`) is a thin spec over this engine, and ``python -m repro
-campaign`` exposes arbitrary grids from the shell.
+campaign`` exposes arbitrary grids from the shell.  The public front
+door is :mod:`repro.api`: its ``Scenario`` builder normalizes to these
+specs and its ``Engine`` owns the cell loop the executor drives.
 """
 
 from repro.campaign.compat import group_comparisons
@@ -46,6 +48,7 @@ from repro.campaign.spec import (
     parse_workload_ref,
     resolve_machine_preset,
     suite_campaign,
+    workload_seed_sensitive,
 )
 from repro.campaign.store import ResultStore
 
@@ -70,6 +73,7 @@ __all__ = [
     "rollup_results",
     "run_campaign",
     "suite_campaign",
+    "workload_seed_sensitive",
     "write_results_csv",
     "write_results_jsonl",
 ]

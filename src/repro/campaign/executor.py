@@ -5,14 +5,14 @@ same :func:`~repro.experiments.runner.run_comparison` path the per-figure
 harnesses use — one fresh machine, EPG, and scheduler per cell — so a
 campaign cell is bit-identical to the equivalent single-figure run.
 Cells are independent by construction, which is what makes the fan-out
-trivial: ``jobs > 1`` ships the declarative specs to a
-:class:`~concurrent.futures.ProcessPoolExecutor` and streams results
-back into the JSON-lines store as they complete.
+trivial: ``jobs > 1`` ships the declarative specs to
+:meth:`repro.api.engine.Engine.run_many` (process pool by default,
+thread pool with ``policy="threads"``) and streams results back into the
+JSON-lines store as they complete.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable
@@ -22,7 +22,7 @@ from repro.campaign.spec import (
     CampaignSpec,
     RunSpec,
     build_campaign_workload,
-    parse_workload_ref,
+    workload_seed_sensitive,
 )
 from repro.campaign.store import ResultStore, as_store
 from repro.errors import CampaignError
@@ -120,8 +120,7 @@ def clear_cell_memo() -> None:
 
 def _seedless_cell_key(run: RunSpec, scheduler) -> tuple | None:
     """Seed-independent identity of a cell, or None if the seed matters."""
-    kind, _ = parse_workload_ref(run.workload)
-    if scheduler.seed_sensitive or kind == "random-mix":
+    if scheduler.seed_sensitive or workload_seed_sensitive(run.workload):
         return None
     return (
         run.workload,
@@ -205,14 +204,17 @@ def run_campaign(
     store: ResultStore | str | Path | None = None,
     resume: bool = False,
     progress: ProgressFn | None = None,
+    policy: str | None = None,
 ) -> CampaignOutcome:
     """Expand and execute a campaign.
 
     ``jobs=1`` runs inline (deterministic ordering, no pool overhead —
     also what the refitted figure harnesses use); ``jobs>1`` fans cells
-    out over worker processes.  With ``resume=True`` and a store, cells
-    whose keys are already present are skipped; otherwise the store is
-    truncated and the whole grid runs.
+    out over worker processes, or over threads with
+    ``policy="threads"``.  The cell loop itself lives in
+    :meth:`repro.api.engine.Engine.run_many`.  With ``resume=True`` and
+    a store, cells whose keys are already present are skipped; otherwise
+    the store is truncated and the whole grid runs.
     """
     if jobs < 1:
         raise CampaignError(f"jobs must be >= 1, got {jobs}")
@@ -241,17 +243,11 @@ def run_campaign(
         if progress is not None:
             progress(result, len(results_by_key), total)
 
-    if jobs == 1 or len(todo) <= 1:
-        for run in todo:
-            record(execute_run(run))
-    else:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = {pool.submit(execute_run, run): run for run in todo}
-            pending = set(futures)
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    record(future.result())
+    # The engine owns the serial/threads/processes loop; imported here
+    # because the api package sits above the campaign layer.
+    from repro.api.engine import Engine
+
+    Engine(jobs=jobs, policy=policy).run_many(todo, on_result=record)
 
     ordered = [results_by_key[run.cell_key()] for run in runs]
     return CampaignOutcome(

@@ -11,6 +11,11 @@ without ever touching a simulator.
 cells; :mod:`repro.campaign.executor` turns each cell into one simulation
 through the same :func:`~repro.experiments.runner.run_comparison` path
 the per-figure harnesses always used.
+
+Workloads, schedulers, and machine presets resolve through the open
+registries in :mod:`repro.api.registries`; the old closed tables
+(``SCHEDULER_REGISTRY``, ``MACHINE_PRESETS``) survive as deprecated live
+views so existing call sites keep working.
 """
 
 from __future__ import annotations
@@ -21,25 +26,15 @@ from dataclasses import dataclass, fields
 from pathlib import Path
 from typing import Callable, Mapping, Sequence
 
-from repro.errors import CampaignError
+from repro.api.registries import MACHINES, SCHEDULERS, WORKLOADS, WorkloadFactory
+from repro.errors import CampaignError, UnknownEntryError
 from repro.procgraph.graph import ExtendedProcessGraph
+from repro.procgraph.task import Task
 from repro.sched.base import Scheduler
-from repro.sched.fifo import FifoScheduler
-from repro.sched.locality import LocalityScheduler, StaticLocalityScheduler
-from repro.sched.locality_mapping import LocalityMappingScheduler
-from repro.sched.random_sched import RandomScheduler
-from repro.sched.round_robin import RoundRobinScheduler
 from repro.sim.config import MachineConfig
 from repro.util.memo import BoundedDict
 from repro.util.rng import derive_seed
-from repro.util.units import KIB
-from repro.workloads.suite import (
-    SUITE,
-    build_random_mix,
-    build_task,
-    build_workload_mix,
-    workload_names,
-)
+from repro.workloads.suite import workload_names
 
 
 def _canonical(obj: object) -> str:
@@ -58,35 +53,57 @@ def _pairs(mapping: Mapping[str, object]) -> tuple[tuple[str, object], ...]:
 def parse_workload_ref(ref: str) -> tuple[str, int | None]:
     """Validate a workload reference; returns ``(kind, count)``.
 
-    Three forms are accepted:
-
-    - a Table-1 application name (``"MxM"``) — the app in isolation;
-    - ``"mix:N"`` — the Figure-7 cumulative mix of the first N apps;
-    - ``"random-mix:N"`` — N distinct apps, sampled and ordered by the
-      cell seed (see :func:`repro.workloads.suite.build_random_mix`).
+    A reference names a :data:`~repro.api.registries.WORKLOADS` entry:
+    either plainly (``"MxM"`` — ``kind`` comes back as ``"app"``) or,
+    for parameterized families, as ``"name:N"`` (``"mix:3"``,
+    ``"random-mix:4"`` — ``kind`` is the family name).  Unknown names
+    raise a :class:`CampaignError` that enumerates every registered
+    workload and suggests the nearest match.
     """
-    if not isinstance(ref, str):
-        raise CampaignError(
-            f"workload reference must be a string, got {ref!r}"
-        )
-    if ref in workload_names():
+    factory = _workload_factory(ref)
+    base, sep, arg = ref.partition(":")
+    if not factory.parameterized:
         return ("app", None)
-    for kind in ("mix", "random-mix"):
-        prefix = kind + ":"
-        if ref.startswith(prefix):
-            try:
-                count = int(ref[len(prefix):])
-            except ValueError:
-                raise CampaignError(f"malformed workload reference {ref!r}") from None
-            if not 1 <= count <= len(SUITE):
-                raise CampaignError(
-                    f"{ref!r}: count must be in [1, {len(SUITE)}]"
-                )
-            return (kind, count)
-    raise CampaignError(
-        f"unknown workload reference {ref!r}; expected a suite application "
-        f"({', '.join(workload_names())}), 'mix:N', or 'random-mix:N'"
-    )
+    if not sep:
+        raise CampaignError(
+            f"workload {base!r} is a parameterized family; reference it "
+            f"as '{factory.ref_syntax()}' (e.g. '{base}:2')"
+        )
+    try:
+        count = int(arg)
+    except ValueError:
+        raise CampaignError(f"malformed workload reference {ref!r}") from None
+    upper = factory.max_count
+    if count < 1 or (upper is not None and count > upper):
+        bound = str(upper) if upper is not None else "inf"
+        raise CampaignError(f"{ref!r}: count must be in [1, {bound}]")
+    return (base, count)
+
+
+def _workload_factory(ref: str) -> WorkloadFactory:
+    """Resolve a reference's registry entry (shared validation path)."""
+    if not isinstance(ref, str):
+        raise CampaignError(f"workload reference must be a string, got {ref!r}")
+    base, sep, _ = ref.partition(":")
+    try:
+        factory = WORKLOADS.get(base)
+    except UnknownEntryError as exc:
+        raise CampaignError(str(exc)) from None
+    if sep and not factory.parameterized:
+        raise CampaignError(
+            f"workload {base!r} does not take a ':N' count (got {ref!r})"
+        )
+    return factory
+
+
+def workload_seed_sensitive(ref: str) -> bool:
+    """Whether the cell seed changes the workload a reference builds.
+
+    The executor's seed-invariant cell memo consults this, so it must
+    stay conservative: plugin workloads default to seed-sensitive unless
+    they were registered with ``seed_sensitive=False``.
+    """
+    return _workload_factory(ref).seed_sensitive
 
 
 #: (ref, scale, effective seed) → frozen EPG memo.  One campaign cell
@@ -102,20 +119,27 @@ def build_campaign_workload(
 ) -> ExtendedProcessGraph:
     """Instantiate the EPG a workload reference names (memoized, frozen).
 
+    The reference resolves through the
+    :data:`~repro.api.registries.WORKLOADS` registry, so plugin
+    workloads build through the exact same path as the Table-1 suite.
     The returned graph is shared between cells and therefore frozen;
     callers needing a mutable graph should build one through
-    :mod:`repro.workloads.suite` directly.
+    :mod:`repro.workloads.suite` (or their registered builder) directly.
     """
-    kind, count = parse_workload_ref(ref)
-    key = (ref, float(scale), seed if kind == "random-mix" else None)
+    _, count = parse_workload_ref(ref)
+    factory = _workload_factory(ref)
+    key = (ref, float(scale), seed if factory.seed_sensitive else None)
     epg = _WORKLOAD_MEMO.get(key)
     if epg is None:
-        if kind == "app":
-            epg = ExtendedProcessGraph.from_tasks([build_task(ref, scale=scale)])
-        elif kind == "mix":
-            epg = build_workload_mix(count, scale=scale)
-        else:
-            epg = build_random_mix(count, scale=scale, seed=seed)
+        built = factory.build(count=count, scale=scale, seed=seed)
+        if isinstance(built, Task):
+            built = ExtendedProcessGraph.from_tasks([built])
+        if not isinstance(built, ExtendedProcessGraph):
+            raise CampaignError(
+                f"workload {ref!r} built {type(built).__name__}, expected "
+                f"an ExtendedProcessGraph or a Task"
+            )
+        epg = built
         epg.freeze()
         _WORKLOAD_MEMO.put(key, epg)
     return epg
@@ -185,44 +209,53 @@ class MachineVariant:
         return cls.from_overrides(data["name"], **data.get("overrides", {}))
 
 
-#: Named machine presets accepted by ``--machines`` on the CLI.
-MACHINE_PRESETS: dict[str, MachineVariant] = {
-    "paper": MachineVariant(),
-    "cache-4k": MachineVariant.from_overrides("cache-4k", cache_size_bytes=4 * KIB),
-    "cache-16k": MachineVariant.from_overrides("cache-16k", cache_size_bytes=16 * KIB),
-    "cache-32k": MachineVariant.from_overrides("cache-32k", cache_size_bytes=32 * KIB),
-    "assoc-1": MachineVariant.from_overrides("assoc-1", cache_associativity=1),
-    "assoc-4": MachineVariant.from_overrides("assoc-4", cache_associativity=4),
-    "cores-4": MachineVariant.from_overrides("cores-4", num_cores=4),
-    "cores-16": MachineVariant.from_overrides("cores-16", num_cores=16),
-    "mem-50": MachineVariant.from_overrides("mem-50", memory_latency_cycles=50),
-    "mem-150": MachineVariant.from_overrides("mem-150", memory_latency_cycles=150),
-    "quantum-2k": MachineVariant.from_overrides("quantum-2k", quantum_cycles=2_000),
-    "quantum-32k": MachineVariant.from_overrides("quantum-32k", quantum_cycles=32_000),
-}
+def _preset_variant(name: str, overrides: tuple) -> MachineVariant:
+    """Wrap a registry preset (override pairs) into a validated variant."""
+    return MachineVariant(name=name, overrides=tuple(overrides))
+
+
+def _preset_overrides(name: str, value: object) -> tuple:
+    """Inverse of :func:`_preset_variant` for legacy-mapping writes."""
+    if isinstance(value, MachineVariant):
+        return value.overrides
+    if isinstance(value, MachineConfig):
+        return MachineVariant.from_config(name, value).overrides
+    try:
+        return _pairs(dict(value))  # a plain overrides mapping
+    except (TypeError, ValueError):
+        raise CampaignError(
+            f"machine preset {name!r} must be a MachineVariant, "
+            f"MachineConfig, or overrides mapping, got {value!r}"
+        ) from None
+
+
+#: Deprecated view of the machine-preset registry, kept for the
+#: pre-``repro.api`` call paths; register new presets with
+#: :func:`repro.api.register_machine` instead.
+MACHINE_PRESETS = MACHINES.legacy_mapping(
+    "repro.api.register_machine",
+    wrap=_preset_variant,
+    unwrap=_preset_overrides,
+)
 
 
 def resolve_machine_preset(name: str) -> MachineVariant:
-    """Look up a preset by name."""
-    if name not in MACHINE_PRESETS:
-        raise CampaignError(
-            f"unknown machine preset {name!r}; "
-            f"known presets: {', '.join(sorted(MACHINE_PRESETS))}"
-        )
-    return MACHINE_PRESETS[name]
+    """Look up a preset in the :data:`~repro.api.registries.MACHINES` registry."""
+    try:
+        overrides = MACHINES.get(name)
+    except UnknownEntryError as exc:
+        raise CampaignError(str(exc)) from None
+    return _preset_variant(name, overrides)
 
 
 # -- scheduler specs --------------------------------------------------------------
 
-#: Scheduler factories: registry name -> (cell seed, **params) -> Scheduler.
-SCHEDULER_REGISTRY: dict[str, Callable[..., Scheduler]] = {
-    "RS": lambda seed, **params: RandomScheduler(seed=seed, **params),
-    "RRS": lambda seed, **params: RoundRobinScheduler(**params),
-    "LS": lambda seed, **params: LocalityScheduler(**params),
-    "LS-static": lambda seed, **params: StaticLocalityScheduler(**params),
-    "LSM": lambda seed, **params: LocalityMappingScheduler(**params),
-    "FCFS": lambda seed, **params: FifoScheduler(**params),
-}
+#: Deprecated view of the scheduler registry (name -> ``factory(seed,
+#: **params)``), kept for the pre-``repro.api`` call paths; register new
+#: schedulers with :func:`repro.api.register_scheduler` instead.
+SCHEDULER_REGISTRY: Mapping[str, Callable[..., Scheduler]] = (
+    SCHEDULERS.legacy_mapping("repro.api.register_scheduler")
+)
 
 
 @dataclass(frozen=True)
@@ -234,11 +267,10 @@ class SchedulerSpec:
     label: str | None = None
 
     def __post_init__(self) -> None:
-        if self.name not in SCHEDULER_REGISTRY:
-            raise CampaignError(
-                f"unknown scheduler {self.name!r}; "
-                f"known schedulers: {', '.join(sorted(SCHEDULER_REGISTRY))}"
-            )
+        try:
+            SCHEDULERS.get(self.name)
+        except UnknownEntryError as exc:
+            raise CampaignError(str(exc)) from None
 
     @classmethod
     def of(
@@ -255,7 +287,7 @@ class SchedulerSpec:
     def build(self, seed: int) -> Scheduler:
         """Instantiate the scheduler for one cell."""
         try:
-            return SCHEDULER_REGISTRY[self.name](seed, **dict(self.params))
+            return SCHEDULERS.get(self.name)(seed, **dict(self.params))
         except TypeError as exc:
             raise CampaignError(
                 f"bad params {dict(self.params)!r} for scheduler "

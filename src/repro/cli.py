@@ -23,6 +23,8 @@ if TYPE_CHECKING:
 
 
 def _build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -31,10 +33,24 @@ def _build_parser() -> argparse.ArgumentParser:
             "and figures, or sweep arbitrary scenario grids."
         ),
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}",
+        help="print the build version and exit",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("tables", help="print Tables 1 and 2")
     sub.add_parser("figure2", help="print the Figure-2 worked example")
+
+    lst = sub.add_parser(
+        "list",
+        help="list the registered schedulers, workloads, or machine presets",
+    )
+    lst.add_argument(
+        "what",
+        choices=("schedulers", "workloads", "machines"),
+        help="which registry to list",
+    )
 
     fig6 = sub.add_parser("figure6", help="run the isolated-application figure")
     fig6.add_argument("--scale", type=float, default=1.0)
@@ -146,6 +162,12 @@ def _render_usage_lines(subparsers: argparse._SubParsersAction) -> str:
         for action in subparser._actions:
             if isinstance(action, argparse._HelpAction):
                 continue
+            if not action.option_strings:  # positional argument
+                if action.choices:
+                    flags.append("{" + ",".join(map(str, action.choices)) + "}")
+                else:
+                    flags.append(action.dest.upper())
+                continue
             option = action.option_strings[-1]
             if action.nargs == 0:
                 flags.append(f"[{option}]")
@@ -179,34 +201,24 @@ def _split_csv_flag(raw: str, flag: str) -> list[str]:
 
 
 def _campaign_spec_from_args(args: argparse.Namespace) -> "CampaignSpec":
-    """Build the campaign spec a ``campaign`` invocation describes."""
-    from repro.campaign.spec import (
-        CampaignSpec,
-        SchedulerSpec,
-        resolve_machine_preset,
-        suite_campaign,
-    )
+    """Build the campaign spec a ``campaign`` invocation describes.
+
+    The inline grid flags assemble a :class:`~repro.api.scenario.Scenario`
+    — the CLI is just another facade client — and normalize it to the
+    same frozen spec a JSON file or library caller would produce.
+    """
+    from repro.api.scenario import Scenario
+    from repro.campaign.spec import CampaignSpec
 
     if args.spec is not None:
         return CampaignSpec.from_file(args.spec)
     try:
-        seeds = tuple(int(s) for s in _split_csv_flag(args.seeds, "seeds"))
+        seeds = [int(s) for s in _split_csv_flag(args.seeds, "seeds")]
     except ValueError:
         raise CampaignError(
             f"--seeds must be a comma list of integers, got {args.seeds!r}"
         ) from None
-    schedulers = tuple(
-        SchedulerSpec(name) for name in _split_csv_flag(args.schedulers, "schedulers")
-    )
-    machines = tuple(
-        resolve_machine_preset(name)
-        for name in _split_csv_flag(args.machines, "machines")
-    )
     workload_items = _split_csv_flag(args.workloads, "workloads")
-    if workload_items == ["all"]:
-        return suite_campaign(
-            seeds=seeds, schedulers=schedulers, machines=machines, scale=args.scale
-        )
     workloads: list[str] = []
     for item in workload_items:
         if item == "all":
@@ -215,13 +227,40 @@ def _campaign_spec_from_args(args: argparse.Namespace) -> "CampaignSpec":
             workloads.extend(workload_names())
         else:
             workloads.append(item)
-    return CampaignSpec(
-        workloads=tuple(workloads),
-        machines=machines,
-        schedulers=schedulers,
-        seeds=seeds,
-        scale=args.scale,
+    scenario = (
+        Scenario()
+        .workload(*workloads)
+        .scheduler(*_split_csv_flag(args.schedulers, "schedulers"))
+        .seed(*seeds)
+        .scale(args.scale)
+        # "--workloads all" is the classic suite sweep; keep its historic
+        # campaign name so spec hashes (and store paths) stay stable.
+        .name("suite" if workload_items == ["all"] else "campaign")
     )
+    for name in _split_csv_flag(args.machines, "machines"):
+        scenario = scenario.machine(name)
+    return scenario.to_campaign()
+
+
+def _run_list_command(args: argparse.Namespace) -> int:
+    from repro.api.registries import list_machines, list_schedulers, list_workloads
+
+    rows = {
+        "schedulers": list_schedulers,
+        "workloads": list_workloads,
+        "machines": list_machines,
+    }[args.what]()
+    print(f"registered {args.what} ({len(rows)}):")
+    width = max(len(name) for name, _, _ in rows)
+    for name, origin, description in rows:
+        marker = "" if origin == "builtin" else f" [{origin}]"
+        print(f"  {name:<{width}}  {description}{marker}")
+    if args.what == "workloads":
+        print(
+            "\n'name:N' entries are parameterized families; reference them "
+            "with a count (e.g. mix:3)."
+        )
+    return 0
 
 
 def _run_campaign_command(args: argparse.Namespace) -> int:
@@ -290,6 +329,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         from repro.experiments.figure2 import render_figure2
 
         print(render_figure2())
+    elif args.command == "list":
+        return _run_list_command(args)
     elif args.command == "figure6":
         from repro.experiments.export import write_csv
         from repro.experiments.figure6 import render_figure6, run_figure6

@@ -116,14 +116,44 @@ class WorkloadError(ReproError):
     """A workload generator was configured inconsistently."""
 
 
+def suggest_name(name: str, known: list[str]) -> str | None:
+    """The closest registered name to a misspelt one, if any is close.
+
+    Shared by every unknown-name error in the library so a typo
+    (``"LMS"``, ``"mxm"``) always comes back with a concrete fix rather
+    than just an enumeration of the valid names.
+    """
+    import difflib
+
+    if not isinstance(name, str):
+        return None
+    # An exact match up to case beats any edit-distance candidate
+    # ("mxm" must suggest "MxM", not a shorter near-anagram).
+    folded = {k.lower(): k for k in known}
+    if name.lower() in folded:
+        return folded[name.lower()]
+    matches = difflib.get_close_matches(name, known, n=1, cutoff=0.5)
+    if not matches:
+        matches = [
+            folded[m]
+            for m in difflib.get_close_matches(
+                name.lower(), list(folded), n=1, cutoff=0.5
+            )
+        ]
+    return matches[0] if matches else None
+
+
 class UnknownWorkloadError(WorkloadError, KeyError):
     """A workload name was not found in the suite registry."""
 
     def __init__(self, name: str, known: list[str]) -> None:
         self.name = name
         self.known = list(known)
+        hint = suggest_name(name, self.known)
+        suffix = f" (did you mean {hint!r}?)" if hint else ""
         super().__init__(
-            f"unknown workload {name!r}; known workloads: {', '.join(known)}"
+            f"unknown workload {name!r}; known workloads: "
+            f"{', '.join(known)}{suffix}"
         )
 
 
@@ -133,3 +163,33 @@ class ExperimentError(ReproError):
 
 class CampaignError(ExperimentError):
     """A campaign spec, store, or executor was configured inconsistently."""
+
+
+class RegistryError(ReproError):
+    """A :mod:`repro.api` registry was misused (bad name, duplicate entry)."""
+
+
+class UnknownEntryError(RegistryError, KeyError):
+    """A registry lookup named an entry that was never registered.
+
+    Carries the registry kind, the offending name, and the registered
+    names; the message enumerates the valid names and, when the input
+    looks like a typo, suggests the nearest match.
+    """
+
+    def __init__(self, kind: str, name: object, known: list[str]) -> None:
+        self.kind = kind
+        self.name = name
+        self.known = list(known)
+        if not self.known:
+            detail = f"no {kind}s are registered"
+        else:
+            detail = f"registered {kind}s: {', '.join(self.known)}"
+        hint = suggest_name(name, self.known) if isinstance(name, str) else None
+        suffix = f" (did you mean {hint!r}?)" if hint else ""
+        super().__init__(f"unknown {kind} {name!r}; {detail}{suffix}")
+
+    def __str__(self) -> str:
+        # KeyError.__str__ reprs its argument, which would double-quote
+        # the message when the error is wrapped or printed.
+        return self.args[0]

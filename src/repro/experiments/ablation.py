@@ -19,8 +19,9 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.campaign.executor import run_campaign
-from repro.campaign.spec import CampaignSpec, MachineVariant, SchedulerSpec
+from repro.api.engine import Engine
+from repro.api.scenario import Scenario
+from repro.campaign.spec import CampaignSpec, SchedulerSpec
 from repro.sim.config import MachineConfig
 from repro.util.tables import AsciiTable
 
@@ -89,20 +90,18 @@ def campaign_spec_ablation(
     machine: MachineConfig | None = None,
     seed: int = 0,
 ) -> CampaignSpec:
-    """The ablation grid as a campaign: one scheduler variant per cell."""
-    variant = (
-        MachineVariant()
-        if machine is None
-        else MachineVariant.from_config("ablation", machine)
+    """The ablation grid as a scenario: one scheduler variant per cell."""
+    scenario = (
+        Scenario()
+        .workload(f"mix:{num_tasks}")
+        .scheduler(*(spec for _, _, spec in ABLATION_VARIANTS))
+        .seed(seed)
+        .scale(scale)
+        .name("ablation")
     )
-    return CampaignSpec(
-        workloads=(f"mix:{num_tasks}",),
-        machines=(variant,),
-        schedulers=tuple(spec for _, _, spec in ABLATION_VARIANTS),
-        seeds=(seed,),
-        scale=scale,
-        name="ablation",
-    )
+    if machine is not None:
+        scenario = scenario.machine(machine, name="ablation")
+    return scenario.to_campaign()
 
 
 def run_ablation(
@@ -116,7 +115,7 @@ def run_ablation(
     spec = campaign_spec_ablation(
         num_tasks=num_tasks, scale=scale, machine=machine, seed=seed
     )
-    outcome = run_campaign(spec, jobs=jobs)
+    outcome = Engine(jobs=jobs).run_campaign(spec)
     by_label = {result.scheduler: result for result in outcome.results}
     return [
         AblationRow(

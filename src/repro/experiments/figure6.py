@@ -13,9 +13,10 @@ paper's observations, which this harness regenerates qualitatively:
 
 from __future__ import annotations
 
+from repro.api.engine import Engine
+from repro.api.scenario import Scenario
 from repro.campaign.compat import group_comparisons
-from repro.campaign.executor import run_campaign
-from repro.campaign.spec import CampaignSpec, MachineVariant
+from repro.campaign.spec import CampaignSpec
 from repro.experiments.runner import SCHEDULER_ORDER, SchedulerComparison
 from repro.sim.config import MachineConfig
 from repro.util.tables import AsciiBarChart, AsciiTable
@@ -27,19 +28,17 @@ def campaign_spec_figure6(
     scale: float = 1.0,
     seed: int = 0,
 ) -> CampaignSpec:
-    """Figure 6 as a declarative campaign: each app in isolation."""
-    variant = (
-        MachineVariant()
-        if machine is None
-        else MachineVariant.from_config("figure6", machine)
+    """Figure 6 as a declarative scenario: each app in isolation."""
+    scenario = (
+        Scenario()
+        .workload(*workload_names())
+        .seed(seed)
+        .scale(scale)
+        .name("figure6")
     )
-    return CampaignSpec(
-        workloads=tuple(workload_names()),
-        machines=(variant,),
-        seeds=(seed,),
-        scale=scale,
-        name="figure6",
-    )
+    if machine is not None:
+        scenario = scenario.machine(machine, name="figure6")
+    return scenario.to_campaign()
 
 
 def run_figure6(
@@ -50,7 +49,7 @@ def run_figure6(
 ) -> list[SchedulerComparison]:
     """Run every application in isolation; one comparison per app."""
     spec = campaign_spec_figure6(machine=machine, scale=scale, seed=seed)
-    outcome = run_campaign(spec, jobs=jobs)
+    outcome = Engine(jobs=jobs).run_campaign(spec)
     return group_comparisons(outcome.results)
 
 

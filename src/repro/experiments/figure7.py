@@ -13,9 +13,10 @@ paper's observations, regenerated qualitatively:
 
 from __future__ import annotations
 
+from repro.api.engine import Engine
+from repro.api.scenario import Scenario
 from repro.campaign.compat import group_comparisons
-from repro.campaign.executor import run_campaign
-from repro.campaign.spec import CampaignSpec, MachineVariant
+from repro.campaign.spec import CampaignSpec
 from repro.experiments.runner import SCHEDULER_ORDER, SchedulerComparison
 from repro.sim.config import MachineConfig
 from repro.util.tables import AsciiBarChart, AsciiTable
@@ -28,20 +29,18 @@ def campaign_spec_figure7(
     seed: int = 0,
     max_tasks: int | None = None,
 ) -> CampaignSpec:
-    """Figure 7 as a declarative campaign over the cumulative mixes."""
+    """Figure 7 as a declarative scenario over the cumulative mixes."""
     limit = max_tasks if max_tasks is not None else len(SUITE)
-    variant = (
-        MachineVariant()
-        if machine is None
-        else MachineVariant.from_config("figure7", machine)
+    scenario = (
+        Scenario()
+        .workload(*(f"mix:{num_tasks}" for num_tasks in range(1, limit + 1)))
+        .seed(seed)
+        .scale(scale)
+        .name("figure7")
     )
-    return CampaignSpec(
-        workloads=tuple(f"mix:{num_tasks}" for num_tasks in range(1, limit + 1)),
-        machines=(variant,),
-        seeds=(seed,),
-        scale=scale,
-        name="figure7",
-    )
+    if machine is not None:
+        scenario = scenario.machine(machine, name="figure7")
+    return scenario.to_campaign()
 
 
 def run_figure7(
@@ -55,7 +54,7 @@ def run_figure7(
     spec = campaign_spec_figure7(
         machine=machine, scale=scale, seed=seed, max_tasks=max_tasks
     )
-    outcome = run_campaign(spec, jobs=jobs)
+    outcome = Engine(jobs=jobs).run_campaign(spec)
     return group_comparisons(
         outcome.results,
         label=lambda ref: f"|T|={ref.split(':', 1)[1]}",

@@ -1,9 +1,12 @@
-"""Common experiment infrastructure.
+"""Common experiment infrastructure (the pre-facade comparison path).
 
 Every figure in the evaluation compares the same four schedulers over
 some workload; :func:`run_comparison` runs them over one EPG and returns
-a :class:`SchedulerComparison` with the per-scheduler results, keeping
-the individual harnesses small.
+a :class:`SchedulerComparison` with the per-scheduler results.  It
+remains the in-memory primitive the campaign executor drives per cell;
+new code comparing schedulers should go through
+:meth:`repro.api.engine.Engine.compare`, which returns the same record
+from a declarative :class:`~repro.api.scenario.Scenario`.
 """
 
 from __future__ import annotations
@@ -13,10 +16,6 @@ from dataclasses import dataclass, field
 from repro.errors import ExperimentError
 from repro.procgraph.graph import ProcessGraph
 from repro.sched.base import Scheduler
-from repro.sched.locality import LocalityScheduler
-from repro.sched.locality_mapping import LocalityMappingScheduler
-from repro.sched.random_sched import RandomScheduler
-from repro.sched.round_robin import RoundRobinScheduler
 from repro.sim.config import MachineConfig
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import MPSoCSimulator
@@ -26,13 +25,15 @@ SCHEDULER_ORDER = ("RS", "RRS", "LS", "LSM")
 
 
 def default_schedulers(seed: int = 0) -> list[Scheduler]:
-    """The paper's four strategies, in legend order."""
-    return [
-        RandomScheduler(seed=seed),
-        RoundRobinScheduler(),
-        LocalityScheduler(),
-        LocalityMappingScheduler(),
-    ]
+    """The paper's four strategies, in legend order.
+
+    Built through the :data:`~repro.api.registries.SCHEDULERS` registry,
+    so an ``overwrite=True`` re-registration of a builtin name reaches
+    this legacy path too.
+    """
+    from repro.api.registries import SCHEDULERS
+
+    return [SCHEDULERS.get(name)(seed) for name in SCHEDULER_ORDER]
 
 
 @dataclass

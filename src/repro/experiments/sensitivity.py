@@ -11,8 +11,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api.engine import Engine
+from repro.api.scenario import Scenario
 from repro.campaign.compat import group_comparisons
-from repro.campaign.executor import run_campaign
 from repro.campaign.spec import CampaignSpec, MachineVariant
 from repro.errors import ExperimentError
 from repro.experiments.runner import SchedulerComparison
@@ -48,18 +49,21 @@ def campaign_spec_sensitivity(
     """The sweeps as one campaign: a machine variant per sweep point."""
     if num_tasks < 1:
         raise ExperimentError(f"num_tasks must be >= 1, got {num_tasks}")
-    variants = tuple(
-        MachineVariant.from_overrides(f"{parameter}={value}", **{field: value})
-        for parameter, field, values in sweeps
-        for value in values
+    scenario = (
+        Scenario()
+        .workload(f"mix:{num_tasks}")
+        .seed(seed)
+        .scale(scale)
+        .name("sensitivity")
     )
-    return CampaignSpec(
-        workloads=(f"mix:{num_tasks}",),
-        machines=variants,
-        seeds=(seed,),
-        scale=scale,
-        name="sensitivity",
-    )
+    for parameter, field, values in sweeps:
+        for value in values:
+            scenario = scenario.machine(
+                MachineVariant.from_overrides(
+                    f"{parameter}={value}", **{field: value}
+                )
+            )
+    return scenario.to_campaign()
 
 
 def run_sensitivity(
@@ -73,7 +77,7 @@ def run_sensitivity(
     spec = campaign_spec_sensitivity(
         num_tasks=num_tasks, scale=scale, seed=seed, sweeps=sweeps
     )
-    outcome = run_campaign(spec, jobs=jobs)
+    outcome = Engine(jobs=jobs).run_campaign(spec)
     comparisons = group_comparisons(
         outcome.results, group=lambda result: result.machine
     )

@@ -134,6 +134,15 @@ class TestGeneratedUsageBlock:
             for action in subparser._actions:
                 if isinstance(action, argparse._HelpAction):
                     continue
+                if not action.option_strings:
+                    # positionals render as {choice,choice} or DEST
+                    token = (
+                        "{" + ",".join(map(str, action.choices)) + "}"
+                        if action.choices
+                        else action.dest.upper()
+                    )
+                    assert token in cli.__doc__
+                    continue
                 assert action.option_strings[-1] in cli.__doc__
 
     def test_campaign_flags_documented(self):
