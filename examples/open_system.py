@@ -1,0 +1,100 @@
+"""An open-system walkthrough: arrivals, an arrival-process plugin, metrics.
+
+The paper evaluates closed batches (everything at t=0, metric:
+completion time).  This example runs the *open* regime — applications
+arrive over time — three ways:
+
+1. the builtin Poisson process swept over rising rates through the
+   ``Scenario`` grammar (one extra ``.arrival(...)`` call);
+2. a third-party arrival process registered with ``@register_arrival``
+   and then addressed by name like any builtin — a diurnal-style
+   two-phase load ("quiet, then rush hour");
+3. the simulator driven directly for per-application records and
+   time-windowed miss rates.
+
+Nothing in ``repro`` is edited: the registry, the spec hashing, the
+campaign executor, and the rollup renderer all pick the plugin up from
+its string name.
+
+Run:  python examples/open_system.py
+"""
+
+from __future__ import annotations
+
+from repro.api import Engine, Scenario, list_arrivals, register_arrival
+from repro.campaign.rollup import render_rollup
+from repro.sched import LocalityScheduler
+from repro.sim import ArrivalSchedule, ArrivalSpec, MachineConfig, MPSoCSimulator
+from repro.workloads.suite import build_arrival_stream
+
+
+# -- 1. the builtin Poisson process, swept over rising rates ----------------------
+
+scenario = (
+    Scenario()
+    .workload("stream:4")
+    .scheduler("RS", "LS", "ETF")
+    .scale(0.25)
+    .name("example-open")
+)
+for rate in (1000, 4000):
+    scenario = scenario.arrival("poisson", rate=rate)
+
+outcome = Engine().run_campaign(scenario)
+print(render_rollup(outcome.results, title="Poisson arrivals, rising rate"))
+print()
+
+
+# -- 2. a plugin arrival process ---------------------------------------------------
+
+
+@register_arrival("rush-hour", description="half the apps early, half in a late burst")
+def rush_hour_arrivals(apps, rng, machine, quiet_ms=0.1, rush_ms=0.3):
+    """Two-phase load: sparse early arrivals, then everyone at once."""
+    half = max(1, len(apps) // 2)
+    cycles = {}
+    for index, app in enumerate(apps[:half]):
+        jitter = rng.uniform(0.0, quiet_ms)
+        cycles[app] = int((index * quiet_ms + jitter) * 1e-3 * machine.clock_hz)
+    for app in apps[half:]:
+        jitter = rng.uniform(0.0, 0.01)
+        cycles[app] = int((rush_ms + jitter) * 1e-3 * machine.clock_hz)
+    return ArrivalSchedule.from_cycles(cycles)
+
+
+print("registered arrival processes:",
+      ", ".join(name for name, _, _ in list_arrivals()))
+
+outcome = Engine().run_campaign(
+    Scenario()
+    .workload("stream:4")
+    .scheduler("LS", "LA")
+    .scale(0.25)
+    .arrival("rush-hour", rush_ms=0.25)
+)
+for result in outcome.results:
+    print(
+        f"  rush-hour / {result.scheduler}: "
+        f"resp {result.open['response_mean_ms']:.3f} ms, "
+        f"p99 {result.open['response_p99_ms']:.3f} ms, "
+        f"slowdown {result.open['mean_slowdown']:.2f}"
+    )
+print()
+
+
+# -- 3. the simulator directly: per-app records ------------------------------------
+
+epg = build_arrival_stream(4, scale=0.25, seed=0)
+machine = MachineConfig.paper_default()
+schedule = ArrivalSpec.of("poisson", rate=2000).build(epg.task_names, 0, machine)
+result = MPSoCSimulator(machine).run_open(epg, LocalityScheduler(), schedule)
+
+print(result.summary())
+for app, record in sorted(result.apps.items()):
+    print(
+        f"  {app}: arrived @{record.arrival_cycle}, "
+        f"response {record.response_cycles} cycles "
+        f"(queue {record.queue_delay_cycles}), slowdown {record.slowdown:.2f}"
+    )
+print("windowed miss rates:",
+      [round(rate, 3) for rate in result.windowed_miss_rates(5)])

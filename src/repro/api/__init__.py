@@ -45,6 +45,9 @@ from typing import TYPE_CHECKING
 #: The public surface.  tests/test_api_surface.py snapshots this list —
 #: additions and removals must update that test deliberately.
 __all__ = [
+    "ARRIVALS",
+    "ArrivalFactory",
+    "ArrivalSpec",
     "CampaignOutcome",
     "CampaignSpec",
     "Engine",
@@ -61,9 +64,11 @@ __all__ = [
     "WORKLOADS",
     "WorkloadFactory",
     "group_comparisons",
+    "list_arrivals",
     "list_machines",
     "list_schedulers",
     "list_workloads",
+    "register_arrival",
     "register_machine",
     "register_scheduler",
     "register_workload",
@@ -72,6 +77,9 @@ __all__ = [
 
 #: name -> home module, resolved on first attribute access.
 _EXPORTS = {
+    "ARRIVALS": "repro.api.registries",
+    "ArrivalFactory": "repro.api.registries",
+    "ArrivalSpec": "repro.sim.arrivals",
     "CampaignOutcome": "repro.campaign.executor",
     "CampaignSpec": "repro.campaign.spec",
     "Engine": "repro.api.engine",
@@ -88,9 +96,11 @@ _EXPORTS = {
     "WORKLOADS": "repro.api.registries",
     "WorkloadFactory": "repro.api.registries",
     "group_comparisons": "repro.campaign.compat",
+    "list_arrivals": "repro.api.registries",
     "list_machines": "repro.api.registries",
     "list_schedulers": "repro.api.registries",
     "list_workloads": "repro.api.registries",
+    "register_arrival": "repro.api.registries",
     "register_machine": "repro.api.registries",
     "register_scheduler": "repro.api.registries",
     "register_workload": "repro.api.registries",
@@ -100,17 +110,22 @@ _EXPORTS = {
 if TYPE_CHECKING:  # pragma: no cover - static analysis only
     from repro.api.engine import EXECUTION_POLICIES, Engine
     from repro.api.registries import (
+        ARRIVALS,
         MACHINES,
         SCHEDULERS,
         WORKLOADS,
+        ArrivalFactory,
         WorkloadFactory,
+        list_arrivals,
         list_machines,
         list_schedulers,
         list_workloads,
+        register_arrival,
         register_machine,
         register_scheduler,
         register_workload,
     )
+    from repro.sim.arrivals import ArrivalSpec
     from repro.api.registry import Registry, RegistryEntry
     from repro.api.scenario import Scenario
     from repro.campaign.compat import group_comparisons

@@ -214,7 +214,7 @@ class Engine:
         runs = _as_run_specs(runnable)
         # group on the full frozen MachineVariant, not just its name, so
         # same-named variants with different overrides cannot merge
-        groups = {(r.workload, r.machine, r.seed, r.scale) for r in runs}
+        groups = {(r.workload, r.machine, r.seed, r.scale, r.arrival) for r in runs}
         if len(groups) != 1:
             raise CampaignError(
                 f"compare() wants one workload/machine/seed under several "

@@ -1,4 +1,4 @@
-"""The three concrete registries: schedulers, workloads, machine presets.
+"""The four concrete registries: schedulers, workloads, machines, arrivals.
 
 This module is the single place the paper's closed factory tables
 (previously ``campaign/spec.py`` and ``workloads/suite.py``) now live,
@@ -9,7 +9,9 @@ opened up for extension:
   single :class:`~repro.procgraph.task.Task`) from ``(count, scale,
   seed)``, covering plain applications and ``name:N`` families;
 - :data:`MACHINES` — ``name -> override tuple`` applied to the Table-2
-  machine.
+  machine;
+- :data:`ARRIVALS` — ``name -> ArrivalFactory`` generating open-system
+  arrival schedules (``batch``, ``poisson``, ``bursty``, ``trace``).
 
 Third-party code extends any axis with the ``register_*`` decorators and
 then addresses its entries by string exactly like the builtins — in
@@ -41,10 +43,22 @@ from repro.sched.fifo import FifoScheduler
 from repro.sched.locality import LocalityScheduler, StaticLocalityScheduler
 from repro.sched.locality_mapping import LocalityMappingScheduler
 from repro.sched.random_sched import RandomScheduler
+from repro.sched.online import (
+    GreedyEtfScheduler,
+    LocalityAdmissionScheduler,
+    WorkStealingScheduler,
+)
 from repro.sched.round_robin import RoundRobinScheduler
+from repro.sim.arrivals import (
+    batch_arrivals,
+    bursty_arrivals,
+    poisson_arrivals,
+    trace_arrivals,
+)
 from repro.util.units import KIB
 from repro.workloads.suite import (
     SUITE,
+    build_arrival_stream,
     build_random_mix,
     build_task,
     build_workload_mix,
@@ -59,6 +73,9 @@ WORKLOADS: Registry["WorkloadFactory"] = Registry("workload")
 #: Machine presets: name -> sorted ``(field, value)`` override pairs
 #: against the Table-2 default machine.
 MACHINES: Registry[tuple] = Registry("machine preset")
+
+#: Arrival-process generators for open-system runs.
+ARRIVALS: Registry["ArrivalFactory"] = Registry("arrival")
 
 
 # -- schedulers -------------------------------------------------------------------
@@ -137,6 +154,18 @@ register_scheduler(
 register_scheduler(
     "FCFS", FifoScheduler, origin="builtin",
     description="first-come-first-served reference policy",
+)
+register_scheduler(
+    "ETF", GreedyEtfScheduler, origin="builtin",
+    description="greedy earliest-finish-time: shortest estimated ready process first",
+)
+register_scheduler(
+    "WS", WorkStealingScheduler, origin="builtin",
+    description="per-app home queues with deterministic work stealing",
+)
+register_scheduler(
+    "LA", LocalityAdmissionScheduler, origin="builtin",
+    description="locality-aware admission: incremental sharing matrix as apps arrive",
 )
 
 
@@ -279,6 +308,28 @@ WORKLOADS.register(
     description="N distinct applications, sampled and ordered by the cell seed",
     origin="builtin",
 )
+WORKLOADS.register(
+    "stream",
+    WorkloadFactory(
+        name="stream",
+        build=(
+            lambda count=None, scale=1.0, seed=0:
+            build_arrival_stream(count, scale=scale, seed=seed)
+        ),
+        description=(
+            "N application instances sampled with replacement (seeded) — "
+            "the open-system arrival workload"
+        ),
+        parameterized=True,
+        max_count=64,
+        seed_sensitive=True,
+    ),
+    description=(
+        "N application instances sampled with replacement (seeded) — "
+        "the open-system arrival workload"
+    ),
+    origin="builtin",
+)
 
 
 # -- machine presets --------------------------------------------------------------
@@ -322,6 +373,105 @@ register_machine("mem-50", memory_latency_cycles=50, origin="builtin")
 register_machine("mem-150", memory_latency_cycles=150, origin="builtin")
 register_machine("quantum-2k", quantum_cycles=2_000, origin="builtin")
 register_machine("quantum-32k", quantum_cycles=32_000, origin="builtin")
+register_machine(
+    "big-little",
+    core_speeds=(1.0, 1.0, 1.0, 1.0, 0.5, 0.5, 0.5, 0.5),
+    origin="builtin",
+    description="4 big cores at 1.0x + 4 LITTLE cores at 0.5x speed",
+)
+register_machine(
+    "big-little-cache",
+    core_speeds=(1.0, 1.0, 1.0, 1.0, 0.5, 0.5, 0.5, 0.5),
+    core_cache_sizes=(8 * KIB,) * 4 + (4 * KIB,) * 4,
+    origin="builtin",
+    description="big.LITTLE with halved 4KB caches on the LITTLE cluster",
+)
+register_machine(
+    "turbo-quad",
+    num_cores=4,
+    core_speeds=(2.0, 1.0, 1.0, 1.0),
+    origin="builtin",
+    description="4 cores, one at 2.0x turbo speed",
+)
+
+
+# -- arrival processes -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ArrivalFactory:
+    """One arrival-process registry entry.
+
+    ``build(apps, rng, machine, **params)`` returns an
+    :class:`~repro.sim.arrivals.ArrivalSchedule`; ``seed_sensitive``
+    tells the campaign executor whether the cell seed changes the
+    generated schedule (deterministic generators like ``batch`` and
+    ``trace`` keep cross-seed memoization alive).
+    """
+
+    name: str
+    build: Callable[..., object]
+    description: str = ""
+    seed_sensitive: bool = True
+
+
+def register_arrival(
+    name: str,
+    generator: Callable | None = None,
+    *,
+    description: str = "",
+    seed_sensitive: bool = True,
+    origin: str = "plugin",
+    overwrite: bool = False,
+):
+    """Register an arrival-process generator; usable as a decorator.
+
+    The generator signature is ``generator(apps, rng, machine, **params)
+    -> ArrivalSchedule``: ``apps`` is the workload's application names in
+    declaration order, ``rng`` a per-run
+    :class:`~repro.util.rng.DeterministicRng` stream (never module-level
+    state — the determinism tests enforce this), ``machine`` the cell's
+    :class:`~repro.sim.config.MachineConfig`.  Plugins default to
+    ``seed_sensitive=True`` so the executor's cross-seed memo never
+    reuses a schedule the seed should have changed.
+    """
+
+    def _register(fn):
+        ARRIVALS.register(
+            name,
+            ArrivalFactory(
+                name=name,
+                build=fn,
+                description=description or _doc_line(fn),
+                seed_sensitive=seed_sensitive,
+            ),
+            description=description or _doc_line(fn),
+            origin=origin,
+            overwrite=overwrite,
+        )
+        return fn
+
+    if generator is None:
+        return _register
+    return _register(generator)
+
+
+register_arrival(
+    "batch", batch_arrivals, origin="builtin", seed_sensitive=False,
+    description="every app at one instant (t=0: the closed-system degenerate)",
+)
+register_arrival(
+    "poisson", poisson_arrivals, origin="builtin",
+    description="Poisson process: exponential gaps at `rate` apps/second",
+)
+register_arrival(
+    "bursty", bursty_arrivals, origin="builtin",
+    description="Poisson bursts of `burst` apps at long-run `rate` apps/second",
+)
+register_arrival(
+    "trace", trace_arrivals, origin="builtin", seed_sensitive=False,
+    description="replay arrival times (ms) from `path` or inline `times_ms`",
+)
 
 
 # -- discovery helpers (the ``repro list`` surface) -------------------------------
@@ -343,3 +493,8 @@ def list_workloads() -> list[tuple[str, str, str]]:
 def list_machines() -> list[tuple[str, str, str]]:
     """``(name, origin, description)`` rows, registration order."""
     return [(e.name, e.origin, e.description) for e in MACHINES.entries()]
+
+
+def list_arrivals() -> list[tuple[str, str, str]]:
+    """``(name, origin, description)`` rows, registration order."""
+    return [(e.name, e.origin, e.description) for e in ARRIVALS.entries()]

@@ -33,6 +33,7 @@ from repro.campaign.spec import (
     resolve_machine_preset,
 )
 from repro.errors import CampaignError
+from repro.sim.arrivals import ArrivalSpec
 from repro.sim.config import MachineConfig
 from repro.util.units import KIB
 
@@ -61,6 +62,7 @@ class Scenario:
     seeds: tuple[int, ...] = ()
     scale_factor: float = 1.0
     title: str | None = None
+    arrivals: tuple[ArrivalSpec, ...] = ()
 
     # -- axis builders -------------------------------------------------------
 
@@ -168,6 +170,40 @@ class Scenario:
         """Append replication seeds (one grid axis)."""
         return replace(self, seeds=self.seeds + tuple(int(s) for s in seeds))
 
+    def arrival(
+        self,
+        process: "str | ArrivalSpec" = "poisson",
+        *,
+        label: str | None = None,
+        **params: object,
+    ) -> "Scenario":
+        """Append an arrival process, switching the grid to open-system runs.
+
+        ``process`` names an entry in the
+        :data:`~repro.api.registries.ARRIVALS` registry (``"batch"``,
+        ``"poisson"``, ``"bursty"``, ``"trace"``, or a plugin registered
+        with :func:`~repro.api.registries.register_arrival`); ``params``
+        are the generator's keywords (e.g. ``rate=2000``).  Arrivals are
+        one more grid axis — chain several calls to sweep rising rates::
+
+            scenario = Scenario().workload("stream:8").scheduler("LS", "ETF")
+            for rate in (500, 1000, 2000):
+                scenario = scenario.arrival("poisson", rate=rate)
+
+        Leaving the axis empty keeps the paper's closed-batch regime.
+        """
+        if isinstance(process, ArrivalSpec):
+            if label is not None or params:
+                raise CampaignError(
+                    "a prebuilt ArrivalSpec already carries its label and "
+                    "params; pass the process name as a string to "
+                    "parameterize it here"
+                )
+            spec = process
+        else:
+            spec = ArrivalSpec.of(process, label=label, **params)
+        return replace(self, arrivals=self.arrivals + (spec,))
+
     def scale(self, scale: float) -> "Scenario":
         """Set the workload size multiplier (shared by every cell)."""
         return replace(self, scale_factor=float(scale))
@@ -193,6 +229,7 @@ class Scenario:
             schedulers=self.schedulers or DEFAULT_SCHEDULERS,
             seeds=self.seeds or (0,),
             scale=self.scale_factor,
+            arrivals=self.arrivals,
             **kwargs,
         )
 

@@ -57,9 +57,14 @@ class RunResult:
     misses: int
     utilization: float
     per_core_utilization: list[float] = field(default_factory=list)
+    #: Arrival-axis label for open-system cells; None for closed cells.
+    arrival: str | None = None
+    #: Open-system metrics (response times, slowdown, throughput) for
+    #: cells run with an ArrivalSpec; None for closed cells.
+    open: dict | None = None
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "key": self.key,
             "workload": self.workload,
             "machine": self.machine,
@@ -75,9 +80,17 @@ class RunResult:
             "utilization": self.utilization,
             "per_core_utilization": self.per_core_utilization,
         }
+        # Closed-system rows keep their historical schema byte for byte.
+        if self.arrival is not None:
+            data["arrival"] = self.arrival
+        if self.open is not None:
+            data["open"] = self.open
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunResult":
+        arrival = data.get("arrival")
+        open_metrics = data.get("open")
         return cls(
             key=str(data["key"]),
             workload=str(data["workload"]),
@@ -93,6 +106,8 @@ class RunResult:
             misses=int(data["misses"]),
             utilization=float(data["utilization"]),
             per_core_utilization=[float(u) for u in data.get("per_core_utilization", [])],
+            arrival=str(arrival) if arrival is not None else None,
+            open=dict(open_metrics) if open_metrics is not None else None,
         )
 
     # -- SimulationResult-compatible surface (what renderers/exporters read) --
@@ -122,6 +137,8 @@ def _seedless_cell_key(run: RunSpec, scheduler) -> tuple | None:
     """Seed-independent identity of a cell, or None if the seed matters."""
     if scheduler.seed_sensitive or workload_seed_sensitive(run.workload):
         return None
+    if run.arrival is not None and run.arrival.seed_sensitive:
+        return None
     return (
         run.workload,
         run.scale,
@@ -129,6 +146,9 @@ def _seedless_cell_key(run: RunSpec, scheduler) -> tuple | None:
         run.machine.overrides,
         run.scheduler.name,
         run.scheduler.params,
+        (run.arrival.process, run.arrival.params)
+        if run.arrival is not None
+        else None,
     )
 
 
@@ -153,10 +173,19 @@ def execute_run(run: RunSpec) -> RunResult:
             )
     machine = run.machine.build()
     epg = build_campaign_workload(run.workload, scale=run.scale, seed=run.seed)
-    comparison = run_comparison(
-        run.cell_key(), epg, machine=machine, schedulers=[scheduler], seed=run.seed
-    )
-    result = comparison.results[scheduler.name]
+    open_metrics: dict | None = None
+    if run.arrival is not None:
+        from repro.sim.simulator import MPSoCSimulator
+
+        schedule = run.arrival.build(epg.task_names, run.seed, machine)
+        result = MPSoCSimulator(machine).run_open(epg, scheduler, schedule)
+        open_metrics = _open_metrics(result)
+    else:
+        comparison = run_comparison(
+            run.cell_key(), epg, machine=machine, schedulers=[scheduler],
+            seed=run.seed,
+        )
+        result = comparison.results[scheduler.name]
     makespan = result.makespan_cycles
     run_result = RunResult(
         key=run.cell_key(),
@@ -176,10 +205,31 @@ def execute_run(run: RunSpec) -> RunResult:
             (core.busy_cycles / makespan) if makespan else 0.0
             for core in result.cores
         ],
+        arrival=run.arrival.effective_label if run.arrival is not None else None,
+        open=open_metrics,
     )
     if memo_key is not None:
         _CELL_MEMO.put(memo_key, run_result)
     return run_result
+
+
+def _open_metrics(result) -> dict:
+    """Flatten an :class:`~repro.sim.results.OpenSystemResult` for the store."""
+    stats = result.response_stats()
+    to_ms = 1e3 / result.clock_hz
+    return {
+        "apps": len(result.apps),
+        "response_mean_ms": stats["mean"] * to_ms,
+        "response_p50_ms": stats["p50"] * to_ms,
+        "response_p95_ms": stats["p95"] * to_ms,
+        "response_p99_ms": stats["p99"] * to_ms,
+        "response_max_ms": stats["max"] * to_ms,
+        "queue_delay_mean_ms": result.mean_queue_delay_cycles() * to_ms,
+        "mean_slowdown": result.mean_slowdown(),
+        "max_slowdown": result.max_slowdown(),
+        "throughput_apps_per_s": result.throughput_apps_per_second(),
+        "windowed_miss_rates": result.windowed_miss_rates(10),
+    }
 
 
 @dataclass

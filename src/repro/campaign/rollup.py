@@ -36,7 +36,7 @@ CSV_COLUMNS = (
 
 @dataclass(frozen=True)
 class RollupRow:
-    """One (workload, machine, scheduler) aggregate across seeds."""
+    """One (workload, machine, arrival, scheduler) aggregate across seeds."""
 
     workload: str
     machine: str
@@ -48,6 +48,10 @@ class RollupRow:
     speedup_vs_rs: float | None  # mean per-seed time(RS)/time(self)
     speedup_vs_rrs: float | None
     miss_delta_vs_rs: float | None  # mean per-seed miss_rate - miss_rate(RS)
+    arrival: str | None = None  # open-system axis label (None = closed)
+    mean_response_ms: float | None = None
+    mean_p99_ms: float | None = None
+    mean_slowdown: float | None = None
 
 
 def _mean(values: Sequence[float]) -> float:
@@ -58,30 +62,34 @@ def rollup_results(results: Sequence[RunResult]) -> list[RollupRow]:
     """Aggregate per-run results into per-cell-group rollup rows.
 
     Groups first-seen order is preserved, so rows come out in the same
-    order the campaign declared its axes.
+    order the campaign declared its axes.  Open-system results (those
+    carrying an arrival label) group per arrival process and gain
+    response-time aggregates.
     """
     if not results:
         raise CampaignError("no campaign results to roll up")
-    # baselines per (workload, machine, seed)
+    # baselines per (workload, machine, arrival, seed)
     baselines: dict[tuple, dict[str, RunResult]] = {}
     for result in results:
-        cell = baselines.setdefault((result.workload, result.machine, result.seed), {})
+        cell = baselines.setdefault(
+            (result.workload, result.machine, result.arrival, result.seed), {}
+        )
         if result.scheduler_name in ("RS", "RRS") and result.scheduler_name not in cell:
             cell[result.scheduler_name] = result
 
     groups: dict[tuple, list[RunResult]] = {}
     for result in results:
         groups.setdefault(
-            (result.workload, result.machine, result.scheduler), []
+            (result.workload, result.machine, result.arrival, result.scheduler), []
         ).append(result)
 
     rows: list[RollupRow] = []
-    for (workload, machine, scheduler), members in groups.items():
+    for (workload, machine, arrival, scheduler), members in groups.items():
         speedups_rs: list[float] = []
         speedups_rrs: list[float] = []
         miss_deltas: list[float] = []
         for member in members:
-            cell = baselines.get((workload, machine, member.seed), {})
+            cell = baselines.get((workload, machine, arrival, member.seed), {})
             rs = cell.get("RS")
             rrs = cell.get("RRS")
             if rs is not None and member.seconds > 0:
@@ -89,6 +97,7 @@ def rollup_results(results: Sequence[RunResult]) -> list[RollupRow]:
                 miss_deltas.append(member.miss_rate - rs.miss_rate)
             if rrs is not None and member.seconds > 0:
                 speedups_rrs.append(rrs.seconds / member.seconds)
+        open_members = [m for m in members if m.open is not None]
         rows.append(
             RollupRow(
                 workload=workload,
@@ -101,59 +110,97 @@ def rollup_results(results: Sequence[RunResult]) -> list[RollupRow]:
                 speedup_vs_rs=_mean(speedups_rs) if speedups_rs else None,
                 speedup_vs_rrs=_mean(speedups_rrs) if speedups_rrs else None,
                 miss_delta_vs_rs=_mean(miss_deltas) if miss_deltas else None,
+                arrival=arrival,
+                mean_response_ms=(
+                    _mean([m.open["response_mean_ms"] for m in open_members])
+                    if open_members
+                    else None
+                ),
+                mean_p99_ms=(
+                    _mean([m.open["response_p99_ms"] for m in open_members])
+                    if open_members
+                    else None
+                ),
+                mean_slowdown=(
+                    _mean([m.open["mean_slowdown"] for m in open_members])
+                    if open_members
+                    else None
+                ),
             )
         )
     return rows
 
 
 def render_rollup(results: Sequence[RunResult], title: str = "Campaign rollup") -> str:
-    """ASCII table of the rollup rows."""
+    """ASCII table of the rollup rows.
+
+    Closed campaigns render the historical columns byte for byte; the
+    arrival and response-time columns appear only when the result set
+    contains open-system rows.
+    """
 
     def ratio(value: float | None) -> str:
         return f"{value:.2f}x" if value is not None else "-"
 
-    table = AsciiTable(
-        [
-            "workload",
-            "machine",
-            "scheduler",
-            "runs",
-            "time (ms)",
-            "miss rate",
-            "util",
-            "vs RS",
-            "vs RRS",
-            "Δmiss vs RS",
-        ],
-        title=title,
-    )
-    for row in rollup_results(results):
-        table.add_row(
-            [
-                row.workload,
-                row.machine,
-                row.scheduler,
-                str(row.runs),
-                f"{row.mean_seconds * 1e3:.3f}",
-                f"{row.mean_miss_rate:.4f}",
-                f"{row.mean_utilization:.2f}",
-                ratio(row.speedup_vs_rs),
-                ratio(row.speedup_vs_rrs),
-                (
-                    f"{row.miss_delta_vs_rs:+.4f}"
-                    if row.miss_delta_vs_rs is not None
-                    else "-"
-                ),
+    rows = rollup_results(results)
+    open_system = any(row.arrival is not None for row in rows)
+    headers = ["workload", "machine"]
+    if open_system:
+        headers.append("arrival")
+    headers += ["scheduler", "runs", "time (ms)", "miss rate", "util"]
+    if open_system:
+        headers += ["resp (ms)", "p99 (ms)", "slowdown"]
+    headers += ["vs RS", "vs RRS", "Δmiss vs RS"]
+    table = AsciiTable(headers, title=title)
+
+    def optional(value: float | None, fmt: str) -> str:
+        return fmt.format(value) if value is not None else "-"
+
+    for row in rows:
+        cells = [row.workload, row.machine]
+        if open_system:
+            cells.append(row.arrival if row.arrival is not None else "closed")
+        cells += [
+            row.scheduler,
+            str(row.runs),
+            f"{row.mean_seconds * 1e3:.3f}",
+            f"{row.mean_miss_rate:.4f}",
+            f"{row.mean_utilization:.2f}",
+        ]
+        if open_system:
+            cells += [
+                optional(row.mean_response_ms, "{:.3f}"),
+                optional(row.mean_p99_ms, "{:.3f}"),
+                optional(row.mean_slowdown, "{:.2f}"),
             ]
-        )
+        cells += [
+            ratio(row.speedup_vs_rs),
+            ratio(row.speedup_vs_rrs),
+            (
+                f"{row.miss_delta_vs_rs:+.4f}"
+                if row.miss_delta_vs_rs is not None
+                else "-"
+            ),
+        ]
+        table.add_row(cells)
     return table.render()
 
 
 def results_to_csv(results: Sequence[RunResult]) -> str:
-    """Per-run CSV (one row per executed cell)."""
+    """Per-run CSV (one row per executed cell).
+
+    Closed campaigns keep the historical column set byte for byte; when
+    any result carries the arrival axis, an ``arrival`` column is
+    inserted after ``scheduler`` so open-system rows differing only in
+    arrival rate stay distinguishable.
+    """
     if not results:
         raise CampaignError("no campaign results to export")
-    return rows_to_csv([result.to_dict() for result in results], CSV_COLUMNS)
+    columns: tuple = CSV_COLUMNS
+    if any(result.arrival is not None for result in results):
+        at = CSV_COLUMNS.index("scheduler") + 1
+        columns = CSV_COLUMNS[:at] + ("arrival",) + CSV_COLUMNS[at:]
+    return rows_to_csv([result.to_dict() for result in results], columns)
 
 
 def write_results_csv(results: Sequence[RunResult], path: str | Path) -> Path:

@@ -31,6 +31,7 @@ from repro.errors import CampaignError, UnknownEntryError
 from repro.procgraph.graph import ExtendedProcessGraph
 from repro.procgraph.task import Task
 from repro.sched.base import Scheduler
+from repro.sim.arrivals import ArrivalSpec
 from repro.sim.config import MachineConfig
 from repro.util.memo import BoundedDict
 from repro.util.rng import derive_seed
@@ -325,31 +326,43 @@ DEFAULT_SCHEDULERS: tuple[SchedulerSpec, ...] = (
 
 @dataclass(frozen=True)
 class RunSpec:
-    """One cell of the campaign grid: fully declarative, picklable."""
+    """One cell of the campaign grid: fully declarative, picklable.
+
+    ``arrival=None`` is the paper's closed batch (everything at t=0);
+    an :class:`~repro.sim.arrivals.ArrivalSpec` switches the cell to the
+    open-system regime — applications arrive over time and the result
+    carries response-time metrics.
+    """
 
     workload: str
     machine: MachineVariant
     scheduler: SchedulerSpec
     seed: int
     scale: float = 1.0
+    arrival: ArrivalSpec | None = None
 
     def cell_key(self) -> str:
         """Stable identifier for the result store.
 
         Human-readable prefix plus a fingerprint of the parts the prefix
-        cannot disambiguate (machine overrides, scheduler params).
+        cannot disambiguate (machine overrides, scheduler params, and —
+        for open cells only — the arrival params; closed cells keep
+        their historical keys bit for bit).
         """
+        parts: dict = {
+            "machine": dict(self.machine.overrides),
+            "scheduler": [self.scheduler.name, dict(self.scheduler.params)],
+        }
+        prefix = ""
+        if self.arrival is not None:
+            parts["arrival"] = self.arrival.to_dict()
+            prefix = f"{self.arrival.effective_label}|"
         fingerprint = hashlib.sha256(
-            _canonical(
-                {
-                    "machine": dict(self.machine.overrides),
-                    "scheduler": [self.scheduler.name, dict(self.scheduler.params)],
-                }
-            ).encode("utf-8")
+            _canonical(parts).encode("utf-8")
         ).hexdigest()[:8]
         return (
             f"{self.workload}|{self.machine.name}|"
-            f"{self.scheduler.effective_label}|seed={self.seed}|"
+            f"{self.scheduler.effective_label}|{prefix}seed={self.seed}|"
             f"scale={self.scale}|{fingerprint}"
         )
 
@@ -374,7 +387,13 @@ class RunSpec:
 
 @dataclass(frozen=True)
 class CampaignSpec:
-    """The declarative cross product the executor expands and runs."""
+    """The declarative cross product the executor expands and runs.
+
+    ``arrivals`` is the optional fifth axis: each
+    :class:`~repro.sim.arrivals.ArrivalSpec` turns every cell into an
+    open-system run (empty — the default — keeps the classic closed
+    grid, with spec hashes unchanged).
+    """
 
     workloads: tuple[str, ...]
     machines: tuple[MachineVariant, ...] = (MachineVariant(),)
@@ -382,6 +401,7 @@ class CampaignSpec:
     seeds: tuple[int, ...] = (0,)
     scale: float = 1.0
     name: str = "campaign"
+    arrivals: tuple[ArrivalSpec, ...] = ()
 
     def __post_init__(self) -> None:
         if not (self.workloads and self.machines and self.schedulers and self.seeds):
@@ -397,6 +417,7 @@ class CampaignSpec:
             ("machine", [m.name for m in self.machines]),
             ("scheduler", [s.effective_label for s in self.schedulers]),
             ("seed", self.seeds),
+            ("arrival", [a.effective_label for a in self.arrivals]),
         ):
             if len(set(values)) != len(values):
                 raise CampaignError(
@@ -412,6 +433,7 @@ class CampaignSpec:
             * len(self.machines)
             * len(self.schedulers)
             * len(self.seeds)
+            * max(1, len(self.arrivals))
         )
 
     def expand(self) -> list[RunSpec]:
@@ -423,15 +445,17 @@ class CampaignSpec:
                 scheduler=scheduler,
                 seed=seed,
                 scale=self.scale,
+                arrival=arrival,
             )
             for workload in self.workloads
             for machine in self.machines
+            for arrival in (self.arrivals or (None,))
             for scheduler in self.schedulers
             for seed in self.seeds
         ]
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "name": self.name,
             "scale": self.scale,
             "workloads": list(self.workloads),
@@ -439,6 +463,11 @@ class CampaignSpec:
             "schedulers": [s.to_dict() for s in self.schedulers],
             "seeds": list(self.seeds),
         }
+        # Only open-system campaigns serialize the axis, so every
+        # pre-existing spec (and its store-keying hash) is unchanged.
+        if self.arrivals:
+            data["arrivals"] = [a.to_dict() for a in self.arrivals]
+        return data
 
     def spec_hash(self) -> str:
         """Short stable digest keying the default result store."""
@@ -448,7 +477,10 @@ class CampaignSpec:
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "CampaignSpec":
-        known = {"name", "scale", "workloads", "machines", "schedulers", "seeds"}
+        known = {
+            "name", "scale", "workloads", "machines", "schedulers", "seeds",
+            "arrivals",
+        }
         unknown = set(data) - known
         if unknown:
             # a typo'd axis name would otherwise silently run the default
@@ -473,6 +505,9 @@ class CampaignSpec:
             scale = float(data.get("scale", 1.0))
         except (TypeError, ValueError) as exc:
             raise CampaignError(f"bad campaign spec value: {exc}") from exc
+        arrivals = tuple(
+            ArrivalSpec.from_dict(a) for a in data.get("arrivals", [])
+        )
         return cls(
             workloads=workloads,
             machines=machines,
@@ -480,6 +515,7 @@ class CampaignSpec:
             seeds=seeds,
             scale=scale,
             name=str(data.get("name", "campaign")),
+            arrivals=arrivals,
         )
 
     @classmethod

@@ -48,7 +48,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     lst.add_argument(
         "what",
-        choices=("schedulers", "workloads", "machines"),
+        choices=("schedulers", "workloads", "machines", "arrivals"),
         help="which registry to list",
     )
 
@@ -74,6 +74,47 @@ def _build_parser() -> argparse.ArgumentParser:
     abl.add_argument("--tasks", type=int, default=4)
     abl.add_argument("--scale", type=float, default=1.0)
     abl.add_argument("--jobs", type=int, default=1)
+
+    osys = sub.add_parser(
+        "open-system",
+        help="run the open-system arrival experiment (beyond the paper)",
+    )
+    osys.add_argument(
+        "--apps", type=int, default=8,
+        help="application instances in the arrival stream (stream:N)",
+    )
+    osys.add_argument(
+        "--rates", type=str, default="1000,2000,4000",
+        help="comma list of arrival rates in apps/second (one grid axis)",
+    )
+    osys.add_argument(
+        "--process", type=str, default="poisson",
+        help="arrival process name (see 'repro list arrivals')",
+    )
+    osys.add_argument(
+        "--schedulers", type=str, default="RS,LS,ETF,WS,LA",
+        help="comma list of scheduler names (dynamic or shared-queue)",
+    )
+    osys.add_argument("--seeds", type=str, default="0,1")
+    osys.add_argument("--scale", type=float, default=0.5)
+    osys.add_argument("--machine", type=str, default=None,
+                      help="machine preset (e.g. big-little)")
+    osys.add_argument("--jobs", type=int, default=1)
+    osys.add_argument(
+        "--resume", action="store_true",
+        help="skip cells already present in the result store",
+    )
+    osys.add_argument(
+        "--store", type=str, default=None,
+        help="result store path (default: .repro-campaign/<spec-hash>.jsonl)",
+    )
+    osys.add_argument("--csv", type=str, default=None,
+                      help="also export per-run open metrics as CSV")
+    osys.add_argument(
+        "--smoke", action="store_true",
+        help="CI-smoke sizes (a few seconds, still 3 rates x 3+ schedulers)",
+    )
+    osys.add_argument("--quiet", action="store_true")
 
     bench = sub.add_parser(
         "bench",
@@ -243,12 +284,18 @@ def _campaign_spec_from_args(args: argparse.Namespace) -> "CampaignSpec":
 
 
 def _run_list_command(args: argparse.Namespace) -> int:
-    from repro.api.registries import list_machines, list_schedulers, list_workloads
+    from repro.api.registries import (
+        list_arrivals,
+        list_machines,
+        list_schedulers,
+        list_workloads,
+    )
 
     rows = {
         "schedulers": list_schedulers,
         "workloads": list_workloads,
         "machines": list_machines,
+        "arrivals": list_arrivals,
     }[args.what]()
     print(f"registered {args.what} ({len(rows)}):")
     width = max(len(name) for name, _, _ in rows)
@@ -305,6 +352,60 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
         print(f"[csv written to {write_results_csv(outcome.results, args.csv)}]")
     if args.jsonl:
         print(f"[jsonl written to {write_results_jsonl(outcome.results, args.jsonl)}]")
+    return 0
+
+
+def _run_open_system_command(args: argparse.Namespace) -> int:
+    from repro.campaign.executor import RunResult
+    from repro.experiments.open_system import (
+        render_open_system,
+        run_open_system,
+        write_open_csv,
+    )
+
+    try:
+        rates = [float(r) for r in _split_csv_flag(args.rates, "rates")]
+        seeds = [int(s) for s in _split_csv_flag(args.seeds, "seeds")]
+    except ValueError:
+        raise CampaignError(
+            "--rates and --seeds must be comma lists of numbers"
+        ) from None
+    schedulers = _split_csv_flag(args.schedulers, "schedulers")
+    apps, scale = args.apps, args.scale
+    if args.smoke:
+        # Small enough for CI, still >= 3 rates x 3 schedulers so the
+        # artefact shape matches the full run.
+        apps, scale, seeds = min(apps, 4), min(scale, 0.25), seeds[:1]
+
+    def progress(result: "RunResult", done: int, total: int) -> None:
+        if not args.quiet and result.open is not None:
+            print(
+                f"  [{done}/{total}] {result.arrival} / {result.scheduler} "
+                f"seed={result.seed}: resp "
+                f"{result.open['response_mean_ms']:.3f} ms, "
+                f"p99 {result.open['response_p99_ms']:.3f} ms"
+            )
+
+    outcome = run_open_system(
+        apps=apps,
+        rates=rates,
+        schedulers=schedulers,
+        seeds=seeds,
+        scale=scale,
+        process=args.process,
+        machine=args.machine,
+        jobs=args.jobs,
+        store=args.store,
+        resume=args.resume,
+        progress=progress,
+    )
+    if outcome.skipped:
+        print(f"  [resume] skipped {outcome.skipped} completed cells")
+    print()
+    print(render_open_system(outcome))
+    print(f"\n[store: {outcome.store_path}]")
+    if args.csv:
+        print(f"[csv written to {write_open_csv(outcome, args.csv)}]")
     return 0
 
 
@@ -368,6 +469,8 @@ def _dispatch(args: argparse.Namespace) -> int:
                 run_ablation(num_tasks=args.tasks, scale=args.scale, jobs=args.jobs)
             )
         )
+    elif args.command == "open-system":
+        return _run_open_system_command(args)
     elif args.command == "bench":
         from repro.bench import render_bench, run_bench, write_bench
 

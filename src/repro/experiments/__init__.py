@@ -14,7 +14,10 @@ Each module owns one artefact:
 - :mod:`repro.experiments.sensitivity` — the "savings are consistent
   across several simulation parameters" sweeps;
 - :mod:`repro.experiments.ablation` — design-choice ablations (static
-  vs. dispatch-time LS, trim policy, re-layout threshold).
+  vs. dispatch-time LS, trim policy, re-layout threshold);
+- :mod:`repro.experiments.open_system` — beyond the paper: dynamic
+  application arrivals under rising load, measuring response time,
+  slowdown, and tail latency across the online scheduler zoo.
 
 Every harness returns plain data records and renders an ASCII artefact,
 so benchmarks, tests, and the examples all consume the same entry points.
@@ -38,6 +41,7 @@ from repro.experiments.figure7 import run_figure7, render_figure7
 from repro.experiments.tables import render_table1, render_table2
 from repro.experiments.sensitivity import run_sensitivity, render_sensitivity
 from repro.experiments.ablation import run_ablation, render_ablation
+from repro.experiments.open_system import run_open_system, render_open_system
 
 __all__ = [
     "SchedulerComparison",
@@ -48,6 +52,7 @@ __all__ = [
     "render_figure2",
     "render_figure6",
     "render_figure7",
+    "render_open_system",
     "render_sensitivity",
     "render_table1",
     "render_table2",
@@ -55,5 +60,6 @@ __all__ = [
     "run_comparison",
     "run_figure6",
     "run_figure7",
+    "run_open_system",
     "run_sensitivity",
 ]

@@ -9,7 +9,11 @@
 - :class:`StaticLocalityScheduler` (LS-static) — the Figure-3 pseudocode
   as a literal ahead-of-time plan (ablation);
 - :class:`LocalityMappingScheduler` (LSM) — LS plus the Figure-4/5 data
-  re-layout.
+  re-layout;
+- the online zoo (:mod:`repro.sched.online`) — :class:`GreedyEtfScheduler`
+  (ETF), :class:`WorkStealingScheduler` (WS), and
+  :class:`LocalityAdmissionScheduler` (LA), built for open-system runs
+  with dynamic application arrivals.
 
 Every scheduler turns an EPG plus machine configuration into a
 :class:`SchedulerPlan` that the simulator executes.
@@ -23,6 +27,11 @@ from repro.sched.locality import (
     make_locality_picker,
 )
 from repro.sched.locality_mapping import LocalityMappingScheduler
+from repro.sched.online import (
+    GreedyEtfScheduler,
+    LocalityAdmissionScheduler,
+    WorkStealingScheduler,
+)
 from repro.sched.random_sched import RandomScheduler
 from repro.sched.round_robin import RoundRobinScheduler
 from repro.sched.dynamic_locality import DynamicLocalityScheduler
@@ -31,6 +40,8 @@ from repro.sched.fifo import FifoScheduler
 __all__ = [
     "DynamicLocalityScheduler",
     "FifoScheduler",
+    "GreedyEtfScheduler",
+    "LocalityAdmissionScheduler",
     "LocalityMappingScheduler",
     "LocalityScheduler",
     "PlanMode",
@@ -39,6 +50,7 @@ __all__ = [
     "Scheduler",
     "SchedulerPlan",
     "StaticLocalityScheduler",
+    "WorkStealingScheduler",
     "figure3_schedule",
     "make_locality_picker",
 ]

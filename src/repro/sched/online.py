@@ -1,0 +1,204 @@
+"""The online scheduler zoo (open-system extensions beyond the paper).
+
+The paper's four strategies assume a closed batch: every process is known
+at t=0.  Once applications *arrive* over time (see
+:mod:`repro.sim.arrivals`), the interesting baselines are the classic
+online policies — all three below are dynamic dispatch plans, so they
+run unchanged in closed mode too and register in the
+:data:`~repro.api.registries.SCHEDULERS` registry like every other
+strategy:
+
+- **ETF** (:class:`GreedyEtfScheduler`) — greedy earliest-finish-time:
+  dispatch the ready process with the smallest estimated service time
+  (shortest-job-first, the canonical response-time heuristic in open
+  queueing systems).
+- **WS** (:class:`WorkStealingScheduler`) — each application is homed to
+  a core round-robin; cores prefer their own app's ready processes and
+  deterministically steal from the most-loaded victim when idle.
+- **LA** (:class:`LocalityAdmissionScheduler`) — the paper's LS dispatch
+  criteria, but the Presburger sharing matrix is built *incrementally*
+  at admission time (:class:`~repro.sharing.matrix.IncrementalSharingMatrix`):
+  each arriving app pays only its new-vs-resident pairs instead of the
+  whole-grid matrix up front.  Dispatch decisions match LS exactly when
+  the ready sets coincide; what changes is when the analysis work
+  happens — the property the open-system experiment measures.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.sim.config import MachineConfig
+
+from typing import Sequence
+
+from repro.memory.layout import DataLayout
+from repro.procgraph.graph import ProcessGraph
+from repro.sched.base import PlanMode, Scheduler, SchedulerPlan
+from repro.sharing.matrix import IncrementalSharingMatrix
+from repro.sim.trace import build_trace
+
+
+class GreedyEtfScheduler(Scheduler):
+    """ETF: dispatch the ready process with the earliest estimated finish.
+
+    Service estimates are computed once at plan time from each process's
+    memory trace under the plan's layout, assuming every access hits
+    (the estimate only ranks processes, so the optimistic bound is as
+    good as any and is deterministic).  Ties break on pid.
+    """
+
+    name = "ETF"
+    seed_sensitive = False
+
+    def prepare(
+        self,
+        epg: ProcessGraph,
+        machine: MachineConfig,
+        layout: DataLayout,
+    ) -> SchedulerPlan:
+        """Estimate per-process service times; dispatch shortest-first."""
+        geometry = machine.geometry()
+        estimate: dict[str, int] = {}
+        for process in epg:
+            trace = build_trace(process, layout, geometry)
+            estimate[process.pid] = trace.cost_cycles(
+                trace.num_accesses, 0, machine.cache_hit_cycles, machine.miss_cycles
+            )
+
+        def picker(
+            core_id: int,
+            ready: Sequence[str],
+            last_pid: str | None,
+            running: Sequence[str],
+        ) -> str:
+            return min(ready, key=lambda pid: (estimate[pid], pid))
+
+        return SchedulerPlan(
+            scheduler_name=self.name,
+            mode=PlanMode.DYNAMIC,
+            layout=layout,
+            picker=picker,
+            metadata={"estimates": estimate},
+        )
+
+
+class WorkStealingScheduler(Scheduler):
+    """WS: per-app home cores with deterministic stealing.
+
+    Each application (task) is homed to a core round-robin in EPG task
+    order, spreading apps across the machine.  An idle core dispatches
+    its own apps' ready processes first (pid order — creation order
+    within an app); with no local work it steals from the victim core
+    owning the most ready processes (ties: lowest core id), taking the
+    victim's first ready pid.  Everything is a pure function of the
+    ready/running sets, so runs are exactly reproducible.
+    """
+
+    name = "WS"
+    seed_sensitive = False
+
+    def prepare(
+        self,
+        epg: ProcessGraph,
+        machine: MachineConfig,
+        layout: DataLayout,
+    ) -> SchedulerPlan:
+        """Home each app to a core; steal-from-richest when idle."""
+        tasks: list[str] = []
+        for process in epg:
+            if process.task_name not in tasks:
+                tasks.append(process.task_name)
+        task_home = {
+            task: index % machine.num_cores for index, task in enumerate(tasks)
+        }
+        home = {
+            process.pid: task_home[process.task_name] for process in epg
+        }
+
+        def picker(
+            core_id: int,
+            ready: Sequence[str],
+            last_pid: str | None,
+            running: Sequence[str],
+        ) -> str:
+            local = [pid for pid in ready if home[pid] == core_id]
+            if local:
+                return min(local)
+            by_core: dict[int, list[str]] = {}
+            for pid in ready:
+                by_core.setdefault(home[pid], []).append(pid)
+            victim = max(by_core, key=lambda core: (len(by_core[core]), -core))
+            return min(by_core[victim])
+
+        return SchedulerPlan(
+            scheduler_name=self.name,
+            mode=PlanMode.DYNAMIC,
+            layout=layout,
+            picker=picker,
+            metadata={"task_home": task_home},
+        )
+
+
+class LocalityAdmissionScheduler(Scheduler):
+    """LA: LS dispatch criteria over an incrementally-admitted sharing matrix.
+
+    The matrix starts empty; the first time an app's processes show up in
+    the simulator's ready/running sets (i.e. the app has arrived), the
+    whole app is admitted and only its pairs against resident apps are
+    intersected.  In closed mode every app is admitted on the first
+    dispatch, degenerating to LS with the same total analysis cost.
+    """
+
+    name = "LA"
+    seed_sensitive = False
+
+    def prepare(
+        self,
+        epg: ProcessGraph,
+        machine: MachineConfig,
+        layout: DataLayout,
+    ) -> SchedulerPlan:
+        """Build the lazily-admitted LS picker."""
+        sharing = IncrementalSharingMatrix()
+        app_of = {process.pid: process.task_name for process in epg}
+        processes_of: dict[str, list] = {}
+        for process in epg:
+            processes_of.setdefault(process.task_name, []).append(process)
+        admitted: set[str] = set()
+
+        def ensure_admitted(pids: Sequence[str]) -> None:
+            for pid in pids:
+                app = app_of[pid]
+                if app not in admitted:
+                    sharing.admit(processes_of[app])
+                    admitted.add(app)
+
+        def picker(
+            core_id: int,
+            ready: Sequence[str],
+            last_pid: str | None,
+            running: Sequence[str],
+        ) -> str:
+            ensure_admitted(ready)
+            if last_pid is not None:
+                ensure_admitted((last_pid,))
+            ensure_admitted(running)
+            if len(ready) == 1:
+                return ready[0]
+            affinity = sharing.affinity(last_pid, ready)
+            concurrent = sharing.concurrent_load(ready, running)
+            best = min(
+                range(len(ready)),
+                key=lambda k: (-affinity[k], concurrent[k], ready[k]),
+            )
+            return ready[best]
+
+        return SchedulerPlan(
+            scheduler_name=self.name,
+            mode=PlanMode.DYNAMIC,
+            layout=layout,
+            picker=picker,
+            metadata={"sharing_incremental": sharing},
+        )

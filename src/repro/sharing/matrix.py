@@ -176,6 +176,125 @@ def _pair_intersection(a, b) -> int:
     return entry[2]
 
 
+class IncrementalSharingMatrix:
+    """A sharing matrix grown application by application.
+
+    The closed-system schedulers compute the full ``n x n`` matrix up
+    front; in an open system that front-loads Presburger work for apps
+    that have not arrived yet.  This class admits process batches as
+    their apps arrive and extends the matrix with only the new-vs-
+    resident pairs, reusing the module's pairwise intersection memo —
+    admitting ``k`` new processes against ``m`` residents costs
+    ``O(k·(m+k))`` sparse pair visits, and pairs already intersected for
+    another mix (or an earlier run) are free.
+
+    The entries are exactly the corresponding
+    :class:`SharingMatrix` entries: the growth order never changes a
+    value, only when it is computed.
+    """
+
+    def __init__(self) -> None:
+        self._processes: list[Process] = []
+        self._index: dict[str, int] = {}
+        self._data_sets: list[dict] = []
+        self._element_sizes: list[dict[str, int]] = []
+        self._owners: dict[str, list[int]] = {}
+        self._matrix = np.zeros((0, 0), dtype=np.int64)
+
+    def __contains__(self, pid: str) -> bool:
+        return pid in self._index
+
+    def __len__(self) -> int:
+        return len(self._processes)
+
+    @property
+    def pids(self) -> tuple[str, ...]:
+        """Admitted process ids, in admission order."""
+        return tuple(p.pid for p in self._processes)
+
+    def admit(self, processes: Sequence[Process]) -> int:
+        """Admit a batch (one arriving app); returns how many were new."""
+        for process in processes:
+            if not isinstance(process, Process):
+                raise ValidationError(
+                    f"expected a Process, got {type(process).__name__}"
+                )
+        new = [p for p in processes if p.pid not in self._index]
+        if not new:
+            return 0
+        old_n = len(self._processes)
+        n = old_n + len(new)
+        matrix = np.zeros((n, n), dtype=np.int64)
+        matrix[:old_n, :old_n] = self._matrix
+        for offset, process in enumerate(new):
+            j = old_n + offset
+            data = process.data_sets()
+            sizes = {
+                name: spec.element_size for name, spec in process.arrays.items()
+            }
+            matrix[j, j] = sum(
+                len(points) * sizes[name] for name, points in data.items()
+            )
+            for name, points in data.items():
+                for i in self._owners.get(name, ()):
+                    shared = (
+                        _pair_intersection(self._data_sets[i][name], points)
+                        * sizes[name]
+                    )
+                    matrix[i, j] += shared
+                    matrix[j, i] += shared
+                self._owners.setdefault(name, []).append(j)
+            self._processes.append(process)
+            self._index[process.pid] = j
+            self._data_sets.append(data)
+            self._element_sizes.append(sizes)
+        self._matrix = matrix
+        return len(new)
+
+    def shared(self, pid_a: str, pid_b: str) -> int:
+        """``|SS(a,b)|`` in bytes (both pids must be admitted)."""
+        try:
+            return int(self._matrix[self._index[pid_a], self._index[pid_b]])
+        except KeyError as exc:
+            raise UnknownProcessError(exc.args[0]) from None
+
+    def affinity(self, last_pid: str | None, ready: Sequence[str]) -> np.ndarray:
+        """``M[last][q]`` for each ready ``q`` (zeros when the core is cold)."""
+        rows = self._rows_of(ready)
+        if last_pid is None:
+            return np.zeros(len(rows), dtype=np.int64)
+        try:
+            last = self._index[last_pid]
+        except KeyError:
+            raise UnknownProcessError(last_pid) from None
+        return self._matrix[last, rows]
+
+    def concurrent_load(
+        self, ready: Sequence[str], running: Sequence[str]
+    ) -> np.ndarray:
+        """``Σ_r M[q][r]`` over running ``r``, for each ready ``q``."""
+        rows = self._rows_of(ready)
+        cols = self._rows_of(running)
+        if not len(cols):
+            return np.zeros(len(rows), dtype=np.int64)
+        return self._matrix[rows[:, None], cols].sum(axis=1)
+
+    def _rows_of(self, pids: Sequence[str]) -> np.ndarray:
+        try:
+            return np.fromiter(
+                (self._index[pid] for pid in pids), dtype=np.intp, count=len(pids)
+            )
+        except KeyError as exc:
+            raise UnknownProcessError(exc.args[0]) from None
+
+    def snapshot(self) -> SharingMatrix:
+        """The admitted processes' matrix as a frozen :class:`SharingMatrix`."""
+        return SharingMatrix(self.pids, self._matrix.copy())
+
+    def __repr__(self) -> str:
+        return f"IncrementalSharingMatrix({len(self._processes)} processes)"
+
+
 #: Graph-keyed matrix memo; entries die with their graph.
 _MATRIX_CACHE: "weakref.WeakKeyDictionary[ProcessGraph, SharingMatrix]" = (
     weakref.WeakKeyDictionary()

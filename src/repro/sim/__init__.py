@@ -10,21 +10,45 @@
   aggregate cache statistics.
 """
 
+from repro.sim.arrivals import (
+    AppArrival,
+    ArrivalSchedule,
+    ArrivalSpec,
+    batch_arrivals,
+    bursty_arrivals,
+    poisson_arrivals,
+    trace_arrivals,
+)
 from repro.sim.config import MachineConfig
 from repro.sim.trace import ProcessTrace, build_trace
 from repro.sim.energy import EnergyBreakdown, EnergyModel, energy_of
-from repro.sim.results import CoreRecord, ProcessRecord, SimulationResult
+from repro.sim.results import (
+    AppRecord,
+    CoreRecord,
+    OpenSystemResult,
+    ProcessRecord,
+    SimulationResult,
+)
 from repro.sim.simulator import MPSoCSimulator
 
 __all__ = [
+    "AppArrival",
+    "AppRecord",
+    "ArrivalSchedule",
+    "ArrivalSpec",
     "CoreRecord",
     "EnergyBreakdown",
     "EnergyModel",
     "energy_of",
     "MPSoCSimulator",
     "MachineConfig",
+    "OpenSystemResult",
     "ProcessRecord",
     "ProcessTrace",
     "SimulationResult",
+    "batch_arrivals",
     "build_trace",
+    "bursty_arrivals",
+    "poisson_arrivals",
+    "trace_arrivals",
 ]

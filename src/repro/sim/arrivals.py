@@ -1,0 +1,367 @@
+"""Arrival processes: injecting whole applications into a running simulation.
+
+The paper evaluates *closed* batches: every process exists at t=0 and the
+metric is completion time.  This module supplies the missing *open-system*
+regime — applications (tasks, with their full process sets) arrive over
+time, the simulator admits them mid-run, and the metrics of interest
+become response time, slowdown, and tail latency.
+
+Three layers:
+
+- **generators** — seeded functions producing an :class:`ArrivalSchedule`
+  (one arrival cycle per application) from a per-run
+  :class:`~repro.util.rng.DeterministicRng` stream.  Builtins: ``batch``
+  (everything at one instant — the closed-system degenerate), ``poisson``
+  (exponential inter-arrivals), ``bursty`` (Poisson bursts of several
+  apps), and ``trace`` (replay recorded arrival times from a file or an
+  inline list).  Generators register in the
+  :data:`~repro.api.registries.ARRIVALS` registry via
+  :func:`~repro.api.registries.register_arrival`, so plugins address them
+  by string exactly like schedulers and workloads.
+- **:class:`ArrivalSchedule`** — the frozen realised timeline: ``(app,
+  cycle)`` pairs the simulator's admission path consumes.
+- **:class:`ArrivalSpec`** — the declarative form (generator name +
+  params) that rides on :class:`~repro.campaign.spec.RunSpec` cells, so
+  arrival processes are one more campaign axis: hashed, resumable, and
+  sweepable like everything else.
+
+Determinism: a generator never touches module-level RNG state.  Each
+build derives a fresh ``numpy.random.Generator`` stream from ``(seed,
+"arrivals", generator name)``, so campaign cells decorrelate across the
+seed axis while ``--resume`` and memoization stay exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from repro.errors import SimulationError, ValidationError
+from repro.util.rng import DeterministicRng
+
+if TYPE_CHECKING:
+    from repro.sim.config import MachineConfig
+
+
+@dataclass(frozen=True)
+class AppArrival:
+    """One application's arrival: the task name and its admission cycle."""
+
+    app: str
+    cycle: int
+
+    def __post_init__(self) -> None:
+        if not self.app:
+            raise ValidationError("arrival needs a non-empty app name")
+        if self.cycle < 0:
+            raise ValidationError(
+                f"arrival cycle must be non-negative, got {self.cycle} "
+                f"for {self.app!r}"
+            )
+
+
+@dataclass(frozen=True)
+class ArrivalSchedule:
+    """A realised arrival timeline: when each application enters the system.
+
+    Arrivals are stored sorted by ``(cycle, app)`` so equal schedules
+    compare equal regardless of construction order; app names are unique
+    (one arrival per application instance — re-submitting the same app
+    is modelled as a distinct instance, see ``"stream:N"`` workloads).
+    """
+
+    arrivals: tuple[AppArrival, ...]
+
+    def __post_init__(self) -> None:
+        if not self.arrivals:
+            raise ValidationError("an arrival schedule needs at least one arrival")
+        ordered = tuple(
+            sorted(self.arrivals, key=lambda a: (a.cycle, a.app))
+        )
+        names = [a.app for a in ordered]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValidationError(f"duplicate apps in arrival schedule: {dupes}")
+        object.__setattr__(self, "arrivals", ordered)
+
+    @classmethod
+    def from_cycles(cls, cycles: Mapping[str, int]) -> "ArrivalSchedule":
+        """Build from an ``{app: arrival cycle}`` mapping."""
+        return cls(
+            tuple(AppArrival(app, int(cycle)) for app, cycle in cycles.items())
+        )
+
+    @classmethod
+    def batch(cls, apps: Sequence[str], cycle: int = 0) -> "ArrivalSchedule":
+        """Every app at one instant — the closed-system degenerate."""
+        return cls(tuple(AppArrival(app, cycle) for app in apps))
+
+    @property
+    def apps(self) -> tuple[str, ...]:
+        """App names in arrival order."""
+        return tuple(a.app for a in self.arrivals)
+
+    def release_of(self, app: str) -> int:
+        """The admission cycle of one app."""
+        for arrival in self.arrivals:
+            if arrival.app == app:
+                return arrival.cycle
+        raise SimulationError(f"no arrival scheduled for app {app!r}")
+
+    def as_dict(self) -> dict[str, int]:
+        """``{app: cycle}`` view."""
+        return {a.app: a.cycle for a in self.arrivals}
+
+    @property
+    def horizon_cycles(self) -> int:
+        """The last arrival's cycle."""
+        return self.arrivals[-1].cycle
+
+    def __len__(self) -> int:
+        return len(self.arrivals)
+
+
+# -- generators -------------------------------------------------------------------
+#
+# Signature contract (what register_arrival expects):
+#     generator(apps, rng, machine, **params) -> ArrivalSchedule
+# ``apps`` is the EPG's task-name list in declaration order, ``rng`` a
+# per-run DeterministicRng stream, ``machine`` the cell's MachineConfig
+# (for clock-rate conversions).  Generators must be pure functions of
+# their arguments.
+
+
+def _rate_to_mean_cycles(rate: float, machine: "MachineConfig") -> float:
+    """Mean inter-arrival gap in cycles for ``rate`` arrivals per second."""
+    if rate <= 0:
+        raise ValidationError(f"arrival rate must be positive, got {rate}")
+    return machine.clock_hz / float(rate)
+
+
+def batch_arrivals(
+    apps: Sequence[str],
+    rng: DeterministicRng,
+    machine: "MachineConfig",
+    at_ms: float = 0.0,
+) -> ArrivalSchedule:
+    """All applications arrive at one instant (default t=0).
+
+    With ``at_ms=0`` this reproduces the paper's closed-batch regime
+    exactly — the equivalence tests pin that byte for byte.
+    """
+    if at_ms < 0:
+        raise ValidationError(f"at_ms must be non-negative, got {at_ms}")
+    cycle = int(round(at_ms * 1e-3 * machine.clock_hz))
+    return ArrivalSchedule.batch(apps, cycle=cycle)
+
+
+def poisson_arrivals(
+    apps: Sequence[str],
+    rng: DeterministicRng,
+    machine: "MachineConfig",
+    rate: float = 1000.0,
+) -> ArrivalSchedule:
+    """Poisson process: exponential inter-arrival gaps, ``rate`` apps/second.
+
+    Apps are admitted in declaration order at the cumulative sum of the
+    sampled gaps (the first app arrives after the first gap).
+    """
+    mean = _rate_to_mean_cycles(rate, machine)
+    cycles: dict[str, int] = {}
+    clock = 0.0
+    for app in apps:
+        clock += rng.exponential(mean)
+        cycles[app] = int(clock)
+    return ArrivalSchedule.from_cycles(cycles)
+
+
+def bursty_arrivals(
+    apps: Sequence[str],
+    rng: DeterministicRng,
+    machine: "MachineConfig",
+    rate: float = 1000.0,
+    burst: int = 4,
+    spread: float = 0.05,
+) -> ArrivalSchedule:
+    """Bursts of ``burst`` apps; burst *starts* form a Poisson process.
+
+    The long-run rate is still ``rate`` apps/second (burst starts are
+    drawn at ``rate / burst``); within a burst, apps are offset by
+    uniform jitter up to ``spread`` of the mean burst gap.  This is the
+    flash-crowd shape queueing-sensitive schedulers hate most.
+    """
+    if burst < 1:
+        raise ValidationError(f"burst size must be >= 1, got {burst}")
+    if spread < 0:
+        raise ValidationError(f"spread must be non-negative, got {spread}")
+    burst_mean = _rate_to_mean_cycles(rate, machine) * burst
+    cycles: dict[str, int] = {}
+    clock = 0.0
+    remaining = list(apps)
+    while remaining:
+        clock += rng.exponential(burst_mean)
+        members, remaining = remaining[:burst], remaining[burst:]
+        for app in members:
+            jitter = rng.uniform(0.0, max(spread * burst_mean, 1e-9))
+            cycles[app] = int(clock + jitter)
+    return ArrivalSchedule.from_cycles(cycles)
+
+
+def trace_arrivals(
+    apps: Sequence[str],
+    rng: DeterministicRng,
+    machine: "MachineConfig",
+    path: str | None = None,
+    times_ms: Sequence[float] | tuple = (),
+) -> ArrivalSchedule:
+    """Replay recorded arrival times, one per app in declaration order.
+
+    Times are milliseconds since simulation start, either inline
+    (``times_ms``) or one-per-line in a text file (``path``; blank lines
+    and ``#`` comments ignored).  The trace must supply at least as many
+    times as there are apps; extras are ignored so one trace file can
+    drive differently-sized workloads.
+    """
+    if path is not None and times_ms:
+        raise ValidationError("trace arrivals take either 'path' or 'times_ms'")
+    if path is not None:
+        try:
+            raw = Path(path).read_text()
+        except OSError as exc:
+            raise SimulationError(f"cannot read arrival trace {path}: {exc}") from exc
+        times = []
+        for line_no, line in enumerate(raw.splitlines(), start=1):
+            text = line.split("#", 1)[0].strip()
+            if not text:
+                continue
+            try:
+                times.append(float(text))
+            except ValueError:
+                raise SimulationError(
+                    f"bad arrival time {text!r} at {path}:{line_no}"
+                ) from None
+    else:
+        times = [float(t) for t in times_ms]
+    if len(times) < len(apps):
+        raise SimulationError(
+            f"arrival trace supplies {len(times)} times for {len(apps)} apps"
+        )
+    cycles = {
+        app: int(round(t * 1e-3 * machine.clock_hz))
+        for app, t in zip(apps, times)
+    }
+    return ArrivalSchedule.from_cycles(cycles)
+
+
+# -- the declarative spec ----------------------------------------------------------
+
+
+def _pairs(mapping: Mapping[str, object]) -> tuple[tuple[str, object], ...]:
+    return tuple(sorted(mapping.items()))
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """Declarative arrival process: a generator name plus parameters.
+
+    The campaign analogue of :class:`~repro.campaign.spec.SchedulerSpec`:
+    frozen, JSON-friendly, and resolved through the
+    :data:`~repro.api.registries.ARRIVALS` registry at build time.  A
+    ``RunSpec`` carries at most one (``None`` means the classic closed
+    batch), and a ``CampaignSpec`` sweeps a tuple of them as one more
+    grid axis.
+    """
+
+    process: str = "batch"
+    params: tuple[tuple[str, object], ...] = ()
+    label: str | None = None
+
+    def __post_init__(self) -> None:
+        # Normalize params built from dicts/lists and fail fast on
+        # unknown generator names (with the registry's did-you-mean).
+        object.__setattr__(
+            self,
+            "params",
+            tuple((str(k), _freeze(v)) for k, v in sorted(tuple(self.params))),
+        )
+        self._factory()
+
+    def _factory(self):
+        from repro.api.registries import ARRIVALS
+
+        from repro.errors import CampaignError, UnknownEntryError
+
+        try:
+            return ARRIVALS.get(self.process)
+        except UnknownEntryError as exc:
+            raise CampaignError(str(exc)) from None
+
+    @classmethod
+    def of(cls, process: str, label: str | None = None, **params: object) -> "ArrivalSpec":
+        """Build a spec from keyword params."""
+        return cls(process=process, params=_pairs(params), label=label)
+
+    @property
+    def effective_label(self) -> str:
+        """The axis label results are reported under."""
+        if self.label is not None:
+            return self.label
+        if not self.params:
+            return self.process
+        args = ",".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.process}({args})"
+
+    @property
+    def seed_sensitive(self) -> bool:
+        """Whether the cell seed changes the schedule this spec builds."""
+        return self._factory().seed_sensitive
+
+    def build(
+        self, apps: Sequence[str], seed: int, machine: "MachineConfig"
+    ) -> ArrivalSchedule:
+        """Realise the arrival schedule for one cell.
+
+        The generator draws from a fresh per-run stream derived from
+        ``(seed, "arrivals", process)`` — no module-level RNG state, so
+        resume and cross-run memoization stay deterministic.
+        """
+        factory = self._factory()
+        rng = DeterministicRng(seed, "arrivals", self.process)
+        schedule = factory.build(list(apps), rng, machine, **dict(self.params))
+        if not isinstance(schedule, ArrivalSchedule):
+            raise SimulationError(
+                f"arrival generator {self.process!r} returned "
+                f"{type(schedule).__name__}, expected an ArrivalSchedule"
+            )
+        return schedule
+
+    def to_dict(self) -> dict:
+        data: dict = {"process": self.process}
+        if self.params:
+            data["params"] = {k: _thaw(v) for k, v in self.params}
+        if self.label is not None:
+            data["label"] = self.label
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping | str) -> "ArrivalSpec":
+        if isinstance(data, str):
+            return cls(process=data)
+        return cls.of(
+            data["process"], label=data.get("label"), **data.get("params", {})
+        )
+
+
+def _freeze(value: object) -> object:
+    """Make a param value hashable (lists from JSON become tuples)."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+def _thaw(value: object) -> object:
+    """Inverse of :func:`_freeze` for JSON export."""
+    if isinstance(value, tuple):
+        return [_thaw(v) for v in value]
+    return value

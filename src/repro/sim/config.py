@@ -1,4 +1,4 @@
-"""Machine configuration — the paper's Table 2.
+"""Machine configuration — the paper's Table 2, plus heterogeneous cores.
 
 The defaults reproduce Table 2 exactly where the paper specifies a value:
 
@@ -21,10 +21,28 @@ describes), a 500-cycle context-switch cost charged at every dispatch
 schedulers pay it once per process, RRS once per time slice), and no
 extra latency charged for dirty write-backs (tracked in statistics
 only).
+
+Heterogeneity (beyond the paper): modern embedded MPSoCs cluster
+non-uniform cores (big.LITTLE and friends).  Three optional per-core
+tuples describe that:
+
+- ``core_speeds`` — relative speed factors (1.0 = the Table-2 core); a
+  core at 0.5 takes twice the cycles for the same work.  Applied as a
+  ceiling division on every charged duration, so homogeneous machines
+  (the default, empty tuple) execute the *identical* integer arithmetic
+  as before.
+- ``core_cache_sizes`` / ``core_cache_assocs`` — per-core L1 geometry
+  overrides.  The line size stays machine-global so one memory trace
+  serves every core; sizes and associativities may differ per core.
+
+Empty tuples mean "homogeneous": every existing artefact is reproduced
+byte-identically.  :meth:`MachineConfig.clustered` builds the common
+cluster shapes without spelling the tuples out by hand.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
 
 from repro.cache.geometry import CacheGeometry
@@ -47,8 +65,16 @@ class MachineConfig:
     context_switch_cycles: int = 500
     charge_writebacks: bool = False
     classify_misses: bool = False
+    #: Per-core relative speed factors; empty = homogeneous (all 1.0).
+    core_speeds: tuple = ()
+    #: Per-core cache sizes in bytes; empty = ``cache_size_bytes`` everywhere.
+    core_cache_sizes: tuple = ()
+    #: Per-core associativities; empty = ``cache_associativity`` everywhere.
+    core_cache_assocs: tuple = ()
 
     def __post_init__(self) -> None:
+        from repro.errors import ValidationError
+
         check_positive("num_cores", self.num_cores)
         check_power_of_two("cache_size_bytes", self.cache_size_bytes)
         check_power_of_two("cache_associativity", self.cache_associativity)
@@ -58,23 +84,173 @@ class MachineConfig:
         check_positive("clock_hz", self.clock_hz)
         check_positive("quantum_cycles", self.quantum_cycles)
         if self.context_switch_cycles < 0:
-            from repro.errors import ValidationError
-
             raise ValidationError(
                 f"context_switch_cycles must be non-negative, "
                 f"got {self.context_switch_cycles}"
             )
+        # Normalize the per-core tuples (spec files hand us JSON lists)
+        # and validate lengths/values.  Tuples stay empty when the
+        # machine is homogeneous so frozen equality and hashes of
+        # pre-heterogeneity configs are untouched.
+        object.__setattr__(
+            self, "core_speeds", tuple(float(s) for s in self.core_speeds)
+        )
+        object.__setattr__(
+            self, "core_cache_sizes", tuple(int(s) for s in self.core_cache_sizes)
+        )
+        object.__setattr__(
+            self, "core_cache_assocs", tuple(int(a) for a in self.core_cache_assocs)
+        )
+        for field_name, values in (
+            ("core_speeds", self.core_speeds),
+            ("core_cache_sizes", self.core_cache_sizes),
+            ("core_cache_assocs", self.core_cache_assocs),
+        ):
+            if values and len(values) != self.num_cores:
+                raise ValidationError(
+                    f"{field_name} lists {len(values)} entries for "
+                    f"{self.num_cores} cores"
+                )
+        for speed in self.core_speeds:
+            if not speed > 0:
+                raise ValidationError(
+                    f"core speed factors must be positive, got {speed}"
+                )
+        for size in self.core_cache_sizes:
+            check_power_of_two("core_cache_sizes entry", size)
+        for assoc in self.core_cache_assocs:
+            check_power_of_two("core_cache_assocs entry", assoc)
+        # Per-core geometries must be constructible (assoc <= lines etc.).
+        if self.core_cache_sizes or self.core_cache_assocs:
+            for core in range(self.num_cores):
+                self.geometry_for(core)
 
     @classmethod
     def paper_default(cls) -> "MachineConfig":
         """The Table-2 configuration."""
         return cls()
 
+    @classmethod
+    def clustered(
+        cls,
+        clusters: "list[tuple[int, dict]] | tuple",
+        **overrides: object,
+    ) -> "MachineConfig":
+        """Build a heterogeneous machine from ``(core count, deltas)`` clusters.
+
+        Each cluster entry is ``(count, {"speed": ..., "cache_size_bytes":
+        ..., "cache_associativity": ...})``; omitted keys inherit the
+        machine-global value.  Example — a 4+4 big.LITTLE with halved
+        LITTLE caches::
+
+            MachineConfig.clustered([
+                (4, {"speed": 1.0}),
+                (4, {"speed": 0.5, "cache_size_bytes": 4 * KIB}),
+            ])
+        """
+        from repro.errors import ValidationError
+
+        speeds: list[float] = []
+        sizes: list[int] = []
+        assocs: list[int] = []
+        base = cls(**overrides) if overrides else cls()
+        for entry in clusters:
+            try:
+                count, deltas = entry
+                count = int(count)
+                deltas = dict(deltas)
+            except (TypeError, ValueError):
+                raise ValidationError(
+                    f"cluster entries are (core count, deltas dict), got {entry!r}"
+                ) from None
+            if count < 1:
+                raise ValidationError(f"cluster core count must be >= 1, got {count}")
+            unknown = set(deltas) - {"speed", "cache_size_bytes", "cache_associativity"}
+            if unknown:
+                raise ValidationError(
+                    f"unknown cluster keys {sorted(unknown)}; expected "
+                    f"'speed', 'cache_size_bytes', 'cache_associativity'"
+                )
+            speeds.extend([float(deltas.get("speed", 1.0))] * count)
+            sizes.extend([int(deltas.get("cache_size_bytes", base.cache_size_bytes))] * count)
+            assocs.extend(
+                [int(deltas.get("cache_associativity", base.cache_associativity))] * count
+            )
+        num_cores = len(speeds)
+        return replace(
+            base,
+            num_cores=num_cores,
+            core_speeds=tuple(speeds) if any(s != 1.0 for s in speeds) else (),
+            core_cache_sizes=(
+                tuple(sizes) if any(s != base.cache_size_bytes for s in sizes) else ()
+            ),
+            core_cache_assocs=(
+                tuple(assocs)
+                if any(a != base.cache_associativity for a in assocs)
+                else ()
+            ),
+        )
+
+    # -- heterogeneity queries ---------------------------------------------------
+
+    @property
+    def heterogeneous(self) -> bool:
+        """Whether any per-core tuple departs from the global values."""
+        return bool(
+            self.core_speeds or self.core_cache_sizes or self.core_cache_assocs
+        )
+
+    def speed_for(self, core: int) -> float:
+        """Relative speed factor of one core (1.0 = the Table-2 core)."""
+        self._check_core(core)
+        return self.core_speeds[core] if self.core_speeds else 1.0
+
+    def scaled_cycles(self, core: int, cycles: int) -> int:
+        """Wall cycles for ``cycles`` of Table-2-core work on ``core``.
+
+        The homogeneous path returns ``cycles`` unchanged — no float
+        arithmetic touches the closed-system reproduction.  Slower cores
+        round up (ceiling), so work is never under-charged.
+        """
+        if not self.core_speeds:
+            return cycles
+        speed = self.speed_for(core)
+        if speed == 1.0:
+            return cycles
+        return int(math.ceil(cycles / speed))
+
     def geometry(self) -> CacheGeometry:
-        """The per-core L1 data cache geometry."""
+        """The machine-global (cluster-0 default) L1 data cache geometry."""
         return CacheGeometry(
             self.cache_size_bytes, self.cache_associativity, self.cache_line_size
         )
+
+    def geometry_for(self, core: int) -> CacheGeometry:
+        """One core's L1 geometry (per-core size/assoc, shared line size)."""
+        self._check_core(core)
+        size = (
+            self.core_cache_sizes[core]
+            if self.core_cache_sizes
+            else self.cache_size_bytes
+        )
+        assoc = (
+            self.core_cache_assocs[core]
+            if self.core_cache_assocs
+            else self.cache_associativity
+        )
+        if size == self.cache_size_bytes and assoc == self.cache_associativity:
+            return self.geometry()
+        return CacheGeometry(size, assoc, self.cache_line_size)
+
+    def _check_core(self, core: int) -> None:
+        if not 0 <= core < self.num_cores:
+            from repro.errors import ValidationError
+
+            raise ValidationError(
+                f"core index {core} out of range for {self.num_cores} cores"
+            )
+
+    # -- unchanged Table-2 helpers -------------------------------------------------
 
     @property
     def miss_cycles(self) -> int:
@@ -91,7 +267,7 @@ class MachineConfig:
 
     def describe(self) -> list[tuple[str, str]]:
         """Human-readable (parameter, value) rows — the Table-2 printer."""
-        return [
+        rows = [
             ("Number of processors", str(self.num_cores)),
             (
                 "Data cache per processor",
@@ -105,3 +281,25 @@ class MachineConfig:
             ("Round-robin quantum", f"{self.quantum_cycles} cycles"),
             ("Context-switch cost", f"{self.context_switch_cycles} cycles"),
         ]
+        if self.core_speeds:
+            rows.append(
+                (
+                    "Core speed factors",
+                    ", ".join(f"{s:g}" for s in self.core_speeds),
+                )
+            )
+        if self.core_cache_sizes:
+            rows.append(
+                (
+                    "Per-core cache sizes",
+                    ", ".join(f"{s // KIB}KB" for s in self.core_cache_sizes),
+                )
+            )
+        if self.core_cache_assocs:
+            rows.append(
+                (
+                    "Per-core associativity",
+                    ", ".join(f"{a}-way" for a in self.core_cache_assocs),
+                )
+            )
+        return rows

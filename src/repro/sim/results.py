@@ -5,6 +5,12 @@ makespan (the paper's "execution time" / "task completion time"), the
 realised per-core execution orders, per-process and per-core records, and
 aggregate cache statistics.  Results are plain data — every experiment
 harness and test consumes them through this module.
+
+Open-system runs return an :class:`OpenSystemResult` — the same record
+plus per-application :class:`AppRecord` rows and the metrics that matter
+once applications arrive over time instead of all at t=0: response time,
+slowdown against each app's own critical-path service demand, tail
+percentiles, throughput, and time-windowed miss rates.
 """
 
 from __future__ import annotations
@@ -185,3 +191,226 @@ class SimulationResult:
             f"{labels[record.pid]}={record.pid}" for record in by_start
         )
         return "\n".join(lanes) + f"\n  {legend}"
+
+
+# -- open-system records -----------------------------------------------------------
+
+
+@dataclass
+class AppRecord:
+    """Execution record of one application (task) in an open-system run."""
+
+    app: str
+    arrival_cycle: int
+    first_dispatch_cycle: int
+    completion_cycle: int
+    #: Critical-path service demand: the longest dependence chain through
+    #: the app's own processes, weighted by their *realised* durations —
+    #: the time the app would have needed on unlimited cores with the
+    #: cache behaviour it actually got.  The slowdown denominator.
+    service_cycles: int
+    num_processes: int
+
+    @property
+    def response_cycles(self) -> int:
+        """Arrival to completion — the open-system headline metric."""
+        return self.completion_cycle - self.arrival_cycle
+
+    @property
+    def queue_delay_cycles(self) -> int:
+        """Arrival to first dispatch: time spent waiting for a core."""
+        return self.first_dispatch_cycle - self.arrival_cycle
+
+    @property
+    def slowdown(self) -> float:
+        """Response time over critical-path service demand (>= 1.0)."""
+        if self.service_cycles <= 0:
+            return 1.0
+        return self.response_cycles / self.service_cycles
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Linear-interpolation percentile over pre-sorted values."""
+    if not sorted_values:
+        raise ValidationError("percentile of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValidationError(f"percentile must be in [0, 100], got {q}")
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    rank = (q / 100.0) * (len(sorted_values) - 1)
+    low = int(rank)
+    high = min(low + 1, len(sorted_values) - 1)
+    frac = rank - low
+    return float(sorted_values[low] * (1.0 - frac) + sorted_values[high] * frac)
+
+
+@dataclass
+class OpenSystemResult(SimulationResult):
+    """A :class:`SimulationResult` plus per-application arrival metrics."""
+
+    apps: dict[str, AppRecord] = field(default_factory=dict)
+
+    @classmethod
+    def from_simulation(
+        cls, result: SimulationResult, epg, schedule, machine=None
+    ) -> "OpenSystemResult":
+        """Wrap a finished run with per-app records.
+
+        ``schedule`` is the :class:`~repro.sim.arrivals.ArrivalSchedule`
+        the run was admitted under; ``epg`` supplies the per-app process
+        grouping and internal dependence structure.
+
+        Per-process service weights: a non-preemptive record's wall
+        duration *is* its service time, but a preempted (shared-queue)
+        record's ``duration_cycles`` spans its waits between quanta, so
+        with ``machine`` given the service of preempted processes is
+        reconstructed from what they actually consumed — hit/miss
+        latencies, compute cycles, and one context switch per dispatch —
+        keeping the slowdown denominator queueing-free for RRS too.
+        """
+        durations = {}
+        for pid, record in result.processes.items():
+            if machine is not None and record.preemptions:
+                durations[pid] = (
+                    record.hits * machine.cache_hit_cycles
+                    + record.misses * machine.miss_cycles
+                    + epg.process(pid).compute_cycles
+                    + machine.context_switch_cycles * (record.preemptions + 1)
+                )
+            else:
+                durations[pid] = record.duration_cycles
+        # Per-app critical path over realised durations: one topological
+        # pass, restricted to intra-app edges (apps are admitted whole,
+        # so cross-app edges cannot exist in an arrival workload; if they
+        # do, they are service the successor app observes as queueing).
+        longest: dict[str, int] = {}
+        for process in epg.topological_order():
+            pid = process.pid
+            best = max(
+                (
+                    longest[pred]
+                    for pred in epg.predecessors(pid)
+                    if epg.process(pred).task_name == process.task_name
+                ),
+                default=0,
+            )
+            longest[pid] = best + durations[pid]
+        apps: dict[str, AppRecord] = {}
+        arrival_of = schedule.as_dict()
+        for process in epg:
+            app = process.task_name
+            record = result.processes[process.pid]
+            entry = apps.get(app)
+            if entry is None:
+                apps[app] = AppRecord(
+                    app=app,
+                    arrival_cycle=arrival_of[app],
+                    first_dispatch_cycle=record.start_cycle,
+                    completion_cycle=record.end_cycle,
+                    service_cycles=longest[process.pid],
+                    num_processes=1,
+                )
+            else:
+                entry.first_dispatch_cycle = min(
+                    entry.first_dispatch_cycle, record.start_cycle
+                )
+                entry.completion_cycle = max(entry.completion_cycle, record.end_cycle)
+                entry.service_cycles = max(entry.service_cycles, longest[process.pid])
+                entry.num_processes += 1
+        return cls(
+            scheduler_name=result.scheduler_name,
+            makespan_cycles=result.makespan_cycles,
+            clock_hz=result.clock_hz,
+            processes=result.processes,
+            cores=result.cores,
+            metadata=result.metadata,
+            apps=apps,
+        )
+
+    # -- open metrics --------------------------------------------------------
+
+    def response_cycles(self) -> list[int]:
+        """Per-app response times, in arrival order (ties: app name)."""
+        ordered = sorted(
+            self.apps.values(), key=lambda a: (a.arrival_cycle, a.app)
+        )
+        return [a.response_cycles for a in ordered]
+
+    def response_stats(self) -> dict[str, float]:
+        """Mean/median/tail response-time summary, in cycles."""
+        values = sorted(float(v) for v in self.response_cycles())
+        return {
+            "mean": sum(values) / len(values),
+            "p50": _percentile(values, 50.0),
+            "p95": _percentile(values, 95.0),
+            "p99": _percentile(values, 99.0),
+            "max": values[-1],
+        }
+
+    def mean_queue_delay_cycles(self) -> float:
+        """Mean arrival-to-first-dispatch delay across apps."""
+        return sum(a.queue_delay_cycles for a in self.apps.values()) / len(self.apps)
+
+    def mean_slowdown(self) -> float:
+        """Mean per-app slowdown (response / critical-path service)."""
+        return sum(a.slowdown for a in self.apps.values()) / len(self.apps)
+
+    def max_slowdown(self) -> float:
+        """Worst per-app slowdown."""
+        return max(a.slowdown for a in self.apps.values())
+
+    def throughput_apps_per_second(self) -> float:
+        """Completed applications per second of simulated time."""
+        if self.makespan_cycles == 0:
+            return 0.0
+        return len(self.apps) / self.seconds
+
+    def windowed_miss_rates(self, num_windows: int = 10) -> list[float]:
+        """Aggregate miss rate per makespan window.
+
+        Each process's hits/misses are attributed to the window containing
+        its completion cycle (the access-level timeline is not retained);
+        windows with no completions report 0.0.  Under a rising arrival
+        rate this shows cache pressure building over the run.
+        """
+        if num_windows < 1:
+            raise ValidationError(f"num_windows must be >= 1, got {num_windows}")
+        hits = [0] * num_windows
+        misses = [0] * num_windows
+        span = max(self.makespan_cycles, 1)
+        for record in self.processes.values():
+            index = min(
+                int(record.end_cycle * num_windows / span), num_windows - 1
+            )
+            hits[index] += record.hits
+            misses[index] += record.misses
+        return [
+            (m / (h + m)) if (h + m) else 0.0 for h, m in zip(hits, misses)
+        ]
+
+    # -- validation ----------------------------------------------------------
+
+    def validate_against(self, epg) -> None:
+        """Closed-run structural checks plus admission-order checks."""
+        super().validate_against(epg)
+        for pid, record in self.processes.items():
+            app = epg.process(pid).task_name
+            arrival = self.apps[app].arrival_cycle
+            if record.start_cycle < arrival:
+                raise ValidationError(
+                    f"{pid} started at {record.start_cycle} before its app "
+                    f"{app!r} arrived at {arrival}"
+                )
+
+    def summary(self) -> str:
+        """One-line human-readable summary with open-system headline numbers."""
+        stats = self.response_stats()
+        to_ms = 1e3 / self.clock_hz
+        return (
+            f"[{self.scheduler_name}] {len(self.apps)} apps, "
+            f"response mean {stats['mean'] * to_ms:.3f} ms "
+            f"p95 {stats['p95'] * to_ms:.3f} ms, "
+            f"slowdown {self.mean_slowdown():.2f}, "
+            f"throughput {self.throughput_apps_per_second():.0f} apps/s, "
+            f"miss rate {self.miss_rate:.3f}"
+        )

@@ -14,6 +14,22 @@ Three drivers, one per :class:`~repro.sched.base.PlanMode`:
   resume wherever a core frees up — faithfully migrating (and thereby
   losing) cache state, per the paper's motivating scenario.
 
+Open-system admission (beyond the paper): :meth:`MPSoCSimulator.run_open`
+executes the dynamic and shared-queue drivers against an
+:class:`~repro.sim.arrivals.ArrivalSchedule` — each application's process
+set is *released* only once its arrival event fires, so the ready set
+grows mid-run and the result carries per-app response-time records
+(:class:`~repro.sim.results.OpenSystemResult`).  A schedule with every
+arrival at cycle 0 takes the exact closed-system code path and reproduces
+the batch results bit for bit.  Static plans cannot react to admissions
+and are rejected in open mode.
+
+Heterogeneous machines: when :class:`~repro.sim.config.MachineConfig`
+declares per-core speed factors or cache geometries, each core simulates
+its own cache and every charged duration is ceiling-scaled by the core's
+speed.  Homogeneous configs (the default) execute the identical integer
+arithmetic as before.
+
 Modelling notes (documented substitutions for Simics):
 
 - Caches are tag-only, true-LRU, write-allocate; dirty write-backs are
@@ -45,9 +61,15 @@ from repro.errors import (
 )
 from repro.procgraph.graph import ProcessGraph
 from repro.sched.base import PlanMode, Scheduler, SchedulerPlan, default_layout
+from repro.sim.arrivals import ArrivalSchedule
 from repro.sim.config import MachineConfig
 from repro.sim.engine import EventQueue
-from repro.sim.results import CoreRecord, ProcessRecord, SimulationResult
+from repro.sim.results import (
+    CoreRecord,
+    OpenSystemResult,
+    ProcessRecord,
+    SimulationResult,
+)
 from repro.sim.trace import ProcessTrace, build_trace
 
 
@@ -102,6 +124,84 @@ class MPSoCSimulator:
             result.validate_against(epg)
         return result
 
+    # -- open-system entry points ----------------------------------------------------
+
+    def run_open(
+        self,
+        epg: ProcessGraph,
+        scheduler: Scheduler,
+        schedule: ArrivalSchedule,
+        layout=None,
+        validate: bool = True,
+    ) -> OpenSystemResult:
+        """Run with dynamic admission: apps release at their arrival cycles."""
+        if not isinstance(scheduler, Scheduler):
+            raise ValidationError(f"expected a Scheduler, got {scheduler!r}")
+        epg.validate_acyclic()
+        base = layout if layout is not None else default_layout(epg, self._config)
+        plan = scheduler.prepare(epg, self._config, base)
+        return self.run_plan_open(epg, plan, schedule, validate=validate)
+
+    def run_plan_open(
+        self,
+        epg: ProcessGraph,
+        plan: SchedulerPlan,
+        schedule: ArrivalSchedule,
+        validate: bool = True,
+    ) -> OpenSystemResult:
+        """Execute an already-prepared plan against an arrival schedule."""
+        if not isinstance(schedule, ArrivalSchedule):
+            raise ValidationError(
+                f"expected an ArrivalSchedule, got {schedule!r}"
+            )
+        release = self._release_map(epg, schedule)
+        geometry = self._config.geometry()
+        traces = {
+            process.pid: build_trace(process, plan.layout, geometry)
+            for process in epg
+        }
+        if plan.mode is PlanMode.DYNAMIC:
+            result = self._run_dynamic(epg, plan, traces, release=release)
+        elif plan.mode is PlanMode.SHARED_QUEUE:
+            result = self._run_shared_queue(epg, plan, traces, release=release)
+        else:
+            raise SimulationError(
+                "static plans fix every core queue ahead of time and cannot "
+                "admit mid-run arrivals; use a dynamic or shared-queue "
+                "scheduler for open-system runs"
+            )
+        result.metadata.update(plan.metadata)
+        result.metadata["layout"] = plan.layout
+        open_result = OpenSystemResult.from_simulation(
+            result, epg, schedule, machine=self._config
+        )
+        if validate:
+            open_result.validate_against(epg)
+        return open_result
+
+    @staticmethod
+    def _release_map(epg: ProcessGraph, schedule: ArrivalSchedule) -> dict[str, int]:
+        """Per-pid release cycles from the per-app arrival schedule.
+
+        Every task in the EPG must arrive exactly once; an arriving app
+        releases its *whole* process set (interior processes stay gated
+        by their dependences as usual).
+        """
+        tasks = {process.task_name for process in epg}
+        scheduled = set(schedule.apps)
+        missing = tasks - scheduled
+        if missing:
+            raise SimulationError(
+                f"no arrival scheduled for apps: {sorted(missing)}"
+            )
+        extra = scheduled - tasks
+        if extra:
+            raise SimulationError(
+                f"arrival schedule names apps not in the EPG: {sorted(extra)}"
+            )
+        by_app = schedule.as_dict()
+        return {process.pid: by_app[process.task_name] for process in epg}
+
     # -- cost helpers --------------------------------------------------------------
 
     def _duration(self, trace: ProcessTrace, hits: int, misses: int) -> int:
@@ -145,10 +245,13 @@ class MPSoCSimulator:
     def _make_caches(
         self,
     ) -> tuple[list[SetAssociativeCache], list[MissClassifier] | None]:
-        geometry = self._config.geometry()
-        caches = [SetAssociativeCache(geometry) for _ in range(self._config.num_cores)]
-        if self._config.classify_misses:
-            classifiers = [MissClassifier(geometry) for _ in caches]
+        config = self._config
+        caches = [
+            SetAssociativeCache(config.geometry_for(core))
+            for core in range(config.num_cores)
+        ]
+        if config.classify_misses:
+            classifiers = [MissClassifier(cache.geometry) for cache in caches]
         else:
             classifiers = None
         return caches, classifiers
@@ -200,6 +303,7 @@ class MPSoCSimulator:
                         cache.stats.dirty_evictions - evictions_before
                     )
                     duration += self._config.context_switch_cycles
+                    duration = self._config.scaled_cycles(core, duration)
                     completion[pid] = start + duration
                     records[pid] = ProcessRecord(
                         pid=pid,
@@ -249,17 +353,31 @@ class MPSoCSimulator:
         epg: ProcessGraph,
         plan: SchedulerPlan,
         traces: dict[str, ProcessTrace],
+        release: dict[str, int] | None = None,
     ) -> SimulationResult:
         num_cores = self._config.num_cores
         caches, classifiers = self._make_caches()
         events = EventQueue()
         pending = {pid: len(epg.predecessors(pid)) for pid in epg.pids}
+        # Open-system admission: a pid participates only once its app has
+        # arrived.  ``release`` empty (the closed path) marks everything
+        # arrived up front and schedules no events, so the loop below is
+        # byte-identical to the historical closed-batch driver.
+        release = release or {}
+        arrived = {pid for pid in pending if release.get(pid, 0) == 0}
+        for pid, cycle in sorted(release.items()):
+            if cycle > 0:
+                events.push(cycle, ("arrive", -1, pid))
         # ``ready`` is a heap: newly released pids are pushed in O(log n)
         # instead of re-sorting the whole list on every completion event.
         # Pickers still see the identical fully-sorted tuple (built once
         # per dispatch batch), so every dispatch decision — including
         # RS's rng consumption order — is unchanged.
-        ready = sorted(pid for pid, count in pending.items() if count == 0)
+        ready = sorted(
+            pid
+            for pid, count in pending.items()
+            if count == 0 and pid in arrived
+        )
         ready_view: tuple[str, ...] | None = tuple(ready)
         completed: set[str] = set()
         idle: set[int] = set(range(num_cores))
@@ -298,6 +416,7 @@ class MPSoCSimulator:
                     cache.stats.dirty_evictions - evictions_before
                 )
                 duration += self._config.context_switch_cycles
+                duration = self._config.scaled_cycles(core, duration)
                 records[pid] = ProcessRecord(
                     pid=pid,
                     start_cycle=now,
@@ -315,6 +434,13 @@ class MPSoCSimulator:
         makespan = 0
         while events:
             now, (kind, core, pid) = events.pop()
+            if kind == "arrive":
+                arrived.add(pid)
+                if pending[pid] == 0:
+                    heapq.heappush(ready, pid)
+                    ready_view = None
+                dispatch_idle_cores(now)
+                continue
             if kind != "done":
                 raise SimulationError(f"unexpected event {kind!r}")
             completed.add(pid)
@@ -323,7 +449,7 @@ class MPSoCSimulator:
             makespan = max(makespan, now)
             for successor in sorted(epg.successors(pid)):
                 pending[successor] -= 1
-                if pending[successor] == 0:
+                if pending[successor] == 0 and successor in arrived:
                     heapq.heappush(ready, successor)
                     ready_view = None
             idle.add(core)
@@ -358,6 +484,7 @@ class MPSoCSimulator:
         epg: ProcessGraph,
         plan: SchedulerPlan,
         traces: dict[str, ProcessTrace],
+        release: dict[str, int] | None = None,
     ) -> SimulationResult:
         if self._config.classify_misses:
             raise SimulationError(
@@ -368,17 +495,31 @@ class MPSoCSimulator:
         quantum = plan.quantum_cycles
         config = self._config
         caches, _ = self._make_caches()
-        set_mask = config.geometry().num_sets - 1
+        # Per-core set masks (heterogeneous caches may differ in size or
+        # associativity); ``budget_rows`` memoizes per mask, so the
+        # homogeneous machine still converts each trace exactly once.
+        set_masks = [cache.geometry.num_sets - 1 for cache in caches]
         hit_cost = config.cache_hit_cycles
         miss_extra = config.memory_latency_cycles
-        rows_of = {
-            pid: trace.budget_rows(set_mask, hit_cost)
-            for pid, trace in traces.items()
-        }
+        # Work budget per quantum, in Table-2-core work cycles: a core at
+        # speed s retires s cycles of work per wall cycle.
+        budgets = [
+            max(1, int(quantum * config.speed_for(core)))
+            for core in range(num_cores)
+        ]
         events = EventQueue()
         pending = {pid: len(epg.predecessors(pid)) for pid in epg.pids}
+        release = release or {}
+        arrived = {pid for pid in pending if release.get(pid, 0) == 0}
+        for pid, cycle in sorted(release.items()):
+            if cycle > 0:
+                events.push(cycle, ("arrive", -1, pid))
         queue: deque[str] = deque(
-            sorted(pid for pid, count in pending.items() if count == 0)
+            sorted(
+                pid
+                for pid, count in pending.items()
+                if count == 0 and pid in arrived
+            )
         )
         cursor = {pid: 0 for pid in epg.pids}
         hits_acc = {pid: 0 for pid in epg.pids}
@@ -403,15 +544,16 @@ class MPSoCSimulator:
             cache = caches[core]
             evictions_before = cache.stats.dirty_evictions
             next_index, used, hits, misses = cache.run_budget_rows(
-                rows_of[pid],
+                trace.budget_rows(set_masks[core], hit_cost),
                 cursor[pid],
                 miss_extra,
-                quantum,
+                budgets[core],
             )
             used += self._writeback_cycles(
                 cache.stats.dirty_evictions - evictions_before
             )
             used += config.context_switch_cycles
+            used = config.scaled_cycles(core, used)
             cursor[pid] = next_index
             hits_acc[pid] += hits
             misses_acc[pid] += misses
@@ -430,6 +572,12 @@ class MPSoCSimulator:
         makespan = 0
         while events:
             now, (kind, core, pid) = events.pop()
+            if kind == "arrive":
+                arrived.add(pid)
+                if pending[pid] == 0:
+                    queue.append(pid)
+                wake_idle(now)
+                continue
             makespan = max(makespan, now)
             if kind == "preempt":
                 preemptions[pid] += 1
@@ -440,7 +588,7 @@ class MPSoCSimulator:
                 completion[pid] = now
                 for successor in sorted(epg.successors(pid)):
                     pending[successor] -= 1
-                    if pending[successor] == 0:
+                    if pending[successor] == 0 and successor in arrived:
                         queue.append(successor)
                 dispatch(core, now)
                 wake_idle(now)

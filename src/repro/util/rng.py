@@ -82,3 +82,9 @@ class DeterministicRng:
         if high < low:
             raise ValidationError(f"empty uniform range [{low}, {high})")
         return float(self._generator.uniform(low, high))
+
+    def exponential(self, mean: float) -> float:
+        """Exponential draw with the given mean (inter-arrival gaps)."""
+        if mean <= 0:
+            raise ValidationError(f"exponential mean must be positive, got {mean}")
+        return float(self._generator.exponential(mean))

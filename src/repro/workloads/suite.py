@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from repro.errors import UnknownWorkloadError, ValidationError
 from repro.procgraph.graph import ExtendedProcessGraph
+from repro.procgraph.process import Process
 from repro.procgraph.task import Task
 from repro.util.memo import BoundedDict
 from repro.util.rng import DeterministicRng
@@ -89,4 +90,53 @@ def build_random_mix(
     rng = DeterministicRng(seed, "random-mix", num_tasks)
     chosen = rng.shuffle(list(SUITE))[:num_tasks]
     tasks = [build_task(spec.name, scale=scale) for spec in chosen]
+    return ExtendedProcessGraph.from_tasks(tasks)
+
+
+def clone_task(task: Task, instance: int) -> Task:
+    """A distinct *instance* of an application, safe to co-schedule.
+
+    Process ids and the task name gain an ``#<instance>`` qualifier so
+    several instances of one application can coexist in a single EPG.
+    Fragment pieces — and therefore arrays and enumerated data sets —
+    are shared with the original Task: instances of the same program
+    reference the same code tables and input data, which is precisely
+    the cross-instance reuse a locality-aware scheduler can exploit (and
+    it keeps the Presburger data-set caches shared across instances).
+    ``instance=0`` returns the original task unchanged.
+    """
+    if instance < 0:
+        raise ValidationError(f"instance must be non-negative, got {instance}")
+    if instance == 0:
+        return task
+    name = f"{task.name}#{instance}"
+    rename = {p.pid: f"{name}.{p.pid.split('.', 1)[1]}" for p in task.processes}
+    processes = [
+        Process(rename[p.pid], name, p.pieces) for p in task.processes
+    ]
+    edges = [(rename[a], rename[b]) for a, b in task.edges]
+    return Task(name, processes, edges)
+
+
+def build_arrival_stream(
+    num_apps: int, scale: float = 1.0, seed: int = 0
+) -> ExtendedProcessGraph:
+    """The open-system workload: ``num_apps`` app instances, replacement OK.
+
+    Samples the Table-1 suite *with* replacement (a real arrival stream
+    re-submits popular applications), cloning repeats into distinct
+    instances via :func:`clone_task`.  Each instance is one "app" for
+    the arrival schedule: its whole process set is injected when the app
+    arrives.  Fully determined by ``(num_apps, scale, seed)``.
+    """
+    if num_apps < 1:
+        raise ValidationError(f"num_apps must be >= 1, got {num_apps}")
+    rng = DeterministicRng(seed, "arrival-stream", num_apps)
+    counts: dict[str, int] = {}
+    tasks = []
+    for _ in range(num_apps):
+        spec = rng.choice(list(SUITE))
+        instance = counts.get(spec.name, 0)
+        counts[spec.name] = instance + 1
+        tasks.append(clone_task(build_task(spec.name, scale=scale), instance))
     return ExtendedProcessGraph.from_tasks(tasks)

@@ -16,6 +16,9 @@ from repro.cli import main
 #: THE public surface.  Update deliberately, with docs/API.md.
 EXPECTED_API_SURFACE = sorted(
     [
+        "ARRIVALS",
+        "ArrivalFactory",
+        "ArrivalSpec",
         "CampaignOutcome",
         "CampaignSpec",
         "Engine",
@@ -32,9 +35,11 @@ EXPECTED_API_SURFACE = sorted(
         "WORKLOADS",
         "WorkloadFactory",
         "group_comparisons",
+        "list_arrivals",
         "list_machines",
         "list_schedulers",
         "list_workloads",
+        "register_arrival",
         "register_machine",
         "register_scheduler",
         "register_workload",

@@ -1,0 +1,70 @@
+"""Docs link-checker: every intra-repo markdown link must resolve.
+
+Scans README.md, PAPER.md, PAPERS.md, CHANGES.md, ROADMAP.md, and
+docs/*.md for ``[text](target)`` links and verifies that every relative
+target exists on disk (anchors are stripped; external ``http(s)://`` and
+``mailto:`` targets are skipped).  CI runs this file as its docs job, so
+a renamed file or a typo'd path fails the build instead of rotting.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown sources whose links must stay valid.
+DOC_FILES = sorted(
+    [
+        *(REPO_ROOT / "docs").glob("*.md"),
+        *[
+            REPO_ROOT / name
+            for name in (
+                "README.md", "PAPER.md", "PAPERS.md", "ROADMAP.md", "CHANGES.md",
+            )
+            if (REPO_ROOT / name).exists()
+        ],
+    ]
+)
+
+#: [text](target) — excluding images' leading "!" is unnecessary: image
+#: targets must resolve too.
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def iter_links(path: Path) -> list[str]:
+    return LINK_PATTERN.findall(path.read_text())
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: str(p.relative_to(REPO_ROOT)))
+def test_intra_repo_links_resolve(doc: Path):
+    broken = []
+    for target in iter_links(doc):
+        if target.startswith(EXTERNAL):
+            continue
+        path_part = target.split("#", 1)[0]
+        if not path_part:  # pure in-page anchor
+            continue
+        resolved = (doc.parent / path_part).resolve()
+        if not resolved.exists():
+            broken.append(target)
+    assert not broken, f"{doc.name}: broken relative links {broken}"
+
+
+def test_the_checker_sees_links_at_all():
+    # Guard against a regex regression silently skipping everything.
+    readme_links = iter_links(REPO_ROOT / "README.md")
+    assert any("docs/SCENARIOS.md" in link for link in readme_links)
+    assert any("docs/API.md" in link for link in readme_links)
+
+
+def test_scenarios_doc_is_linked_from_readme_and_api_md():
+    readme = (REPO_ROOT / "README.md").read_text()
+    api = (REPO_ROOT / "docs" / "API.md").read_text()
+    assert "docs/SCENARIOS.md" in readme
+    assert "SCENARIOS.md" in api

@@ -1,0 +1,62 @@
+"""docs/SCENARIOS.md is executable documentation.
+
+Every fenced ``python`` block in the cookbook is executed here verbatim
+(in a fresh namespace, inside a temporary working directory), and every
+``python -m repro …`` line in the ``sh`` blocks is validated against the
+real argparse parser.  A recipe that stops working fails this file, so
+the cookbook cannot drift from the code.
+"""
+
+from __future__ import annotations
+
+import re
+import shlex
+from pathlib import Path
+
+import pytest
+
+SCENARIOS_MD = Path(__file__).resolve().parent.parent / "docs" / "SCENARIOS.md"
+
+FENCE_PATTERN = re.compile(r"```(\w+)\n(.*?)```", re.DOTALL)
+
+
+def fenced_blocks(language: str) -> list[str]:
+    return [
+        body
+        for lang, body in FENCE_PATTERN.findall(SCENARIOS_MD.read_text())
+        if lang == language
+    ]
+
+
+PYTHON_BLOCKS = fenced_blocks("python")
+CLI_LINES = [
+    line.strip()
+    for block in fenced_blocks("sh")
+    for line in block.splitlines()
+    if line.strip().startswith("python -m repro")
+]
+
+
+def test_the_cookbook_has_recipes():
+    assert len(PYTHON_BLOCKS) >= 10
+    assert len(CLI_LINES) >= 5
+
+
+@pytest.mark.parametrize(
+    "index", range(len(PYTHON_BLOCKS)),
+    ids=[f"recipe-{i + 1}" for i in range(len(PYTHON_BLOCKS))],
+)
+def test_python_recipe_executes(index: int, tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)  # any stray artefacts land in tmp
+    namespace: dict = {"__name__": f"scenarios_recipe_{index}"}
+    exec(compile(PYTHON_BLOCKS[index], f"SCENARIOS.md[recipe {index + 1}]", "exec"),
+         namespace)
+
+
+@pytest.mark.parametrize("line", CLI_LINES, ids=lambda l: l[:60])
+def test_cli_recipe_parses(line: str):
+    from repro.cli import _build_parser
+
+    argv = shlex.split(line)[3:]  # drop "python -m repro"
+    args = _build_parser().parse_args(argv)
+    assert args.command is not None
