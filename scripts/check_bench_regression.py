@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Fail CI when the figure-7 cold wall-clock regresses vs the baseline.
+
+Usage::
+
+    python scripts/check_bench_regression.py FRESH.json \
+        [--baseline BENCH_PR5.json] [--tolerance 0.20]
+
+Compares the fresh bench run's ``figure7.cold_seconds`` against the
+committed baseline, normalized by relative machine speed (the scalar
+cache kernel's accesses/second is the yardstick: a machine that runs the
+scalar kernel at half the baseline's speed is allowed twice the
+wall-clock).  A fresh run more than ``tolerance`` slower than the
+normalized baseline fails with exit code 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load(path: str) -> dict:
+    try:
+        return json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        sys.exit(f"cannot read bench results {path}: {exc}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", help="bench JSON produced by this CI run")
+    parser.add_argument(
+        "--baseline", default="BENCH_PR5.json",
+        help="committed reference bench JSON",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.20,
+        help="allowed fractional slowdown after machine normalization",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = load(args.fresh)
+    baseline = load(args.baseline)
+
+    fresh_fig = fresh.get("figure7", {})
+    base_fig = baseline.get("figure7", {})
+    if fresh_fig.get("max_tasks") != base_fig.get("max_tasks"):
+        sys.exit(
+            f"bench shapes differ (max_tasks "
+            f"{fresh_fig.get('max_tasks')} vs {base_fig.get('max_tasks')}): "
+            f"run the same bench mode as the committed baseline"
+        )
+    try:
+        fresh_cold = float(fresh_fig["cold_seconds"])
+        base_cold = float(base_fig["cold_seconds"])
+        fresh_kernels = fresh["cache_kernels"]["random"]
+        base_kernels = baseline["cache_kernels"]["random"]
+        # figure7 mixes pure-Python driver work with vectorized kernels,
+        # so normalize by the geometric mean of both throughput ratios.
+        scalar_ratio = float(base_kernels["scalar_mps"]) / float(
+            fresh_kernels["scalar_mps"]
+        )
+        vector_ratio = float(base_kernels["vectorized_mps"]) / float(
+            fresh_kernels["vectorized_mps"]
+        )
+    except (KeyError, TypeError, ValueError, ZeroDivisionError) as exc:
+        sys.exit(f"bench results missing expected fields: {exc!r}")
+
+    machine_factor = (scalar_ratio * vector_ratio) ** 0.5
+    limit = base_cold * machine_factor * (1.0 + args.tolerance)
+    verdict = "OK" if fresh_cold <= limit else "REGRESSION"
+    print(
+        f"figure7 cold: fresh {fresh_cold:.3f}s vs baseline {base_cold:.3f}s "
+        f"(machine factor {machine_factor:.2f}, normalized limit "
+        f"{limit:.3f}s) -> {verdict}"
+    )
+    if fresh_cold > limit:
+        print(
+            "figure7 cold wall-clock regressed more than "
+            f"{args.tolerance:.0%} vs the committed baseline", file=sys.stderr
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,12 +24,15 @@ unchanged.
 
 from __future__ import annotations
 
+import atexit
+import math
 from concurrent.futures import (
     FIRST_COMPLETED,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
     wait,
 )
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
@@ -37,6 +40,7 @@ from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 from repro.api.scenario import Scenario
 from repro.campaign.spec import CampaignSpec, RunSpec
 from repro.errors import CampaignError
+from repro.util.invalidation import worker_state_epoch
 
 if TYPE_CHECKING:
     from repro.campaign.executor import CampaignOutcome, ProgressFn, RunResult
@@ -48,6 +52,126 @@ EXECUTION_POLICIES = ("serial", "threads", "processes")
 
 #: Per-result callback invoked as cells complete (completion order).
 ResultFn = Callable[["RunResult"], None]
+
+
+def _pool_worker_init(
+    memo_dir: str | None,
+    memo_mode: str,
+    fast_cache: bool,
+    trace_memo: bool,
+    quantum_batch: bool,
+) -> None:
+    """Align a fresh pool worker with the parent's tuning state.
+
+    Fork workers inherit it anyway; with the spawn start method (or
+    after the parent reconfigured mid-session) this keeps the persistent
+    memo store (directory *and* access mode) and the engine toggles
+    consistent across the fleet.
+    """
+    from repro.cache.memo import set_fast_cache, set_trace_memo
+    from repro.cache.store import active_memo_store, configure_memo_store
+    from repro.sim.qplan import set_quantum_batch
+
+    set_fast_cache(fast_cache)
+    set_trace_memo(trace_memo)
+    set_quantum_batch(quantum_batch)
+    current = active_memo_store()
+    current_dir = str(current.root) if current is not None else None
+    current_mode = current.mode if current is not None else "rw"
+    if (current_dir, current_mode) != (memo_dir, memo_mode):
+        configure_memo_store(memo_dir, mode=memo_mode)
+
+
+def _pool_init_args() -> tuple:
+    from repro.cache.memo import fast_cache_enabled, trace_memo_enabled
+    from repro.cache.store import active_memo_store
+    from repro.sim.qplan import quantum_batch_enabled
+
+    store = active_memo_store()
+    return (
+        str(store.root) if store is not None else None,
+        store.mode if store is not None else "rw",
+        fast_cache_enabled(),
+        trace_memo_enabled(),
+        quantum_batch_enabled(),
+    )
+
+
+#: One long-lived worker pool per ``jobs`` count, reused across
+#: ``run_many`` calls: worker start-up (an interpreter plus the NumPy
+#: import) dwarfs a typical cell, and campaigns composed of several
+#: rollup passes (sensitivity, the figure harnesses, benches) otherwise
+#: pay it once per pass.  A pool is retired whenever fork-inherited
+#: state changed since it started (plugin registrations, engine
+#: toggles, memo-store reconfiguration — see repro.util.invalidation).
+_SHARED_POOLS: dict[int, tuple[int, ProcessPoolExecutor]] = {}
+
+
+def _shared_process_pool(jobs: int) -> ProcessPoolExecutor:
+    epoch = worker_state_epoch()
+    cached = _SHARED_POOLS.get(jobs)
+    if cached is not None:
+        pool_epoch, pool = cached
+        if pool_epoch == epoch:
+            return pool
+    # One pool at a time: a differently-sized (or stale) pool's idle
+    # workers would otherwise stay resident for the process lifetime.
+    for other in list(_SHARED_POOLS):
+        _discard_shared_pool(other)
+    pool = ProcessPoolExecutor(
+        max_workers=jobs,
+        initializer=_pool_worker_init,
+        initargs=_pool_init_args(),
+    )
+    _SHARED_POOLS[jobs] = (epoch, pool)
+    return pool
+
+
+def _discard_shared_pool(jobs: int) -> None:
+    cached = _SHARED_POOLS.pop(jobs, None)
+    if cached is not None:
+        cached[1].shutdown(wait=False, cancel_futures=True)
+
+
+@atexit.register
+def _shutdown_shared_pools() -> None:
+    for _, pool in _SHARED_POOLS.values():
+        pool.shutdown(wait=False, cancel_futures=True)
+    _SHARED_POOLS.clear()
+
+
+def _workload_weight(ref: str) -> int:
+    """Crude relative cost of one cell of a workload reference."""
+    _, _, arg = ref.partition(":")
+    try:
+        return max(1, int(arg))
+    except ValueError:
+        return 1
+
+
+def _chunk_runs(
+    runs: "Sequence[RunSpec]", jobs: int
+) -> "list[list[int]]":
+    """Group cell indices into worker-sized chunks, heaviest first.
+
+    Cells sharing a workload and machine reuse each other's memoized
+    EPGs, traces, and analyses, so they belong in the same worker; a
+    cap keeps single-workload grids (open-system sweeps) from
+    collapsing into one serial task.  Chunks are ordered by descending
+    estimated cost so the pool's greedy assignment balances naturally.
+    """
+    groups: dict[tuple, list[int]] = {}
+    for index, run in enumerate(runs):
+        groups.setdefault((run.workload, run.machine, run.scale), []).append(index)
+    cap = max(4, math.ceil(len(runs) / (jobs * 4)))
+    chunks: list[tuple[int, list[int]]] = []
+    for (ref, _machine, _scale), indices in groups.items():
+        weight = _workload_weight(ref)
+        for start in range(0, len(indices), cap):
+            part = indices[start : start + cap]
+            chunks.append((weight * len(part), part))
+    chunks.sort(key=lambda item: item[0], reverse=True)
+    return [part for _, part in chunks]
 
 
 def _as_run_specs(runnable: object) -> list[RunSpec]:
@@ -148,21 +272,63 @@ class Engine:
                 results.append(result)
             return results
 
-        pool_cls = ThreadPoolExecutor if policy == "threads" else ProcessPoolExecutor
         ordered: "list[RunResult | None]" = [None] * len(runs)
-        with pool_cls(max_workers=jobs) as pool:
-            futures = {
-                pool.submit(execute_run, run): index
-                for index, run in enumerate(runs)
-            }
-            pending = set(futures)
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    result = future.result()
-                    ordered[futures[future]] = result
-                    if on_result is not None:
-                        on_result(result)
+        if policy == "threads":
+            with ThreadPoolExecutor(max_workers=jobs) as pool:
+                futures = {
+                    pool.submit(execute_run, run): index
+                    for index, run in enumerate(runs)
+                }
+                pending = set(futures)
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        result = future.result()
+                        ordered[futures[future]] = result
+                        if on_result is not None:
+                            on_result(result)
+            return ordered  # type: ignore[return-value] — every slot filled
+
+        # Process policy: workload-grouped chunks on the shared pool.
+        from repro.campaign.executor import execute_chunk
+
+        chunks = _chunk_runs(runs, jobs)
+        fired: set[int] = set()
+        for attempt in (0, 1):
+            try:
+                pool = _shared_process_pool(jobs)
+                futures = {
+                    pool.submit(
+                        execute_chunk, [runs[index] for index in chunk]
+                    ): chunk
+                    for chunk in chunks
+                }
+                pending = set(futures)
+                try:
+                    while pending:
+                        done, pending = wait(
+                            pending, return_when=FIRST_COMPLETED
+                        )
+                        for future in done:
+                            results = future.result()
+                            for index, result in zip(futures[future], results):
+                                ordered[index] = result
+                                if on_result is not None and index not in fired:
+                                    fired.add(index)
+                                    on_result(result)
+                except BaseException:
+                    # Don't leave orphaned chunks burning the shared
+                    # pool after a failing cell unwinds this call.
+                    for future in pending:
+                        future.cancel()
+                    raise
+                break
+            except BrokenProcessPool:
+                # A worker died (OOM-kill, crash): retire the pool and
+                # retry the whole batch once on a fresh one.
+                _discard_shared_pool(jobs)
+                if attempt:
+                    raise
         return ordered  # type: ignore[return-value] — every slot filled
 
     # -- full campaigns (store, resume, rollup-ready outcome) ----------------

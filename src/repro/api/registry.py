@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Callable, Generic, TypeVar
 
 from repro.errors import RegistryError, UnknownEntryError
+from repro.util.invalidation import bump_worker_state_epoch
 
 T = TypeVar("T")
 
@@ -99,12 +100,16 @@ class Registry(Generic[T]):
         self._entries[name] = RegistryEntry(
             name=name, value=value, description=description, origin=origin
         )
+        # Forked campaign workers snapshot the registries at pool
+        # creation; a registration after that must retire the pool.
+        bump_worker_state_epoch()
         return value
 
     def unregister(self, name: str) -> None:
         """Remove an entry (plugin teardown, tests)."""
         self.get_entry(name)  # raise the helpful error on unknown names
         del self._entries[name]
+        bump_worker_state_epoch()
 
     # -- lookup and discovery ------------------------------------------------
 

@@ -1,22 +1,29 @@
 """Microbenchmarks for the simulation hot path (``python -m repro bench``).
 
 Times the cache kernels (scalar reference, vectorized engine, memoized
-execution), the preemptive budget loop, and one figure-7 concurrent mix
-end to end with the fast engine enabled and disabled, then writes the
-results as JSON (default ``BENCH_PR2.json``) so the performance
-trajectory is tracked from PR 2 onward.  ``--quick`` shrinks every
-workload to CI-smoke size.
+execution), the preemptive budget loop (scalar rows and the PR-5
+quantum-batched executor), one figure-7 concurrent mix end to end with
+the fast engine enabled and disabled, a cold/warm multi-job figure-7
+campaign against the persistent memo store, and the open-system smoke's
+warm-start behaviour — then writes the results as JSON (default
+``BENCH_PR5.json``) so the performance trajectory is tracked from PR 2
+onward.  ``--quick`` shrinks every workload to CI-smoke size.
 
 All numbers are wall-clock seconds (best of ``repeats``) or derived
 accesses/second; the JSON also embeds the memo hit statistics of the
-figure run, so a regression in either raw kernel speed or memo
-effectiveness shows up in the artifact.
+figure run, so a regression in raw kernel speed, memo effectiveness, or
+the campaign path shows up in the artifact.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import platform
+import shutil
+import subprocess
+import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -32,6 +39,12 @@ from repro.cache.sa_cache import SetAssociativeCache
 #: (``python -m repro figure7``, defaults).  Kept as a fixed reference
 #: so the headline speedup in the JSON artifact has a stable baseline.
 PRE_ENGINE_FIGURE7_SECONDS = 10.94
+
+#: Wall-clock of ``python -m repro figure7 --jobs 4`` right before PR 5
+#: (no persistent memo store, one pool task per cell), measured on the
+#: same development machine.  The multi-job campaign benchmark reports
+#: its cold- and warm-store runs against this fixed reference.
+PRE_PR5_FIGURE7_JOBS4_SECONDS = 4.80
 
 
 def _best(fn, repeats: int = 3) -> float:
@@ -132,10 +145,66 @@ def _bench_budget(quick: bool) -> dict:
     }
 
 
+def _bench_quantum_batch(quick: bool) -> dict:
+    """The quantum-batched preemptive driver vs the scalar rows loop.
+
+    Runs one RRS mix at a 32k-cycle quantum — comfortably above the
+    adaptive batching threshold (:data:`repro.sim.qplan.MIN_BATCH_WINDOW`)
+    — so the compiled-plan executor is active, then repeats with
+    batching disabled.  At the paper's default 8k quantum the driver
+    measures below the threshold and keeps the scalar loop, so the
+    interesting number is the batched regime's speedup.
+    """
+    from dataclasses import replace as dc_replace
+
+    from repro.campaign.spec import build_campaign_workload
+    from repro.sched.round_robin import RoundRobinScheduler
+    from repro.sim.config import MachineConfig
+    from repro.sim.qplan import set_quantum_batch
+    from repro.sim.simulator import MPSoCSimulator
+
+    mix = "mix:2" if quick else "mix:6"
+    epg = build_campaign_workload(mix, scale=1.0, seed=0)
+    config = dc_replace(MachineConfig.paper_default(), quantum_cycles=32_000)
+    simulator = MPSoCSimulator(config)
+    scheduler = RoundRobinScheduler()
+    simulator.run(epg, scheduler)  # warm traces, analyses, plans
+
+    def batched():
+        simulator.run(epg, scheduler)
+
+    def scalar():
+        previous = set_quantum_batch(False)
+        try:
+            simulator.run(epg, scheduler)
+        finally:
+            set_quantum_batch(previous)
+
+    set_quantum_batch(False)
+    simulator.run(epg, scheduler)  # warm the scalar rows too
+    set_quantum_batch(True)
+    batch_s = _best(batched)
+    scalar_s = _best(scalar)
+    return {
+        "workload": mix,
+        "quantum_cycles": 32_000,
+        "scalar_seconds": round(scalar_s, 4),
+        "batched_seconds": round(batch_s, 4),
+        "batched_speedup": round(scalar_s / batch_s, 2),
+    }
+
+
 def _bench_figure7(quick: bool) -> dict:
     """Figure 7 end to end, fast engine on vs off (scalar reference)."""
+    from repro.cache.store import active_memo_store, configure_memo_store
     from repro.campaign.executor import clear_cell_memo
     from repro.experiments.figure7 import run_figure7
+
+    # Detach any persistent store: this section measures genuinely cold
+    # in-process execution (the campaign section below measures the
+    # store's effect explicitly).
+    previous_store = active_memo_store()
+    configure_memo_store(None)
 
     max_tasks = 2 if quick else None
 
@@ -167,6 +236,8 @@ def _bench_figure7(quick: bool) -> dict:
     finally:
         set_fast_cache(previous)
         set_trace_memo(True)
+        if previous_store is not None:
+            configure_memo_store(previous_store.root, mode=previous_store.mode)
     result = {
         "max_tasks": max_tasks or 6,
         "cold_seconds": round(cold_s, 3),
@@ -183,6 +254,108 @@ def _bench_figure7(quick: bool) -> dict:
     return result
 
 
+def _run_cli(args: list[str], memo_dir: str | None) -> float:
+    """Wall-clock one ``python -m repro ...`` invocation in a subprocess.
+
+    Subprocesses give honest cold-process numbers (interpreter + NumPy
+    start-up included) and isolate the persistent-store state behind
+    ``REPRO_MEMO_DIR``.
+    """
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[1])
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    if memo_dir is not None:
+        env["REPRO_MEMO_DIR"] = memo_dir
+    else:
+        env.pop("REPRO_MEMO_DIR", None)
+    start = time.perf_counter()
+    subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        check=True,
+    )
+    return time.perf_counter() - start
+
+
+def _bench_campaign_jobs(quick: bool) -> dict:
+    """Cold vs warm multi-job figure-7 campaign on the persistent store.
+
+    ``figure7-cold-with-jobs``: every run is a cold *process* (the "N
+    worker cold starts" the store exists to amortize).  The first run
+    also starts from an empty store; the second reads the analyses and
+    seed-invariant cells the first persisted.  Both compare against the
+    pre-PR-5 wall-clock pinned in
+    :data:`PRE_PR5_FIGURE7_JOBS4_SECONDS`.
+    """
+    if quick:
+        args = ["figure7", "--jobs", "2", "--max-tasks", "2"]
+    else:
+        args = ["figure7", "--jobs", "4"]
+    # Best-of-2 everywhere damps machine noise: a cold run needs a
+    # fresh store each time, a warm run is repeatable on the last one.
+    memo_dir = tempfile.mkdtemp(prefix="repro-bench-memo-")
+    try:
+        cold_runs = []
+        for _ in range(2):
+            shutil.rmtree(memo_dir, ignore_errors=True)
+            cold_runs.append(_run_cli(args, memo_dir))
+        cold_s = min(cold_runs)
+        warm_s = min(_run_cli(args, memo_dir), _run_cli(args, memo_dir))
+    finally:
+        shutil.rmtree(memo_dir, ignore_errors=True)
+    result = {
+        "args": " ".join(args),
+        "cold_store_seconds": round(cold_s, 3),
+        "warm_store_seconds": round(warm_s, 3),
+        "warm_speedup_vs_cold": round(cold_s / warm_s, 2),
+    }
+    if not quick:
+        result["pre_pr5_baseline_seconds"] = PRE_PR5_FIGURE7_JOBS4_SECONDS
+        result["cold_speedup_vs_pre_pr5"] = round(
+            PRE_PR5_FIGURE7_JOBS4_SECONDS / cold_s, 2
+        )
+        result["warm_speedup_vs_pre_pr5"] = round(
+            PRE_PR5_FIGURE7_JOBS4_SECONDS / warm_s, 2
+        )
+    return result
+
+
+def _bench_open_system_memo(quick: bool) -> dict:
+    """Warm-start behaviour of ``repro open-system --smoke``.
+
+    Two cold-process invocations sharing one persistent memo directory;
+    the second skips every trace analysis (and the campaign's
+    seed-invariant cells) via the store.  The result store lives in the
+    same scratch directory so the runs never touch ``.repro-campaign``.
+    """
+    memo_dir = tempfile.mkdtemp(prefix="repro-bench-osys-")
+    try:
+        args = [
+            "open-system", "--smoke", "--quiet",
+            "--store", str(Path(memo_dir) / "results.jsonl"),
+        ]
+        # The smoke run is short enough that start-up noise rivals the
+        # store's saving, so take medians of three (fresh store per
+        # cold run) rather than single samples.
+        cold_runs = []
+        for _ in range(3):
+            shutil.rmtree(memo_dir, ignore_errors=True)
+            cold_runs.append(_run_cli(args, memo_dir))
+        cold_s = sorted(cold_runs)[1]
+        warm_s = sorted(_run_cli(args, memo_dir) for _ in range(3))[1]
+    finally:
+        shutil.rmtree(memo_dir, ignore_errors=True)
+    return {
+        "cold_store_seconds": round(cold_s, 3),
+        "warm_store_seconds": round(warm_s, 3),
+        "warm_speedup": round(cold_s / warm_s, 2),
+    }
+
+
 def run_bench(quick: bool = False) -> dict:
     """Run every microbenchmark; returns the JSON-ready result tree."""
     return {
@@ -191,7 +364,10 @@ def run_bench(quick: bool = False) -> dict:
         "machine": platform.machine(),
         "cache_kernels": _bench_kernels(quick),
         "budget_loop": _bench_budget(quick),
+        "quantum_batch": _bench_quantum_batch(quick),
         "figure7": _bench_figure7(quick),
+        "campaign_jobs": _bench_campaign_jobs(quick),
+        "open_system_memo": _bench_open_system_memo(quick),
     }
 
 
@@ -218,6 +394,12 @@ def render_bench(results: dict) -> str:
         f"  budget  rows {budget['rows_mps']:6.2f} M acc/s "
         f"({budget['rows_speedup']}x vs per-quantum reconversion)"
     )
+    qbatch = results["quantum_batch"]
+    lines.append(
+        f"  quantum-batch ({qbatch['workload']}, q={qbatch['quantum_cycles']}): "
+        f"scalar {qbatch['scalar_seconds']}s vs batched "
+        f"{qbatch['batched_seconds']}s ({qbatch['batched_speedup']}x)"
+    )
     lines.append(
         f"  figure7(|T|<={figure7['max_tasks']}) cold {figure7['cold_seconds']}s;"
         f" warm workloads: fast {figure7['warm_workloads_seconds']}s"
@@ -230,4 +412,23 @@ def render_bench(results: dict) -> str:
             f"{figure7['pre_pr_baseline_seconds']}s: "
             f"{figure7['speedup_vs_pre_pr']}x"
         )
+    campaign = results["campaign_jobs"]
+    line = (
+        f"  campaign ({campaign['args']}): cold store "
+        f"{campaign['cold_store_seconds']}s, warm store "
+        f"{campaign['warm_store_seconds']}s "
+        f"({campaign['warm_speedup_vs_cold']}x)"
+    )
+    if "warm_speedup_vs_pre_pr5" in campaign:
+        line += (
+            f"; vs pre-PR5 baseline {campaign['pre_pr5_baseline_seconds']}s: "
+            f"{campaign['warm_speedup_vs_pre_pr5']}x"
+        )
+    lines.append(line)
+    osys = results["open_system_memo"]
+    lines.append(
+        f"  open-system smoke: cold store {osys['cold_store_seconds']}s, "
+        f"warm store {osys['warm_store_seconds']}s "
+        f"({osys['warm_speedup']}x)"
+    )
     return "\n".join(lines)

@@ -47,6 +47,8 @@ from repro.errors import ValidationError
 _U16_MAX = np.iinfo(np.uint16).max
 _EMPTY_MASK = np.zeros(0, dtype=bool)
 _EMPTY_MASK.setflags(write=False)
+_EMPTY_PACKED = np.zeros(0, dtype=np.uint8)
+_EMPTY_PACKED.setflags(write=False)
 
 
 @dataclass(frozen=True)
@@ -528,6 +530,24 @@ class TraceAnalysis:
     line_meta: dict[int, tuple | bool]
     #: distinct-line count per set, indexed by set number
     set_counts: tuple[int, ...]
+    #: ``np.packbits`` of the cold run's per-access hit mask.  Because
+    #: only *first* touches are state-dependent, a non-first access's
+    #: cold verdict is its verdict under **any** start state whenever its
+    #: reuse window ran contiguously on one cache — which is what lets
+    #: the quantum-batched preemptive driver (:mod:`repro.sim.qplan`)
+    #: reuse the mask for in-segment accesses.  Packed (1 bit/access) so
+    #: long-lived memo entries stay small.
+    packed_hits: np.ndarray = field(default_factory=lambda: _EMPTY_PACKED)
+
+    @property
+    def num_accesses(self) -> int:
+        """Length of the analyzed trace."""
+        return self.cold.hits + self.cold.misses
+
+    def cold_hit_mask(self) -> np.ndarray:
+        """The cold run's per-access hit mask, unpacked to bools."""
+        n = self.num_accesses
+        return np.unpackbits(self.packed_hits, count=n).astype(bool)
 
 
 #: Below this many accesses an instrumented scalar cold run beats the
@@ -552,8 +572,10 @@ def analyze_trace(
     cold = simulate_trace(lines, writes, num_sets, assoc, None, collect)
     if not collect:  # empty trace: nothing to adjust, nothing collected
         collect = {"line_meta": {}, "set_counts": (0,) * num_sets}
-    # The per-access mask is dead weight once the counters are folded in,
-    # and analyses live for a long time in the memo — drop it.
+    # The unpacked per-access mask is dead weight once the counters are
+    # folded in, and analyses live for a long time in the memo — keep
+    # only the packed form (1 bit per access).
+    packed = np.packbits(cold.hit_mask)
     cold = replace(cold, hit_mask=_EMPTY_MASK)
     return TraceAnalysis(
         num_sets=num_sets,
@@ -561,6 +583,7 @@ def analyze_trace(
         cold=cold,
         line_meta=collect["line_meta"],
         set_counts=collect["set_counts"],
+        packed_hits=packed,
     )
 
 
@@ -595,6 +618,7 @@ def _analyze_scalar(
     g1_write: dict[int, bool] = {}
     g1_evicted: dict[int, bool] = {}
     miss_count: dict[int, int] = {}
+    hit_flags: list[bool] = []
     hits = 0
     misses = 0
     write_hits = 0
@@ -607,6 +631,7 @@ def _analyze_scalar(
         )
         ways = sets[set_index]
         if line in ways:
+            hit_flags.append(True)
             hits += 1
             if ways[0] != line:
                 ways.remove(line)
@@ -617,6 +642,7 @@ def _analyze_scalar(
                 if miss_count[line] == 1:
                     g1_write[line] = True
         else:
+            hit_flags.append(False)
             misses += 1
             seen = miss_count.get(line, 0)
             if seen == 0:
@@ -669,7 +695,71 @@ def _analyze_scalar(
         cold=cold,
         line_meta=line_meta,
         set_counts=tuple(set_seen),
+        packed_hits=np.packbits(np.asarray(hit_flags, dtype=bool)),
     )
+
+
+def _adjust_touched_set(
+    ways,
+    count: int,
+    assoc: int,
+    line_meta: dict,
+    warm_dirty,
+    deltas: list,
+    extra_dirty: list,
+) -> list | None:
+    """One touched warm set's flip pass (shared by both adjust paths).
+
+    ``deltas`` accumulates ``[hits, misses, write_hits, write_misses,
+    dirty_evictions]`` in place; returns the untouched warm survivors
+    (MRU order) or None.
+    """
+    survivors: list[int] | None = None
+    touched_above = 0
+    depth = 0
+    for line in ways:
+        entry = line_meta.get(line, None)
+        if entry is None:  # untouched line
+            if depth + count - touched_above < assoc:
+                if survivors is None:
+                    survivors = [line]
+                else:
+                    survivors.append(line)
+                if line in warm_dirty:
+                    extra_dirty.append(line)
+            elif line in warm_dirty:
+                deltas[4] += 1
+        else:
+            if entry is not False:
+                prefix, first_write, g1_write, g1_evicted = entry
+                if depth and prefix:
+                    overlap = 0
+                    for x in ways[:depth]:
+                        if x in prefix:
+                            overlap += 1
+                    flipped = depth + len(prefix) - overlap < assoc
+                else:
+                    flipped = depth + len(prefix) < assoc
+                if flipped:
+                    deltas[0] += 1
+                    deltas[1] -= 1
+                    if first_write:
+                        deltas[2] += 1
+                        deltas[3] -= 1
+                    if line in warm_dirty and not g1_write:
+                        if g1_evicted:
+                            deltas[4] += 1
+                        else:
+                            # g1 not evicted == single generation,
+                            # line resident at end: stays dirty.
+                            extra_dirty.append(line)
+                elif line in warm_dirty:
+                    deltas[4] += 1
+            elif line in warm_dirty:
+                deltas[4] += 1
+            touched_above += 1
+        depth += 1
+    return survivors
 
 
 def warm_adjust(
@@ -692,16 +782,60 @@ def warm_adjust(
       generation evicted after a flip, or never touched and pushed out);
     - surviving untouched warm lines re-enter the end state below the
       trace's own residents, in warm recency order.
+
+    Traces touching few sets (short traces on large caches — the
+    open-system regime) take a sparse path that visits only the touched
+    sets and persists everything else wholesale, instead of walking all
+    ``num_sets`` warm lists.
     """
     assoc = analysis.assoc
     cold = analysis.cold
-    hits, misses, write_hits, write_misses, dirty_evictions = cold.counters()
     line_meta = analysis.line_meta
     set_counts = analysis.set_counts
     cold_sets = cold.end_state.sets
-    end_sets: list[tuple[int, ...]] | None = None
+    num_sets = analysis.num_sets
+    deltas = list(cold.counters())
     extra_dirty: list[int] = []
 
+    touched = getattr(analysis, "_touched_sets", None)
+    if touched is None:
+        touched = [s for s, count in enumerate(set_counts) if count]
+        object.__setattr__(analysis, "_touched_sets", touched)
+    if 4 * len(touched) <= num_sets:
+        # Sparse path: persist every warm set in bulk, then rewrite the
+        # touched few on top of the trace's cold contents.
+        end_sets = [w if type(w) is tuple else tuple(w) for w in warm_sets]
+        if warm_dirty:
+            power_of_two = num_sets & (num_sets - 1) == 0
+            touched_lookup = frozenset(touched)
+            for line in warm_dirty:
+                s = line & (num_sets - 1) if power_of_two else line % num_sets
+                if s not in touched_lookup and line in warm_sets[s]:
+                    extra_dirty.append(line)
+        for set_index in touched:
+            ways = warm_sets[set_index]
+            end_sets[set_index] = cold_sets[set_index]
+            if not ways:
+                continue
+            survivors = _adjust_touched_set(
+                ways,
+                set_counts[set_index],
+                assoc,
+                line_meta,
+                warm_dirty,
+                deltas,
+                extra_dirty,
+            )
+            if survivors is not None:
+                merged = cold_sets[set_index] + tuple(survivors)
+                end_sets[set_index] = merged[:assoc]
+        end_state = CacheState(
+            sets=tuple(end_sets),
+            dirty=cold.end_state.dirty | frozenset(extra_dirty),
+        )
+        return tuple(deltas), end_state
+
+    end_sets_dense: list[tuple[int, ...]] | None = None
     for set_index, ways in enumerate(warm_sets):
         if not ways:
             continue
@@ -709,71 +843,28 @@ def warm_adjust(
         if count == 0:
             # The trace never touches this set: its warm contents (and
             # their dirty flags) simply persist.
-            if end_sets is None:
-                end_sets = list(cold_sets)
-            end_sets[set_index] = tuple(ways)
+            if end_sets_dense is None:
+                end_sets_dense = list(cold_sets)
+            end_sets_dense[set_index] = tuple(ways)
             if warm_dirty:
-                extra_dirty.extend(x for x in ways if x in warm_dirty)
+                for x in ways:
+                    if x in warm_dirty:
+                        extra_dirty.append(x)
             continue
-        survivors: list[int] | None = None
-        touched_above = 0
-        depth = 0
-        for line in ways:
-            entry = line_meta.get(line, None)
-            if entry is None:  # untouched line
-                if depth + count - touched_above < assoc:
-                    if survivors is None:
-                        survivors = [line]
-                    else:
-                        survivors.append(line)
-                    if line in warm_dirty:
-                        extra_dirty.append(line)
-                elif line in warm_dirty:
-                    dirty_evictions += 1
-            else:
-                if entry is not False:
-                    prefix, first_write, g1_write, g1_evicted = entry
-                    if depth and prefix:
-                        overlap = 0
-                        for x in ways[:depth]:
-                            if x in prefix:
-                                overlap += 1
-                        flipped = depth + len(prefix) - overlap < assoc
-                    else:
-                        flipped = depth + len(prefix) < assoc
-                    if flipped:
-                        hits += 1
-                        misses -= 1
-                        if first_write:
-                            write_hits += 1
-                            write_misses -= 1
-                        if line in warm_dirty and not g1_write:
-                            if g1_evicted:
-                                dirty_evictions += 1
-                            else:
-                                # g1 not evicted == single generation,
-                                # line resident at end: stays dirty.
-                                extra_dirty.append(line)
-                    elif line in warm_dirty:
-                        dirty_evictions += 1
-                elif line in warm_dirty:
-                    dirty_evictions += 1
-                touched_above += 1
-            depth += 1
+        survivors = _adjust_touched_set(
+            ways, count, assoc, line_meta, warm_dirty, deltas, extra_dirty
+        )
         if survivors is not None:
-            if end_sets is None:
-                end_sets = list(cold_sets)
-            merged = end_sets[set_index] + tuple(survivors)
-            end_sets[set_index] = merged[:assoc]
+            if end_sets_dense is None:
+                end_sets_dense = list(cold_sets)
+            merged = end_sets_dense[set_index] + tuple(survivors)
+            end_sets_dense[set_index] = merged[:assoc]
 
-    if end_sets is None and not extra_dirty:
+    if end_sets_dense is None and not extra_dirty:
         end_state = cold.end_state
     else:
         end_state = CacheState(
-            sets=tuple(end_sets) if end_sets is not None else cold_sets,
+            sets=tuple(end_sets_dense) if end_sets_dense is not None else cold_sets,
             dirty=cold.end_state.dirty | frozenset(extra_dirty),
         )
-    return (
-        (hits, misses, write_hits, write_misses, dirty_evictions),
-        end_state,
-    )
+    return tuple(deltas), end_state

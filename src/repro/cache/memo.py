@@ -74,6 +74,10 @@ def set_fast_cache(enabled: bool) -> bool:
     global _fast_cache_enabled
     previous = _fast_cache_enabled
     _fast_cache_enabled = bool(enabled)
+    if previous != _fast_cache_enabled:
+        from repro.util.invalidation import bump_worker_state_epoch
+
+        bump_worker_state_epoch()
     return previous
 
 
@@ -87,6 +91,10 @@ def set_trace_memo(enabled: bool) -> bool:
     global _trace_memo_enabled
     previous = _trace_memo_enabled
     _trace_memo_enabled = bool(enabled)
+    if previous != _trace_memo_enabled:
+        from repro.util.invalidation import bump_worker_state_epoch
+
+        bump_worker_state_epoch()
     return previous
 
 
@@ -127,6 +135,15 @@ class TraceMemo:
         self.hits += 1
         return entry
 
+    def peek(self, key: tuple) -> TraceAnalysis | None:
+        """Fetch an entry without touching the hit/miss counters.
+
+        For opportunistic probes (the preemptive driver's batching
+        heuristic) that must not skew the memo-effectiveness statistics
+        the benchmarks track.
+        """
+        return self._entries.get(key)
+
     def store(self, key: tuple, entry: TraceAnalysis) -> None:
         """Insert an entry, evicting oldest-first beyond the bound."""
         if len(self._entries) >= self._max_entries:
@@ -149,6 +166,39 @@ class TraceMemo:
 
 #: The process-wide memo used by the simulator.
 TRACE_MEMO = TraceMemo()
+
+
+def memoized_analysis(
+    lines: np.ndarray,
+    writes: np.ndarray | None,
+    num_sets: int,
+    assoc: int,
+    fingerprint: bytes,
+    memo: TraceMemo | None = None,
+) -> TraceAnalysis:
+    """Fetch-or-compute a trace's analysis through every memo layer.
+
+    Lookup order: the in-RAM :class:`TraceMemo`, then the persistent
+    cross-process store (:mod:`repro.cache.store`) when one is
+    configured, then :func:`analyze_trace`.  Fresh analyses propagate
+    back into both layers, so one campaign worker's cold analysis is the
+    whole fleet's (and the next invocation's) warm hit.
+    """
+    from repro.cache.store import active_memo_store
+
+    memo = memo if memo is not None else TRACE_MEMO
+    key = (num_sets, assoc, fingerprint)
+    analysis = memo.lookup(key)
+    if analysis is None:
+        store = active_memo_store()
+        if store is not None:
+            analysis = store.get_analysis(num_sets, assoc, fingerprint)
+        if analysis is None:
+            analysis = analyze_trace(lines, writes, num_sets, assoc)
+            if store is not None:
+                store.put_analysis(num_sets, assoc, fingerprint, analysis)
+        memo.store(key, analysis)
+    return analysis
 
 
 def execute_trace(
@@ -182,12 +232,7 @@ def execute_trace(
     geometry = cache.geometry
     num_sets = geometry.num_sets
     assoc = geometry.associativity
-    memo = memo if memo is not None else TRACE_MEMO
-    key = (num_sets, assoc, fingerprint)
-    analysis = memo.lookup(key)
-    if analysis is None:
-        analysis = analyze_trace(lines, writes, num_sets, assoc)
-        memo.store(key, analysis)
+    analysis = memoized_analysis(lines, writes, num_sets, assoc, fingerprint, memo)
     warm_sets, warm_dirty = cache.state_view()
     counters, end_state = warm_adjust(analysis, warm_sets, warm_dirty)
     _apply(cache, counters, end_state)

@@ -152,25 +152,76 @@ def _seedless_cell_key(run: RunSpec, scheduler) -> tuple | None:
     )
 
 
+def _persistent_cell_key(memo_key: tuple) -> str:
+    """Stable store key for a seed-invariant cell identity.
+
+    The in-RAM key is a tuple of primitives whose ``repr`` is
+    deterministic across processes and interpreter runs, so its digest
+    can key the shared store (:mod:`repro.cache.store`).
+    """
+    from repro.cache.store import fingerprint_key
+
+    return fingerprint_key(memo_key)
+
+
+def _cell_persistable(run: RunSpec) -> bool:
+    """Whether a cell's result may outlive this process.
+
+    Only cells built entirely from *builtin* registry entries persist:
+    a plugin workload, scheduler, or arrival process can change its code
+    between sessions without changing its registered name, which would
+    silently resurrect stale results from the shared store.  (The
+    in-RAM memo is unaffected — it dies with the process and therefore
+    with the plugin code that filled it.)
+    """
+    from repro.api.registries import ARRIVALS, SCHEDULERS, WORKLOADS
+
+    base = run.workload.partition(":")[0]
+    if WORKLOADS.get_entry(base).origin != "builtin":
+        return False
+    if SCHEDULERS.get_entry(run.scheduler.name).origin != "builtin":
+        return False
+    if run.arrival is not None:
+        if ARRIVALS.get_entry(run.arrival.process).origin != "builtin":
+            return False
+    return True
+
+
+def _adopt_cached(run: RunSpec, cached: "RunResult") -> "RunResult":
+    """Re-badge a memoized simulation with this cell's identity."""
+    return replace(
+        cached,
+        key=run.cell_key(),
+        seed=run.seed,
+        scheduler=run.scheduler.effective_label,
+    )
+
+
 def execute_run(run: RunSpec) -> RunResult:
     """Execute one cell; pure function of the spec (workers call this)."""
     # Imported here, not at module level: the experiment harnesses are
     # themselves thin campaign specs, so the two packages would otherwise
     # form an import cycle.
+    from repro.cache.store import active_memo_store
     from repro.experiments.runner import run_comparison
 
     scheduler = run.scheduler.build(run.seed)
     memo_key = _seedless_cell_key(run, scheduler)
+    store = active_memo_store() if memo_key is not None else None
+    if store is not None and not _cell_persistable(run):
+        store = None
+    store_key = _persistent_cell_key(memo_key) if store is not None else None
     if memo_key is not None:
         cached = _CELL_MEMO.get(memo_key)
         if cached is not None:
             # Same simulation, this cell's identity (labels are cosmetic).
-            return replace(
-                cached,
-                key=run.cell_key(),
-                seed=run.seed,
-                scheduler=run.scheduler.effective_label,
-            )
+            return _adopt_cached(run, cached)
+        if store is not None:
+            payload = store.get_cell(store_key)
+            if payload is not None:
+                cached = RunResult.from_dict(payload)
+                _CELL_MEMO.put(memo_key, cached)
+                return _adopt_cached(run, cached)
     machine = run.machine.build()
     epg = build_campaign_workload(run.workload, scale=run.scale, seed=run.seed)
     open_metrics: dict | None = None
@@ -210,7 +261,19 @@ def execute_run(run: RunSpec) -> RunResult:
     )
     if memo_key is not None:
         _CELL_MEMO.put(memo_key, run_result)
+        if store is not None:
+            store.put_cell(store_key, run_result.to_dict())
     return run_result
+
+
+def execute_chunk(runs: list[RunSpec]) -> "list[RunResult]":
+    """Execute a batch of cells in one worker round trip.
+
+    The pooled executor groups cells by workload before dispatch, so a
+    chunk's cells share the worker's memoized EPGs, traces, and
+    analyses instead of rebuilding them once per task.
+    """
+    return [execute_run(run) for run in runs]
 
 
 def _open_metrics(result) -> dict:

@@ -141,6 +141,16 @@ def build_campaign_workload(
                 f"an ExtendedProcessGraph or a Task"
             )
         epg = built
+        # The memo key doubles as the graph's deterministic content
+        # identity: builders are pure functions of it, which is what
+        # lets derived results (sharing matrices, seed-invariant cells)
+        # persist across processes in the shared memo store.  Builtin
+        # workloads only: a plugin's builder code can change between
+        # sessions without changing its reference, so nothing derived
+        # from it may outlive the process.
+        base = ref.partition(":")[0]
+        if WORKLOADS.get_entry(base).origin == "builtin":
+            epg.content_identity = key
         epg.freeze()
         _WORKLOAD_MEMO.put(key, epg)
     return epg

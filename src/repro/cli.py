@@ -39,8 +39,27 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_memo_dir(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--memo-dir", type=str, default=None, dest="memo_dir",
+            help=(
+                "attach a persistent cross-process memo store (trace "
+                "analyses + seed-invariant cells); also via REPRO_MEMO_DIR"
+            ),
+        )
+
     sub.add_parser("tables", help="print Tables 1 and 2")
     sub.add_parser("figure2", help="print the Figure-2 worked example")
+
+    memo = sub.add_parser(
+        "memo",
+        help="inspect or clear the persistent memo store",
+    )
+    memo.add_argument(
+        "action", choices=("stats", "clear"),
+        help="show entry counts and size, or drop every persisted entry",
+    )
+    add_memo_dir(memo)
 
     lst = sub.add_parser(
         "list",
@@ -57,6 +76,7 @@ def _build_parser() -> argparse.ArgumentParser:
     fig6.add_argument("--seed", type=int, default=0)
     fig6.add_argument("--jobs", type=int, default=1)
     fig6.add_argument("--csv", type=str, default=None)
+    add_memo_dir(fig6)
 
     fig7 = sub.add_parser("figure7", help="run the concurrent-mix figure")
     fig7.add_argument("--scale", type=float, default=1.0)
@@ -64,16 +84,19 @@ def _build_parser() -> argparse.ArgumentParser:
     fig7.add_argument("--max-tasks", type=int, default=6)
     fig7.add_argument("--jobs", type=int, default=1)
     fig7.add_argument("--csv", type=str, default=None)
+    add_memo_dir(fig7)
 
     sens = sub.add_parser("sensitivity", help="run the parameter sweeps")
     sens.add_argument("--tasks", type=int, default=3)
     sens.add_argument("--scale", type=float, default=1.0)
     sens.add_argument("--jobs", type=int, default=1)
+    add_memo_dir(sens)
 
     abl = sub.add_parser("ablation", help="run the design ablations")
     abl.add_argument("--tasks", type=int, default=4)
     abl.add_argument("--scale", type=float, default=1.0)
     abl.add_argument("--jobs", type=int, default=1)
+    add_memo_dir(abl)
 
     osys = sub.add_parser(
         "open-system",
@@ -115,6 +138,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="CI-smoke sizes (a few seconds, still 3 rates x 3+ schedulers)",
     )
     osys.add_argument("--quiet", action="store_true")
+    add_memo_dir(osys)
 
     bench = sub.add_parser(
         "bench",
@@ -125,7 +149,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="CI-smoke sizes (seconds, not minutes)",
     )
     bench.add_argument(
-        "--output", type=str, default="BENCH_PR2.json",
+        "--output", type=str, default="BENCH_PR5.json",
         help="where to write the JSON results",
     )
 
@@ -178,6 +202,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="suppress per-cell progress lines",
     )
+    add_memo_dir(camp)
     return parser
 
 
@@ -419,7 +444,40 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 2
 
 
+def _run_memo_command(args: argparse.Namespace) -> int:
+    from repro.cache.store import MemoStore, active_memo_store
+
+    # ``stats`` attaches read-only so inspecting a mistyped path cannot
+    # create a stray directory and database.
+    mode = "ro" if args.action == "stats" else "rw"
+    if args.memo_dir is not None:
+        store = MemoStore(args.memo_dir, mode=mode)
+    else:
+        store = active_memo_store()
+        if store is None:
+            store = MemoStore(".repro-memo", mode=mode)
+    if args.action == "clear":
+        store.clear()
+        print(f"cleared persistent memo store at {store.path}")
+        return 0
+    stats = store.stats()
+    entries = stats["entries"]
+    print(f"persistent memo store: {stats['path']}")
+    print(f"  schema version: {stats['version']}")
+    print(f"  size: {stats['size_bytes'] / 1024:.1f} KiB")
+    print(f"  trace analyses: {entries.get('analysis', 0)}")
+    print(f"  sharing matrices: {entries.get('sharing', 0)}")
+    print(f"  seed-invariant cells: {entries.get('cell', 0)}")
+    return 0
+
+
 def _dispatch(args: argparse.Namespace) -> int:
+    if getattr(args, "memo_dir", None) is not None and args.command != "memo":
+        from repro.cache.store import configure_memo_store
+
+        configure_memo_store(args.memo_dir)
+    if args.command == "memo":
+        return _run_memo_command(args)
     if args.command == "tables":
         from repro.experiments.tables import render_table1, render_table2
 

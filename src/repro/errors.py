@@ -165,6 +165,10 @@ class CampaignError(ExperimentError):
     """A campaign spec, store, or executor was configured inconsistently."""
 
 
+class MemoStoreError(ReproError):
+    """The persistent memo store was misconfigured or misused."""
+
+
 class RegistryError(ReproError):
     """A :mod:`repro.api` registry was misused (bad name, duplicate entry)."""
 

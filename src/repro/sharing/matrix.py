@@ -311,9 +311,32 @@ def sharing_matrix_for(epg: "ProcessGraph") -> SharingMatrix:
     vanishes with the graph.  A graph that gained processes since the
     cached computation (the pid tuple is the validity check) is simply
     recomputed.
+
+    Graphs carrying a deterministic ``content_identity`` (campaign
+    workloads — see
+    :func:`repro.campaign.spec.build_campaign_workload`) additionally
+    persist their matrix in the shared memo store when one is
+    configured, so fresh processes skip the computation entirely.
     """
     matrix = _MATRIX_CACHE.get(epg)
-    if matrix is None or matrix.pids != epg.pids:
-        matrix = compute_sharing_matrix(epg.processes())
-        _MATRIX_CACHE[epg] = matrix
+    if matrix is not None and matrix.pids == epg.pids:
+        return matrix
+    from repro.cache.store import active_memo_store, fingerprint_key
+
+    store = active_memo_store()
+    identity = getattr(epg, "content_identity", None)
+    store_key = None
+    if store is not None and identity is not None:
+        store_key = fingerprint_key(identity)
+        payload = store.get_sharing(store_key)
+        if payload is not None:
+            pids, raw = payload
+            if pids == epg.pids:  # stale identity collisions recompute
+                matrix = SharingMatrix(pids, raw)
+                _MATRIX_CACHE[epg] = matrix
+                return matrix
+    matrix = compute_sharing_matrix(epg.processes())
+    _MATRIX_CACHE[epg] = matrix
+    if store_key is not None:
+        store.put_sharing(store_key, matrix.pids, matrix.matrix)
     return matrix

@@ -49,7 +49,7 @@ from collections import deque
 
 import numpy as np
 
-from repro.cache.memo import execute_trace, fast_cache_enabled
+from repro.cache.memo import execute_trace, fast_cache_enabled, trace_memo_enabled
 from repro.cache.miss_classifier import MissClassifier
 from repro.cache.sa_cache import SetAssociativeCache
 from repro.cache.stats import CacheStats
@@ -64,6 +64,14 @@ from repro.sched.base import PlanMode, Scheduler, SchedulerPlan, default_layout
 from repro.sim.arrivals import ArrivalSchedule
 from repro.sim.config import MachineConfig
 from repro.sim.engine import EventQueue
+from repro.sim.qplan import (
+    MIN_BATCH_WINDOW,
+    compile_quantum_plan,
+    estimate_quantum_accesses,
+    make_way_table,
+    quantum_batch_enabled,
+    run_plan_quantum,
+)
 from repro.sim.results import (
     CoreRecord,
     OpenSystemResult,
@@ -499,6 +507,10 @@ class MPSoCSimulator:
         # associativity); ``budget_rows`` memoizes per mask, so the
         # homogeneous machine still converts each trace exactly once.
         set_masks = [cache.geometry.num_sets - 1 for cache in caches]
+        geometries = [
+            (cache.geometry.num_sets, cache.geometry.associativity)
+            for cache in caches
+        ]
         hit_cost = config.cache_hit_cycles
         miss_extra = config.memory_latency_cycles
         # Work budget per quantum, in Table-2-core work cycles: a core at
@@ -507,6 +519,43 @@ class MPSoCSimulator:
             max(1, int(quantum * config.speed_for(core)))
             for core in range(num_cores)
         ]
+        # Quantum batching replaces the scalar per-access walk with the
+        # compiled-plan executor (repro.sim.qplan) — bit-identical, and
+        # gated on the fast engine so REPRO_FAST_CACHE=0 remains a pure
+        # scalar oracle mode.  Batching pays off only when quanta span
+        # enough accesses to amortize its per-quantum vector setup, so
+        # each core opts in by its expected window (budget over the
+        # run's mean per-access base cost); a core either batches every
+        # dispatch or none, keeping its tag state in one backend.  Cores
+        # with associativity ≤ 2 (the paper machine) keep that state in
+        # vectorized way tables; wider caches use the scalar cache's
+        # per-set lists in place.
+        batch = (
+            quantum_batch_enabled()
+            and fast_cache_enabled()
+            and trace_memo_enabled()
+        )
+        batch_core = [False] * num_cores
+        way_tables: list = [None] * num_cores
+        if batch:
+            estimates: dict[tuple, float] = {}
+            for core in range(num_cores):
+                num_sets, assoc = geometries[core]
+                key = (num_sets, assoc, budgets[core])
+                estimate = estimates.get(key)
+                if estimate is None:
+                    estimate = estimate_quantum_accesses(
+                        traces.values(),
+                        num_sets,
+                        assoc,
+                        hit_cost,
+                        miss_extra,
+                        budgets[core],
+                    )
+                    estimates[key] = estimate
+                if estimate >= MIN_BATCH_WINDOW:
+                    batch_core[core] = True
+                    way_tables[core] = make_way_table(caches[core].geometry)
         events = EventQueue()
         pending = {pid: len(epg.predecessors(pid)) for pid in epg.pids}
         release = release or {}
@@ -543,12 +592,23 @@ class MPSoCSimulator:
             trace = traces[pid]
             cache = caches[core]
             evictions_before = cache.stats.dirty_evictions
-            next_index, used, hits, misses = cache.run_budget_rows(
-                trace.budget_rows(set_masks[core], hit_cost),
-                cursor[pid],
-                miss_extra,
-                budgets[core],
-            )
+            if batch_core[core]:
+                num_sets, assoc = geometries[core]
+                next_index, used, hits, misses = run_plan_quantum(
+                    cache,
+                    compile_quantum_plan(trace, num_sets, assoc, hit_cost),
+                    cursor[pid],
+                    miss_extra,
+                    budgets[core],
+                    way_tables[core],
+                )
+            else:
+                next_index, used, hits, misses = cache.run_budget_rows(
+                    trace.budget_rows(set_masks[core], hit_cost),
+                    cursor[pid],
+                    miss_extra,
+                    budgets[core],
+                )
             used += self._writeback_cycles(
                 cache.stats.dirty_evictions - evictions_before
             )

@@ -1,0 +1,32 @@
+"""A process-wide epoch counter for fork-inherited worker state.
+
+The campaign engine keeps one long-lived worker pool across
+:meth:`repro.api.engine.Engine.run_many` calls (workers are expensive to
+start: a fresh interpreter plus a NumPy import per worker).  Forked
+workers snapshot the parent's module state at pool creation, so any
+later change the workers must observe — a plugin registered at runtime,
+the fast-cache/memo toggles, a reconfigured persistent memo store —
+would silently not reach them.  Every such mutation calls
+:func:`bump_worker_state_epoch`; the pool cache compares epochs and
+replaces a stale pool instead of reusing it.
+"""
+
+from __future__ import annotations
+
+import threading
+
+_lock = threading.Lock()
+_epoch = 0
+
+
+def worker_state_epoch() -> int:
+    """The current epoch of fork-inherited process state."""
+    return _epoch
+
+
+def bump_worker_state_epoch() -> int:
+    """Mark fork-inherited state as changed; returns the new epoch."""
+    global _epoch
+    with _lock:
+        _epoch += 1
+        return _epoch

@@ -1,0 +1,98 @@
+"""Worker-pool reuse and workload-grouped chunking in the engine."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.api.engine as engine_module
+from repro.api.engine import Engine, _chunk_runs
+from repro.campaign.spec import MachineVariant, RunSpec, SchedulerSpec
+from repro.util.invalidation import bump_worker_state_epoch
+
+
+def _runs(workloads, schedulers=("LS", "RS"), seeds=(0,), scale=0.25):
+    return [
+        RunSpec(
+            workload=ref,
+            machine=MachineVariant(),
+            scheduler=SchedulerSpec(name),
+            seed=seed,
+            scale=scale,
+        )
+        for ref in workloads
+        for name in schedulers
+        for seed in seeds
+    ]
+
+
+class TestChunking:
+    def test_partitions_all_indices_exactly_once(self):
+        runs = _runs(["MxM", "Radar", "mix:2"], seeds=(0, 1))
+        chunks = _chunk_runs(runs, jobs=2)
+        flat = sorted(index for chunk in chunks for index in chunk)
+        assert flat == list(range(len(runs)))
+
+    def test_groups_by_workload(self):
+        runs = _runs(["MxM", "Radar"], seeds=(0, 1))
+        chunks = _chunk_runs(runs, jobs=2)
+        for chunk in chunks:
+            assert len({runs[index].workload for index in chunk}) == 1
+
+    def test_heavy_workloads_dispatch_first(self):
+        runs = _runs(["MxM", "mix:6"])
+        chunks = _chunk_runs(runs, jobs=2)
+        assert runs[chunks[0][0]].workload == "mix:6"
+
+    def test_single_workload_grid_still_splits(self):
+        runs = _runs(["MxM"], schedulers=("LS",), seeds=range(40))
+        chunks = _chunk_runs(runs, jobs=4)
+        assert len(chunks) > 1
+        assert max(len(chunk) for chunk in chunks) <= 10
+
+
+class TestProcessPoolReuse:
+    def test_results_ordered_and_streamed(self):
+        runs = _runs(["MxM", "Radar"])
+        seen = []
+        results = Engine(jobs=2, policy="processes").run_many(
+            runs, on_result=lambda r: seen.append(r.key)
+        )
+        assert [r.key for r in results] == [run.cell_key() for run in runs]
+        assert sorted(seen) == sorted(run.cell_key() for run in runs)
+
+    def test_pool_survives_across_calls(self):
+        engine = Engine(jobs=2, policy="processes")
+        engine.run_many(_runs(["MxM"], schedulers=("LS",)))
+        first = engine_module._SHARED_POOLS.get(2)
+        assert first is not None
+        engine.run_many(_runs(["Radar"], schedulers=("LS",)))
+        second = engine_module._SHARED_POOLS.get(2)
+        assert second is not None and second[1] is first[1]
+
+    def test_worker_state_change_retires_pool(self):
+        engine = Engine(jobs=2, policy="processes")
+        engine.run_many(_runs(["MxM"]))
+        first = engine_module._SHARED_POOLS.get(2)[1]
+        bump_worker_state_epoch()  # what any plugin registration does
+        engine.run_many(_runs(["Radar"]))
+        second = engine_module._SHARED_POOLS.get(2)[1]
+        assert second is not first
+
+    def test_plugin_registered_after_pool_reaches_workers(self):
+        from repro.api.registries import SCHEDULERS
+        from repro.sched.fifo import FifoScheduler
+
+        engine = Engine(jobs=2, policy="processes")
+        engine.run_many(_runs(["MxM"]))
+        name = "pool-test-sched"
+        SCHEDULERS.register(
+            name,
+            lambda seed, **params: FifoScheduler(),
+            description="pool reuse test plugin",
+        )
+        try:
+            runs = _runs(["MxM", "Radar"], schedulers=(name,))
+            results = engine.run_many(runs)
+            assert [r.key for r in results] == [run.cell_key() for run in runs]
+        finally:
+            SCHEDULERS.unregister(name)
