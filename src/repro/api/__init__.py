@@ -50,6 +50,7 @@ __all__ = [
     "ArrivalSpec",
     "CampaignOutcome",
     "CampaignSpec",
+    "CellFailure",
     "Engine",
     "EXECUTION_POLICIES",
     "MACHINES",
@@ -82,6 +83,7 @@ _EXPORTS = {
     "ArrivalSpec": "repro.sim.arrivals",
     "CampaignOutcome": "repro.campaign.executor",
     "CampaignSpec": "repro.campaign.spec",
+    "CellFailure": "repro.campaign.failures",
     "Engine": "repro.api.engine",
     "EXECUTION_POLICIES": "repro.api.engine",
     "MACHINES": "repro.api.registries",
@@ -129,6 +131,7 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
     from repro.api.registry import Registry, RegistryEntry
     from repro.api.scenario import Scenario
     from repro.campaign.compat import group_comparisons
+    from repro.campaign.failures import CellFailure
     from repro.campaign.executor import CampaignOutcome, RunResult, run_campaign
     from repro.campaign.spec import (
         CampaignSpec,

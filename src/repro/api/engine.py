@@ -26,12 +26,15 @@ from __future__ import annotations
 
 import atexit
 import math
+import time
 from concurrent.futures import (
     FIRST_COMPLETED,
+    CancelledError,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
     wait,
 )
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
@@ -39,11 +42,12 @@ from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro.api.scenario import Scenario
 from repro.campaign.spec import CampaignSpec, RunSpec
-from repro.errors import CampaignError
+from repro.errors import CampaignError, CellTimeoutError, WorkerCrashError
 from repro.util.invalidation import worker_state_epoch
 
 if TYPE_CHECKING:
     from repro.campaign.executor import CampaignOutcome, ProgressFn, RunResult
+    from repro.campaign.failures import CellFailure
     from repro.campaign.store import ResultStore
     from repro.experiments.runner import SchedulerComparison
 
@@ -53,6 +57,21 @@ EXECUTION_POLICIES = ("serial", "threads", "processes")
 #: Per-result callback invoked as cells complete (completion order).
 ResultFn = Callable[["RunResult"], None]
 
+#: Per-quarantine callback invoked when a cell fails for good.
+FailureFn = Callable[["CellFailure"], None]
+
+#: Exponential-backoff schedule between attempts of one cell: the n-th
+#: retry waits ``min(BACKOFF_CAP, BACKOFF_BASE * 2**(n-1))`` seconds.
+#: Deterministic (no jitter): cells of one campaign are independent, so
+#: thundering-herd decorrelation buys nothing and reproducibility does.
+BACKOFF_BASE = 0.05
+BACKOFF_CAP = 2.0
+
+
+def _backoff_delay(failures_so_far: int) -> float:
+    """Capped exponential backoff before the next attempt of a cell."""
+    return min(BACKOFF_CAP, BACKOFF_BASE * (2 ** max(0, failures_so_far - 1)))
+
 
 def _pool_worker_init(
     memo_dir: str | None,
@@ -60,21 +79,29 @@ def _pool_worker_init(
     fast_cache: bool,
     trace_memo: bool,
     quantum_batch: bool,
+    fault_plan: str | None,
 ) -> None:
     """Align a fresh pool worker with the parent's tuning state.
 
     Fork workers inherit it anyway; with the spawn start method (or
     after the parent reconfigured mid-session) this keeps the persistent
-    memo store (directory *and* access mode) and the engine toggles
-    consistent across the fleet.
+    memo store (directory *and* access mode), the engine toggles, and
+    the active fault-injection plan consistent across the fleet.
     """
+    import os as _os
+
     from repro.cache.memo import set_fast_cache, set_trace_memo
     from repro.cache.store import active_memo_store, configure_memo_store
     from repro.sim.qplan import set_quantum_batch
+    from repro.util.faults import PLAN_ENV
 
     set_fast_cache(fast_cache)
     set_trace_memo(trace_memo)
     set_quantum_batch(quantum_batch)
+    if fault_plan:
+        _os.environ[PLAN_ENV] = fault_plan
+    else:
+        _os.environ.pop(PLAN_ENV, None)
     current = active_memo_store()
     current_dir = str(current.root) if current is not None else None
     current_mode = current.mode if current is not None else "rw"
@@ -83,9 +110,12 @@ def _pool_worker_init(
 
 
 def _pool_init_args() -> tuple:
+    import os as _os
+
     from repro.cache.memo import fast_cache_enabled, trace_memo_enabled
     from repro.cache.store import active_memo_store
     from repro.sim.qplan import quantum_batch_enabled
+    from repro.util.faults import PLAN_ENV
 
     store = active_memo_store()
     return (
@@ -94,6 +124,7 @@ def _pool_init_args() -> tuple:
         fast_cache_enabled(),
         trace_memo_enabled(),
         quantum_batch_enabled(),
+        _os.environ.get(PLAN_ENV),
     )
 
 
@@ -131,6 +162,25 @@ def _discard_shared_pool(jobs: int) -> None:
     cached = _SHARED_POOLS.pop(jobs, None)
     if cached is not None:
         cached[1].shutdown(wait=False, cancel_futures=True)
+
+
+def _terminate_shared_pool(jobs: int) -> None:
+    """Forcibly kill the shared pool's workers (hung-cell recovery).
+
+    ``shutdown`` only refuses new work — a worker stuck in an infinite
+    loop (or an injected hang) never returns, so the processes themselves
+    must be terminated before a fresh pool can make progress.
+    """
+    cached = _SHARED_POOLS.pop(jobs, None)
+    if cached is None:
+        return
+    pool = cached[1]
+    for process in list((getattr(pool, "_processes", None) or {}).values()):
+        try:
+            process.terminate()
+        except Exception:
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
 
 
 @atexit.register
@@ -174,6 +224,355 @@ def _chunk_runs(
     return [part for _, part in chunks]
 
 
+class _SerialWatchdog:
+    """Enforces per-cell timeouts for the serial policy.
+
+    A cell cannot be preempted in-process, so serial timeouts run the
+    cell on a single-lane thread and bound the wait.  A timed-out cell's
+    thread is abandoned (its eventual result discarded) and the next
+    cell gets a fresh lane — the serial contract (declaration order, one
+    cell at a time) is preserved.
+    """
+
+    def __init__(self) -> None:
+        self._pool: ThreadPoolExecutor | None = None
+
+    def call(self, fn, run: "RunSpec", timeout: float):
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=1)
+        future = self._pool.submit(fn, run)
+        try:
+            return future.result(timeout=timeout)
+        except FuturesTimeoutError:
+            stale, self._pool = self._pool, None
+            stale.shutdown(wait=False, cancel_futures=True)
+            raise CellTimeoutError(run.cell_key(), timeout) from None
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+
+@dataclass
+class _FanOut:
+    """The retry/timeout/quarantine loop shared by the pooled policies.
+
+    Cells are dispatched as *units* (one future each): workload-grouped
+    chunks on the process pool when nothing needs per-cell attribution,
+    single cells otherwise (a per-cell timeout is in force, a cell is
+    being retried, or a pool crash forced attribution).  Worker-side
+    per-cell errors come back as data (see ``execute_chunk_outcomes``),
+    so a future-level exception always means the transport died — a
+    crashed worker breaking the process pool — and only *incomplete*
+    units are ever resubmitted.
+    """
+
+    runs: "Sequence[RunSpec]"
+    jobs: int
+    policy: str
+    attempts_allowed: int
+    cell_timeout: float | None
+    keep_going: bool
+    on_result: ResultFn | None
+    on_failure: FailureFn | None
+
+    #: Poll interval while waiting for a future to enter the running
+    #: state (needed to anchor its wall-clock deadline).
+    poll: float = 0.05
+
+    def __post_init__(self) -> None:
+        count = len(self.runs)
+        self.results: "list[RunResult | None]" = [None] * count
+        self.failures: "list[CellFailure]" = []
+        self.outstanding: set[int] = set(range(count))
+        self.attempts_used = [0] * count
+        self.first_submit: dict[int, float] = {}
+        self.active: dict = {}  # Future -> list[int]
+        self.run_started: dict = {}  # Future -> monotonic stamp
+        self.delayed: list[tuple[float, int]] = []  # (due, index)
+        self.single_mode = self.cell_timeout is not None
+        self.abort_exc: BaseException | None = None
+        self.pool_breaks = 0
+        self.thread_pool: ThreadPoolExecutor | None = None
+        #: Cells implicated in a pool break.  A suspect is re-run *solo*
+        #: (one suspect in flight at a time) so the next break attributes
+        #: the crash to exactly one cell instead of charging every unit
+        #: that happened to be running when a sibling's worker died.
+        self.suspects: set[int] = set()
+        self.probe_queue: list[int] = []
+        self.probe: int | None = None
+
+    # -- dispatch ------------------------------------------------------------
+
+    def execute(self) -> "tuple[list[RunResult | None], list[CellFailure]]":
+        try:
+            if self.policy == "threads":
+                self.thread_pool = ThreadPoolExecutor(max_workers=self.jobs)
+            self._submit_initial()
+            while self.outstanding and self.abort_exc is None:
+                self._step()
+        finally:
+            self._shutdown()
+        if self.abort_exc is not None:
+            raise self.abort_exc
+        return self.results, self.failures
+
+    def _submit_initial(self) -> None:
+        if self.policy == "processes" and not self.single_mode:
+            for chunk in _chunk_runs(self.runs, self.jobs):
+                self._submit(chunk)
+        else:
+            for index in range(len(self.runs)):
+                self._submit([index])
+
+    def _submit(self, indices: list[int]) -> None:
+        from repro.campaign.executor import execute_chunk_outcomes, execute_run
+
+        now = time.monotonic()
+        for index in indices:
+            self.first_submit.setdefault(index, now)
+        if self.policy == "threads":
+            future = self.thread_pool.submit(execute_run, self.runs[indices[0]])
+        else:
+            future = _shared_process_pool(self.jobs).submit(
+                execute_chunk_outcomes, [self.runs[i] for i in indices]
+            )
+        self.active[future] = indices
+
+    # -- one scheduler turn --------------------------------------------------
+
+    def _step(self) -> None:
+        now = time.monotonic()
+        for item in [d for d in self.delayed if d[0] <= now]:
+            self.delayed.remove(item)
+            self._dispatch(item[1])
+        if self.probe is None and not self.active:
+            while self.probe_queue:
+                index = self.probe_queue.pop(0)
+                if index in self.outstanding:
+                    self.probe = index
+                    self._submit([index])
+                    break
+        if not self.active:
+            if self.delayed:
+                time.sleep(max(0.0, min(d for d, _ in self.delayed) - now))
+            return
+        for future in self.active:
+            if future not in self.run_started and future.running():
+                self.run_started[future] = now
+        done, _ = wait(
+            set(self.active),
+            timeout=self._wait_timeout(now),
+            return_when=FIRST_COMPLETED,
+        )
+        for future in done:
+            self._complete(future)
+        if self.cell_timeout is not None and self.abort_exc is None:
+            self._expire(time.monotonic())
+
+    def _wait_timeout(self, now: float) -> float | None:
+        candidates = []
+        if self.delayed:
+            candidates.append(min(due for due, _ in self.delayed) - now)
+        if self.cell_timeout is not None:
+            running = [
+                started
+                for future, started in self.run_started.items()
+                if future in self.active
+            ]
+            if running:
+                candidates.append(min(running) + self.cell_timeout - now)
+            if any(f not in self.run_started for f in self.active):
+                candidates.append(self.poll)
+        if not candidates:
+            return None  # block until a future completes
+        return max(0.0, min(candidates))
+
+    # -- completion paths ----------------------------------------------------
+
+    def _complete(self, future) -> None:
+        # A pool break drains *all* in-flight units at once, so sibling
+        # futures from the same wait() batch may already be gone.
+        indices = self.active.pop(future, None)
+        if indices is None:
+            return
+        self.run_started.pop(future, None)
+        try:
+            payload = future.result()
+        except BrokenProcessPool as exc:
+            self._pool_break(future, indices, exc)
+            return
+        except CancelledError:
+            if self.probe in indices:
+                self.probe = None
+            self._resubmit(indices)
+            return
+        except Exception as exc:
+            # The unit ran and raised in-band, so its worker is alive:
+            # whatever broke the pool earlier, these cells are cleared.
+            self._clear_suspects(indices)
+            if self.policy == "threads" or len(indices) == 1:
+                self._cell_failed(indices[0], exc)
+            else:
+                # Transport-level failure of a chunk (unpicklable result,
+                # executor teardown): split for exact attribution.
+                self.single_mode = True
+                self._resubmit(indices)
+            return
+        self._clear_suspects(indices)
+        if self.policy == "threads":
+            self._cell_done(indices[0], payload)
+            return
+        for index, (status, value) in zip(indices, payload):
+            if status == "ok":
+                self._cell_done(index, value)
+            else:
+                self._cell_failed(index, value)
+
+    def _dispatch(self, index: int) -> None:
+        if index in self.suspects:
+            if index not in self.probe_queue:
+                self.probe_queue.append(index)
+        else:
+            self._submit([index])
+
+    def _resubmit(self, indices: list[int]) -> None:
+        for index in indices:
+            if index in self.outstanding:
+                self._dispatch(index)
+
+    def _clear_suspects(self, indices: list[int]) -> None:
+        for index in indices:
+            self.suspects.discard(index)
+        if self.probe in indices:
+            self.probe = None
+
+    def _cell_done(self, index: int, result: "RunResult") -> None:
+        if index not in self.outstanding:
+            return
+        self.outstanding.discard(index)
+        self.results[index] = result
+        if self.on_result is not None:
+            self.on_result(result)
+
+    def _cell_failed(self, index: int, exc: BaseException) -> None:
+        from repro.campaign.failures import failure_from_exception
+
+        if index not in self.outstanding:
+            return
+        self.attempts_used[index] += 1
+        if self.attempts_used[index] < self.attempts_allowed:
+            due = time.monotonic() + _backoff_delay(self.attempts_used[index])
+            self.delayed.append((due, index))
+            return
+        elapsed = time.monotonic() - self.first_submit.get(index, time.monotonic())
+        failure = failure_from_exception(
+            self.runs[index], exc, self.attempts_used[index], elapsed
+        )
+        self.outstanding.discard(index)
+        if self.keep_going:
+            self.failures.append(failure)
+            if self.on_failure is not None:
+                self.on_failure(failure)
+        else:
+            # Re-raise the *original* exception so callers that never
+            # opted into quarantine see exactly the historical error.
+            self.abort_exc = exc
+
+    def _pool_break(self, future, indices: list[int], exc: BaseException) -> None:
+        """A worker died: retire the pool, resubmit only incomplete work.
+
+        Every in-flight future dies with the pool, so the break alone
+        cannot say *which* cell crashed its worker.  Units that were
+        observed running become suspects and re-run solo (see
+        :attr:`suspects`): a break during a solo probe is charged to that
+        probe exactly, and every innocent suspect clears itself with one
+        clean run.  Queued units were never running and resubmit as
+        ordinary single cells.
+        """
+        self.pool_breaks += 1
+        _discard_shared_pool(self.jobs)
+        self.single_mode = True
+        broken = [(future, indices)] + list(self.active.items())
+        self.active.clear()
+        probe_index, self.probe = self.probe, None
+        if self.pool_breaks > max(4, self.attempts_allowed * len(self.runs)):
+            self.abort_exc = CampaignError(
+                f"worker pool died {self.pool_breaks} times; giving up "
+                f"(last error: {exc})"
+            )
+            return
+        for dead, dead_indices in broken:
+            was_running = dead is future or dead in self.run_started
+            self.run_started.pop(dead, None)
+            if dead_indices == [probe_index]:
+                self._cell_failed(
+                    probe_index,
+                    WorkerCrashError(self.runs[probe_index].cell_key()),
+                )
+                if self.abort_exc is not None:
+                    return
+                # A surviving retry stays a suspect: it re-probes after
+                # its backoff, so repeat offenders exhaust their budget.
+            else:
+                if was_running:
+                    self.suspects.update(
+                        i for i in dead_indices if i in self.outstanding
+                    )
+                self._resubmit(dead_indices)
+
+    def _expire(self, now: float) -> None:
+        expired = [
+            future
+            for future, started in self.run_started.items()
+            if future in self.active and now - started >= self.cell_timeout
+        ]
+        if not expired:
+            return
+        if self.policy == "threads":
+            # A running thread cannot be killed: abandon its future (the
+            # eventual result is discarded) and charge the timeout.
+            for future in expired:
+                indices = self.active.pop(future)
+                self.run_started.pop(future, None)
+                future.cancel()
+                self._timeout_cell(indices[0])
+                if self.abort_exc is not None:
+                    return
+            return
+        # Processes: the only way to stop a hung worker is to kill the
+        # pool, so every in-flight unit dies; the hung cells are charged
+        # and the innocent bystanders resubmit uncharged on a fresh pool.
+        _terminate_shared_pool(self.jobs)
+        victims = set(expired)
+        units = list(self.active.items())
+        self.active.clear()
+        self.run_started.clear()
+        self.probe = None  # every in-flight future died with the pool
+        for future, indices in units:
+            if future in victims:
+                self._timeout_cell(indices[0])
+                if self.abort_exc is not None:
+                    return
+            else:
+                self._resubmit(indices)
+
+    def _timeout_cell(self, index: int) -> None:
+        self._cell_failed(
+            index,
+            CellTimeoutError(self.runs[index].cell_key(), self.cell_timeout),
+        )
+
+    def _shutdown(self) -> None:
+        for future in list(self.active):
+            future.cancel()
+        self.active.clear()
+        if self.thread_pool is not None:
+            self.thread_pool.shutdown(wait=False, cancel_futures=True)
+            self.thread_pool = None
+
+
 def _as_run_specs(runnable: object) -> list[RunSpec]:
     """Normalize any facade input to a flat list of grid cells."""
     if isinstance(runnable, RunSpec):
@@ -200,6 +599,15 @@ class Engine:
     (the campaign executor's historical behavior).  ``store``/``resume``
     apply to :meth:`run_campaign` only, mirroring
     :func:`repro.campaign.executor.run_campaign`.
+
+    The fault-tolerance knobs apply to every execution method:
+    ``max_retries`` re-attempts a failing cell with capped exponential
+    backoff before giving up on it; ``cell_timeout`` bounds one attempt's
+    wall clock (hung process workers are killed via pool retirement);
+    ``keep_going`` converts terminal cell failures into structured
+    :class:`~repro.campaign.failures.CellFailure` quarantine records
+    instead of aborting the batch.  All three default off, which is
+    byte-for-byte the historical behavior.
     """
 
     jobs: int = 1
@@ -207,6 +615,9 @@ class Engine:
     store: "ResultStore | str | Path | None" = None
     resume: bool = False
     progress: "ProgressFn | None" = None
+    max_retries: int = 0
+    cell_timeout: float | None = None
+    keep_going: bool = False
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -215,6 +626,14 @@ class Engine:
             raise CampaignError(
                 f"unknown execution policy {self.policy!r}; expected one "
                 f"of {', '.join(EXECUTION_POLICIES)}"
+            )
+        if self.max_retries < 0:
+            raise CampaignError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.cell_timeout is not None and self.cell_timeout <= 0:
+            raise CampaignError(
+                f"cell_timeout must be positive, got {self.cell_timeout}"
             )
 
     # -- single cell ---------------------------------------------------------
@@ -239,12 +658,23 @@ class Engine:
         policy: str | None = None,
         jobs: int | None = None,
         on_result: ResultFn | None = None,
+        max_retries: int | None = None,
+        cell_timeout: float | None = None,
+        keep_going: bool | None = None,
+        on_failure: FailureFn | None = None,
     ) -> "list[RunResult]":
-        """Run every cell; returns results in declaration order.
+        """Run every cell; returns completed results in declaration order.
 
         ``on_result`` fires as cells complete (completion order under the
         pooled policies).  This is *the* cell loop — the campaign
         executor and the figure harnesses all funnel through here.
+
+        A failing cell is retried up to ``max_retries`` times with capped
+        exponential backoff; one that fails for good either aborts the
+        batch by re-raising its original error (the default) or — with
+        ``keep_going`` — is quarantined: ``on_failure`` receives the
+        structured :class:`~repro.campaign.failures.CellFailure` and the
+        returned list simply omits that cell.
         """
         runs = _as_run_specs(runnables)
         jobs = self.jobs if jobs is None else jobs
@@ -260,76 +690,82 @@ class Engine:
             )
         if jobs == 1 or len(runs) <= 1:
             policy = "serial"
-
-        from repro.campaign.executor import execute_run
+        max_retries = self.max_retries if max_retries is None else max_retries
+        if max_retries < 0:
+            raise CampaignError(f"max_retries must be >= 0, got {max_retries}")
+        cell_timeout = self.cell_timeout if cell_timeout is None else cell_timeout
+        if cell_timeout is not None and cell_timeout <= 0:
+            raise CampaignError(
+                f"cell_timeout must be positive, got {cell_timeout}"
+            )
+        keep_going = self.keep_going if keep_going is None else keep_going
+        attempts_allowed = max_retries + 1
 
         if policy == "serial":
-            results = []
+            return self._run_serial(
+                runs, attempts_allowed, cell_timeout, keep_going,
+                on_result, on_failure,
+            )
+        ordered, _ = _FanOut(
+            runs=runs,
+            jobs=jobs,
+            policy=policy,
+            attempts_allowed=attempts_allowed,
+            cell_timeout=cell_timeout,
+            keep_going=keep_going,
+            on_result=on_result,
+            on_failure=on_failure,
+        ).execute()
+        return [result for result in ordered if result is not None]
+
+    @staticmethod
+    def _run_serial(
+        runs: "Sequence[RunSpec]",
+        attempts_allowed: int,
+        cell_timeout: float | None,
+        keep_going: bool,
+        on_result: ResultFn | None,
+        on_failure: FailureFn | None,
+    ) -> "list[RunResult]":
+        from repro.campaign.executor import execute_run
+        from repro.campaign.failures import failure_from_exception
+
+        results: "list[RunResult]" = []
+        watchdog = _SerialWatchdog() if cell_timeout is not None else None
+        try:
             for run in runs:
-                result = execute_run(run)
-                if on_result is not None:
-                    on_result(result)
-                results.append(result)
-            return results
-
-        ordered: "list[RunResult | None]" = [None] * len(runs)
-        if policy == "threads":
-            with ThreadPoolExecutor(max_workers=jobs) as pool:
-                futures = {
-                    pool.submit(execute_run, run): index
-                    for index, run in enumerate(runs)
-                }
-                pending = set(futures)
-                while pending:
-                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        result = future.result()
-                        ordered[futures[future]] = result
-                        if on_result is not None:
-                            on_result(result)
-            return ordered  # type: ignore[return-value] — every slot filled
-
-        # Process policy: workload-grouped chunks on the shared pool.
-        from repro.campaign.executor import execute_chunk
-
-        chunks = _chunk_runs(runs, jobs)
-        fired: set[int] = set()
-        for attempt in (0, 1):
-            try:
-                pool = _shared_process_pool(jobs)
-                futures = {
-                    pool.submit(
-                        execute_chunk, [runs[index] for index in chunk]
-                    ): chunk
-                    for chunk in chunks
-                }
-                pending = set(futures)
-                try:
-                    while pending:
-                        done, pending = wait(
-                            pending, return_when=FIRST_COMPLETED
-                        )
-                        for future in done:
-                            results = future.result()
-                            for index, result in zip(futures[future], results):
-                                ordered[index] = result
-                                if on_result is not None and index not in fired:
-                                    fired.add(index)
-                                    on_result(result)
-                except BaseException:
-                    # Don't leave orphaned chunks burning the shared
-                    # pool after a failing cell unwinds this call.
-                    for future in pending:
-                        future.cancel()
-                    raise
-                break
-            except BrokenProcessPool:
-                # A worker died (OOM-kill, crash): retire the pool and
-                # retry the whole batch once on a fresh one.
-                _discard_shared_pool(jobs)
-                if attempt:
-                    raise
-        return ordered  # type: ignore[return-value] — every slot filled
+                started = time.monotonic()
+                last_error: Exception | None = None
+                for attempt in range(1, attempts_allowed + 1):
+                    try:
+                        if watchdog is not None:
+                            result = watchdog.call(execute_run, run, cell_timeout)
+                        else:
+                            result = execute_run(run)
+                    except Exception as exc:
+                        last_error = exc
+                        if attempt < attempts_allowed:
+                            time.sleep(_backoff_delay(attempt))
+                        continue
+                    results.append(result)
+                    if on_result is not None:
+                        on_result(result)
+                    break
+                else:
+                    if not keep_going:
+                        raise last_error
+                    failure = failure_from_exception(
+                        run,
+                        last_error,
+                        attempts_allowed,
+                        time.monotonic() - started,
+                    )
+                    if on_failure is not None:
+                        on_failure(failure)
+        finally:
+            if watchdog is not None:
+                watchdog.close()
+        return results
 
     # -- full campaigns (store, resume, rollup-ready outcome) ----------------
 
@@ -360,6 +796,9 @@ class Engine:
             resume=self.resume,
             progress=self.progress,
             policy=policy if policy is not None else self.policy,
+            max_retries=self.max_retries,
+            cell_timeout=self.cell_timeout,
+            keep_going=self.keep_going,
         )
 
     # -- scheduler comparisons (the run_comparison shape) --------------------

@@ -42,9 +42,11 @@ import os
 import pickle
 import sqlite3
 import threading
+import warnings
 from pathlib import Path
 
 from repro.errors import MemoStoreError
+from repro.util.faults import fault_point
 from repro.util.invalidation import bump_worker_state_epoch
 
 #: Bump whenever the persisted value layout changes (pickled
@@ -96,8 +98,19 @@ class MemoStore:
         self._local = threading.local()
         self.hits = 0
         self.misses = 0
+        #: Self-healing status: ``ok``, ``quarantined`` (a corrupt
+        #: database was renamed aside and rebuilt), or ``read-only``
+        #: (the directory or database is unwritable; reads continue).
+        self.health: dict[str, str] = {"status": "ok", "detail": ""}
         if mode == "rw":
-            self.root.mkdir(parents=True, exist_ok=True)
+            try:
+                self.root.mkdir(parents=True, exist_ok=True)
+            except OSError as exc:
+                self.mode = "ro"
+                self.health = {
+                    "status": "read-only",
+                    "detail": f"memo dir not writable ({exc}); writes disabled",
+                }
 
     # -- connection management (per pid x thread, fork-safe) -----------------
 
@@ -106,10 +119,52 @@ class MemoStore:
         cached = getattr(self._local, "conn", None)
         if cached is not None and getattr(self._local, "pid", None) == pid:
             return cached
+        fault_point("store", str(self.path))
         if self.mode == "ro" and not self.path.exists():
             return None
+        conn = self._open_verified()
+        if conn is None:
+            return None
+        self._local.conn = conn
+        self._local.pid = pid
+        return conn
+
+    def _open_verified(self) -> sqlite3.Connection | None:
+        """Open with integrity checking, quarantine, and ro fallback.
+
+        Every failure mode degrades to memo *misses*, never simulation
+        failures: a corrupt database is quarantined (renamed aside) and
+        rebuilt fresh; a locked or unwritable one falls back to
+        read-only; anything else reads as empty.
+        """
         try:
-            conn = sqlite3.connect(self.path, timeout=10.0)
+            return self._open()
+        except sqlite3.OperationalError:
+            # Locked or unwritable rather than corrupt: serve reads.
+            return self._open_readonly_fallback()
+        except sqlite3.DatabaseError as exc:
+            if self.mode == "rw" and self._quarantine(exc):
+                try:
+                    return self._open()
+                except sqlite3.Error:
+                    return None
+            if self.health["status"] == "ok":
+                # Read-only attach (or unmovable corpse): report the
+                # corruption instead of silently reading as empty.
+                self.health = {"status": "corrupt", "detail": str(exc)}
+            return None
+        except sqlite3.Error:
+            return None
+
+    def _open(self) -> sqlite3.Connection | None:
+        """One open attempt: connect, integrity-check, stamp schema."""
+        conn = sqlite3.connect(self.path, timeout=10.0)
+        try:
+            row = conn.execute("PRAGMA quick_check(1)").fetchone()
+            if row is None or str(row[0]).lower() != "ok":
+                raise sqlite3.DatabaseError(
+                    f"quick_check: {row[0] if row else 'no result'}"
+                )
             conn.execute("PRAGMA journal_mode=WAL")
             conn.execute("PRAGMA synchronous=NORMAL")
             if self.mode == "rw":
@@ -119,10 +174,71 @@ class MemoStore:
                 conn.close()
                 return None
         except sqlite3.Error:
-            return None
-        self._local.conn = conn
-        self._local.pid = pid
+            try:
+                conn.close()
+            except sqlite3.Error:
+                pass
+            raise
         return conn
+
+    def _open_readonly_fallback(self) -> sqlite3.Connection | None:
+        """Serve reads from a database this process may not write."""
+        if not self.path.exists():
+            return None
+        try:
+            conn = sqlite3.connect(
+                f"file:{self.path}?mode=ro", uri=True, timeout=10.0
+            )
+            if not self._version_ok(conn):
+                conn.close()
+                return None
+        except sqlite3.Error:
+            return None
+        if self.mode == "rw":
+            self.mode = "ro"
+            self.health = {
+                "status": "read-only",
+                "detail": "store locked or unwritable; memo writes disabled",
+            }
+        return conn
+
+    def _quarantine(self, cause: Exception) -> bool:
+        """Rename a corrupt database aside so a fresh one can be built.
+
+        The rename is atomic, so concurrent processes race safely: the
+        loser's rename finds the file already gone and simply proceeds
+        to the rebuild.  Returns False only when the corpse cannot be
+        moved at all (unwritable directory).
+        """
+        self.close()
+        target = None
+        for n in range(1000):
+            candidate = self.path.with_name(f"{self.path.name}.corrupt.{n}")
+            if not candidate.exists():
+                target = candidate
+                break
+        if target is None:
+            return False
+        try:
+            self.path.replace(target)
+        except FileNotFoundError:
+            return True  # another process already quarantined it
+        except OSError:
+            return False
+        for suffix in ("-wal", "-shm"):
+            sidecar = self.path.with_name(self.path.name + suffix)
+            try:
+                sidecar.replace(target.with_name(target.name + suffix))
+            except OSError:
+                pass
+        self.health = {"status": "quarantined", "detail": str(target)}
+        warnings.warn(
+            f"memo store {self.path} failed its integrity check ({cause}); "
+            f"quarantined to {target} and rebuilt fresh",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        return True
 
     def _check_version(self, conn: sqlite3.Connection) -> None:
         """Stamp a fresh store; drop and restamp a version-stale one."""
@@ -286,7 +402,69 @@ class MemoStore:
             "size_bytes": size,
             "hits": self.hits,
             "misses": self.misses,
+            "health": dict(self.health),
         }
+
+    def verify(self) -> dict:
+        """Integrity report for ``repro memo verify``.
+
+        Runs a direct (non-healing) integrity check against the database
+        file so a corrupt store is *reported*, not silently quarantined:
+        ``status`` is ``ok``, ``missing`` (no database yet), ``stale``
+        (version mismatch — a rw attach would drop it), or ``corrupt``.
+        """
+        report: dict = {
+            "path": str(self.path),
+            "mode": self.mode,
+            "health": dict(self.health),
+            "exists": self.path.exists(),
+            "integrity": None,
+            "version": None,
+            "version_ok": False,
+            "entries": {},
+            "status": "missing",
+        }
+        if not report["exists"]:
+            return report
+        try:
+            conn = sqlite3.connect(
+                f"file:{self.path}?mode=ro", uri=True, timeout=10.0
+            )
+        except sqlite3.Error as exc:
+            report["integrity"] = f"unopenable: {exc}"
+            report["status"] = "corrupt"
+            return report
+        try:
+            try:
+                row = conn.execute("PRAGMA quick_check(1)").fetchone()
+                report["integrity"] = str(row[0]) if row else "no result"
+            except sqlite3.DatabaseError as exc:
+                report["integrity"] = str(exc)
+            if str(report["integrity"]).lower() != "ok":
+                report["status"] = "corrupt"
+                return report
+            try:
+                row = conn.execute(
+                    "SELECT value FROM meta WHERE key='version'"
+                ).fetchone()
+                report["version"] = row[0] if row else None
+            except sqlite3.Error:
+                report["version"] = None
+            report["version_ok"] = report["version"] == STORE_VERSION
+            try:
+                rows = conn.execute(
+                    "SELECT kind, COUNT(*) FROM memo GROUP BY kind"
+                ).fetchall()
+                report["entries"] = {k: int(c) for k, c in rows}
+            except sqlite3.Error:
+                report["entries"] = {}
+            report["status"] = "ok" if report["version_ok"] else "stale"
+            return report
+        finally:
+            try:
+                conn.close()
+            except sqlite3.Error:
+                pass
 
     def clear(self) -> None:
         """Drop every persisted entry (keeps the version stamp)."""

@@ -13,11 +13,13 @@ JSON-lines store as they complete.
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable
 
 from repro.cache.stats import CacheStats
+from repro.campaign.failures import CellFailure
 from repro.campaign.spec import (
     CampaignSpec,
     RunSpec,
@@ -26,6 +28,7 @@ from repro.campaign.spec import (
 )
 from repro.campaign.store import ResultStore, as_store
 from repro.errors import CampaignError
+from repro.util.faults import fault_point
 from repro.util.memo import BoundedDict
 
 #: Progress callback: (result, completed_count, total_count).
@@ -62,6 +65,9 @@ class RunResult:
     #: Open-system metrics (response times, slowdown, throughput) for
     #: cells run with an ArrivalSpec; None for closed cells.
     open: dict | None = None
+    #: Set when the cell's batched/vectorized path raised and the scalar
+    #: oracle re-ran it ("<ErrorType>: message"); None on the fast path.
+    downgraded: str | None = None
 
     def to_dict(self) -> dict:
         data = {
@@ -85,6 +91,8 @@ class RunResult:
             data["arrival"] = self.arrival
         if self.open is not None:
             data["open"] = self.open
+        if self.downgraded is not None:
+            data["downgraded"] = self.downgraded
         return data
 
     @classmethod
@@ -108,6 +116,9 @@ class RunResult:
             per_core_utilization=[float(u) for u in data.get("per_core_utilization", [])],
             arrival=str(arrival) if arrival is not None else None,
             open=dict(open_metrics) if open_metrics is not None else None,
+            downgraded=(
+                str(data["downgraded"]) if data.get("downgraded") is not None else None
+            ),
         )
 
     # -- SimulationResult-compatible surface (what renderers/exporters read) --
@@ -198,7 +209,32 @@ def _adopt_cached(run: RunSpec, cached: "RunResult") -> "RunResult":
 
 
 def execute_run(run: RunSpec) -> RunResult:
-    """Execute one cell; pure function of the spec (workers call this)."""
+    """Execute one cell; pure function of the spec (workers call this).
+
+    A cell whose fast path (quantum batching, vectorized engine) raises
+    is transparently re-run under the pure scalar oracle — bit-identical
+    by construction — and the result carries the downgrade note, so one
+    bad compiled plan degrades one cell's speed, never a campaign.
+    """
+    fault_point("cell", run.cell_key())
+    try:
+        return _execute_cell(run)
+    except Exception as exc:
+        from repro.cache.memo import fast_cache_enabled
+        from repro.sim.qplan import quantum_batch_enabled, scalar_fallback
+
+        if not (fast_cache_enabled() or quantum_batch_enabled()):
+            raise  # already on the scalar oracle: the error is organic
+        with scalar_fallback():
+            result = _execute_cell(run)
+        note = f"{type(exc).__name__}: {exc}"
+        return replace(
+            result,
+            downgraded=note if len(note) <= 200 else note[:197] + "...",
+        )
+
+
+def _execute_cell(run: RunSpec) -> RunResult:
     # Imported here, not at module level: the experiment harnesses are
     # themselves thin campaign specs, so the two packages would otherwise
     # form an import cycle.
@@ -276,6 +312,34 @@ def execute_chunk(runs: list[RunSpec]) -> "list[RunResult]":
     return [execute_run(run) for run in runs]
 
 
+def execute_chunk_outcomes(
+    runs: list[RunSpec],
+) -> "list[tuple[str, RunResult | Exception]]":
+    """Execute a batch, reporting per-cell errors as data, not raises.
+
+    The engine's fan-out loop needs exact failure attribution — which
+    cell of a chunk raised — so worker-side exceptions travel back as
+    ``("err", exc)`` markers next to their siblings' ``("ok", result)``
+    instead of poisoning the whole chunk.  A future-level exception
+    therefore always means the transport died (worker crash, broken
+    pool), never a cell.
+    """
+    outcomes: "list[tuple[str, RunResult | Exception]]" = []
+    for run in runs:
+        try:
+            outcomes.append(("ok", execute_run(run)))
+        except Exception as exc:
+            try:
+                # Full round-trip: an exception whose custom __init__
+                # signature pickles but fails to *unpickle* would kill
+                # the parent's result pipe (a fake pool break).
+                pickle.loads(pickle.dumps(exc))
+            except Exception:
+                exc = CampaignError(f"{type(exc).__name__}: {exc}")
+            outcomes.append(("err", exc))
+    return outcomes
+
+
 def _open_metrics(result) -> dict:
     """Flatten an :class:`~repro.sim.results.OpenSystemResult` for the store."""
     stats = result.response_stats()
@@ -304,11 +368,19 @@ class CampaignOutcome:
     executed: int
     skipped: int
     store_path: Path | None = None
+    #: Cells quarantined after exhausting retries (``keep_going`` runs
+    #: only — without it the first terminal failure raises instead).
+    failures: list[CellFailure] = field(default_factory=list)
 
     @property
     def total(self) -> int:
-        """Number of grid cells."""
-        return len(self.results)
+        """Number of grid cells (completed plus quarantined)."""
+        return len(self.results) + len(self.failures)
+
+    @property
+    def downgraded(self) -> int:
+        """How many cells fell back from the fast path to the oracle."""
+        return sum(1 for result in self.results if result.downgraded is not None)
 
 
 def run_campaign(
@@ -318,6 +390,10 @@ def run_campaign(
     resume: bool = False,
     progress: ProgressFn | None = None,
     policy: str | None = None,
+    max_retries: int = 0,
+    cell_timeout: float | None = None,
+    keep_going: bool = False,
+    on_failure: Callable[[CellFailure], None] | None = None,
 ) -> CampaignOutcome:
     """Expand and execute a campaign.
 
@@ -328,6 +404,13 @@ def run_campaign(
     :meth:`repro.api.engine.Engine.run_many`.  With ``resume=True`` and
     a store, cells whose keys are already present are skipped; otherwise
     the store is truncated and the whole grid runs.
+
+    With ``keep_going``, cells that fail after ``max_retries`` retries
+    (or time out past ``cell_timeout``) are quarantined: recorded in the
+    result store as failure lines, reported in
+    :attr:`CampaignOutcome.failures`, and — because failure lines never
+    load as results — re-attempted by the next ``resume`` run, which is
+    thereby a repair pass.
     """
     if jobs < 1:
         raise CampaignError(f"jobs must be >= 1, got {jobs}")
@@ -348,6 +431,7 @@ def run_campaign(
     todo = [run for run in runs if run.cell_key() not in cached]
     results_by_key = dict(cached)
     total = len(runs)
+    failures: list[CellFailure] = []
 
     def record(result: RunResult) -> None:
         results_by_key[result.key] = result
@@ -356,17 +440,35 @@ def run_campaign(
         if progress is not None:
             progress(result, len(results_by_key), total)
 
+    def record_failure(failure: CellFailure) -> None:
+        failures.append(failure)
+        if store_obj is not None:
+            store_obj.append_failure(failure)
+        if on_failure is not None:
+            on_failure(failure)
+
     # The engine owns the serial/threads/processes loop; imported here
     # because the api package sits above the campaign layer.
     from repro.api.engine import Engine
 
-    Engine(jobs=jobs, policy=policy).run_many(todo, on_result=record)
+    Engine(
+        jobs=jobs,
+        policy=policy,
+        max_retries=max_retries,
+        cell_timeout=cell_timeout,
+        keep_going=keep_going,
+    ).run_many(todo, on_result=record, on_failure=record_failure)
 
-    ordered = [results_by_key[run.cell_key()] for run in runs]
+    ordered = [
+        results_by_key[run.cell_key()]
+        for run in runs
+        if run.cell_key() in results_by_key
+    ]
     return CampaignOutcome(
         spec=spec,
         results=ordered,
-        executed=len(todo),
+        executed=len(todo) - len(failures),
         skipped=total - len(todo),
         store_path=store_obj.path if store_obj is not None else None,
+        failures=failures,
     )

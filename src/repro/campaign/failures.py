@@ -1,0 +1,116 @@
+"""Structured quarantine records for cells that failed for good.
+
+A campaign at scale must finish with a *failure report*, not a
+traceback: when a cell exhausts its retries (or times out, or keeps
+crashing its worker), the engine converts the terminal error into a
+:class:`CellFailure` — flat, JSON-friendly, and carrying enough identity
+to re-attempt exactly that cell later.  Failures ride the same JSONL
+result store as successes (tagged ``"failure": true``), which is what
+makes ``--resume`` a repair pass: failed keys never load as results, so
+a resumed campaign re-attempts precisely the quarantined cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import CellTimeoutError, InjectedFaultError, WorkerCrashError
+
+if TYPE_CHECKING:
+    from repro.campaign.spec import RunSpec
+
+#: The terminal-failure kinds a cell can quarantine with.
+FAILURE_KINDS = ("error", "timeout", "crash")
+
+
+@dataclass
+class CellFailure:
+    """One quarantined cell: identity, terminal error, and attempt cost."""
+
+    key: str
+    workload: str
+    machine: str
+    scheduler: str
+    seed: int
+    scale: float
+    kind: str  # "error" | "timeout" | "crash"
+    error: str
+    error_type: str
+    attempts: int
+    elapsed: float
+    arrival: str | None = None
+    #: True when the terminal error was raised by the fault-injection
+    #: harness rather than organic code (chaos tests assert on this).
+    injected: bool = False
+
+    def to_dict(self) -> dict:
+        data = {
+            "failure": True,
+            "key": self.key,
+            "workload": self.workload,
+            "machine": self.machine,
+            "scheduler": self.scheduler,
+            "seed": self.seed,
+            "scale": self.scale,
+            "kind": self.kind,
+            "error": self.error,
+            "error_type": self.error_type,
+            "attempts": self.attempts,
+            "elapsed": self.elapsed,
+        }
+        if self.arrival is not None:
+            data["arrival"] = self.arrival
+        if self.injected:
+            data["injected"] = True
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CellFailure":
+        arrival = data.get("arrival")
+        return cls(
+            key=str(data["key"]),
+            workload=str(data["workload"]),
+            machine=str(data["machine"]),
+            scheduler=str(data["scheduler"]),
+            seed=int(data["seed"]),
+            scale=float(data["scale"]),
+            kind=str(data["kind"]),
+            error=str(data["error"]),
+            error_type=str(data["error_type"]),
+            attempts=int(data["attempts"]),
+            elapsed=float(data["elapsed"]),
+            arrival=str(arrival) if arrival is not None else None,
+            injected=bool(data.get("injected", False)),
+        )
+
+
+def classify_failure(exc: BaseException) -> str:
+    """Which :data:`FAILURE_KINDS` bucket a terminal exception falls in."""
+    if isinstance(exc, CellTimeoutError):
+        return "timeout"
+    if isinstance(exc, WorkerCrashError):
+        return "crash"
+    return "error"
+
+
+def failure_from_exception(
+    run: "RunSpec", exc: BaseException, attempts: int, elapsed: float
+) -> CellFailure:
+    """Build the quarantine record for a cell's terminal exception."""
+    message = str(exc) or type(exc).__name__
+    return CellFailure(
+        key=run.cell_key(),
+        workload=run.workload,
+        machine=run.machine.name,
+        scheduler=run.scheduler.effective_label,
+        seed=run.seed,
+        scale=run.scale,
+        kind=classify_failure(exc),
+        error=message if len(message) <= 500 else message[:497] + "...",
+        error_type=type(exc).__name__,
+        attempts=attempts,
+        elapsed=elapsed,
+        arrival=run.arrival.effective_label if run.arrival is not None else None,
+        injected=isinstance(exc, InjectedFaultError),
+    )

@@ -11,9 +11,12 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.campaign.executor import RunResult
+
+if TYPE_CHECKING:
+    from repro.campaign.failures import CellFailure
 from repro.errors import CampaignError
 from repro.util.csvio import rows_to_csv, write_csv_text
 from repro.util.tables import AsciiTable
@@ -183,6 +186,40 @@ def render_rollup(results: Sequence[RunResult], title: str = "Campaign rollup") 
             ),
         ]
         table.add_row(cells)
+    return table.render()
+
+
+def render_failures(
+    failures: Sequence["CellFailure"], title: str = "Quarantined cells"
+) -> str:
+    """ASCII table of the campaign's quarantined (failed) cells.
+
+    One row per cell that exhausted its retry budget, with the failure
+    kind (error / timeout / crash), attempt count, elapsed wall clock,
+    and the truncated final error.
+    """
+    if not failures:
+        raise CampaignError("no quarantined cells to report")
+    table = AsciiTable(
+        ["workload", "machine", "scheduler", "seed", "kind", "tries", "elapsed", "error"],
+        title=title,
+    )
+    for failure in failures:
+        error = failure.error
+        if len(error) > 60:
+            error = error[:57] + "..."
+        table.add_row(
+            [
+                failure.workload,
+                failure.machine,
+                failure.scheduler,
+                str(failure.seed),
+                failure.kind + ("*" if failure.injected else ""),
+                str(failure.attempts),
+                f"{failure.elapsed:.2f}s",
+                error,
+            ]
+        )
     return table.render()
 
 

@@ -17,6 +17,7 @@ from repro.errors import CampaignError
 
 if TYPE_CHECKING:
     from repro.campaign.executor import RunResult
+    from repro.campaign.failures import CellFailure
 
 
 class ResultStore:
@@ -48,32 +49,71 @@ class ResultStore:
         else:
             self.path.unlink()
 
-    def load(self) -> dict[str, "RunResult"]:
-        """All parseable results, keyed by cell key; last write wins.
+    def _records(self) -> "Iterable[dict]":
+        """Every parseable JSON object line, in file order.
 
         Corrupt or truncated lines (a partially-written tail after a
         crash) are skipped rather than fatal — that is the property that
         makes ``--resume`` safe after any failure.
         """
-        from repro.campaign.executor import RunResult
-
         if not self.path.exists():
-            return {}
-        results: dict[str, RunResult] = {}
+            return
         for line in self.path.read_text().splitlines():
             line = line.strip()
             if not line:
                 continue
             try:
                 data = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(data, dict):
+                yield data
+
+    def load(self) -> dict[str, "RunResult"]:
+        """All parseable results, keyed by cell key; last write wins.
+
+        Quarantine records (``"failure": true`` lines) are deliberately
+        *not* results: a failed key stays absent, so a resumed campaign
+        re-attempts exactly the quarantined cells.
+        """
+        from repro.campaign.executor import RunResult
+
+        results: dict[str, RunResult] = {}
+        for data in self._records():
+            if data.get("failure"):
+                continue
+            try:
                 result = RunResult.from_dict(data)
-            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            except (KeyError, TypeError, ValueError):
                 continue
             results[result.key] = result
         return results
 
-    def append(self, result: "RunResult") -> None:
-        """Durably append one completed cell.
+    def load_failures(self) -> dict[str, "CellFailure"]:
+        """Quarantined cells whose *latest* record is still a failure.
+
+        A later success line supersedes an earlier failure for the same
+        key (the resume repair pass appends successes without rewriting
+        history), so this reports only the cells still needing repair.
+        """
+        from repro.campaign.failures import CellFailure
+
+        failures: dict[str, CellFailure] = {}
+        for data in self._records():
+            key = data.get("key")
+            if not isinstance(key, str):
+                continue
+            if data.get("failure"):
+                try:
+                    failures[key] = CellFailure.from_dict(data)
+                except (KeyError, TypeError, ValueError):
+                    continue
+            else:
+                failures.pop(key, None)
+        return failures
+
+    def _append_record(self, record: dict) -> None:
+        """Durably append one JSON record.
 
         If a previous crash left a torn final line with no newline, a
         separator is inserted first so the new record cannot be glued
@@ -86,8 +126,16 @@ class ResultStore:
                 handle.seek(-1, 2)
                 if handle.read(1) != b"\n":
                     handle.write(b"\n")
-            handle.write((json.dumps(result.to_dict()) + "\n").encode("utf-8"))
+            handle.write((json.dumps(record) + "\n").encode("utf-8"))
             handle.flush()
+
+    def append(self, result: "RunResult") -> None:
+        """Durably append one completed cell."""
+        self._append_record(result.to_dict())
+
+    def append_failure(self, failure: "CellFailure") -> None:
+        """Durably append one quarantined cell's failure record."""
+        self._append_record(failure.to_dict())
 
     def append_all(self, results: Iterable["RunResult"]) -> None:
         """Append many results (used when importing external runs)."""

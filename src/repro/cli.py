@@ -48,16 +48,39 @@ def _build_parser() -> argparse.ArgumentParser:
             ),
         )
 
+    def add_robustness(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--max-retries", type=int, default=0, dest="max_retries",
+            help=(
+                "re-attempt a failing cell up to N times with exponential "
+                "backoff before quarantining it"
+            ),
+        )
+        subparser.add_argument(
+            "--cell-timeout", type=float, default=None, dest="cell_timeout",
+            help="per-cell wall-clock budget in seconds (default: none)",
+        )
+        subparser.add_argument(
+            "--keep-going", action="store_true", dest="keep_going",
+            help=(
+                "quarantine failing cells and finish the rest instead of "
+                "aborting on the first failure; --resume repairs them later"
+            ),
+        )
+
     sub.add_parser("tables", help="print Tables 1 and 2")
     sub.add_parser("figure2", help="print the Figure-2 worked example")
 
     memo = sub.add_parser(
         "memo",
-        help="inspect or clear the persistent memo store",
+        help="inspect, verify, or clear the persistent memo store",
     )
     memo.add_argument(
-        "action", choices=("stats", "clear"),
-        help="show entry counts and size, or drop every persisted entry",
+        "action", choices=("stats", "verify", "clear"),
+        help=(
+            "show entry counts and size, run an integrity check, or drop "
+            "every persisted entry"
+        ),
     )
     add_memo_dir(memo)
 
@@ -138,6 +161,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="CI-smoke sizes (a few seconds, still 3 rates x 3+ schedulers)",
     )
     osys.add_argument("--quiet", action="store_true")
+    add_robustness(osys)
     add_memo_dir(osys)
 
     bench = sub.add_parser(
@@ -202,6 +226,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="suppress per-cell progress lines",
     )
+    add_robustness(camp)
     add_memo_dir(camp)
     return parser
 
@@ -335,6 +360,34 @@ def _run_list_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _report_failures(outcome, quiet: bool) -> int:
+    """Print the quarantine report; return the process exit code.
+
+    A campaign that quarantined cells exits 3 (distinct from usage
+    errors) so CI and scripts can detect partial completion; rerunning
+    with ``--resume`` re-attempts exactly the quarantined cells.
+    """
+    from repro.campaign.rollup import render_failures
+
+    if outcome.downgraded and not quiet:
+        print(
+            f"\n{outcome.downgraded} cell(s) downgraded to the scalar "
+            "engine after a fast-path error (results are identical; see "
+            "the 'downgraded' field in the store)."
+        )
+    if not outcome.failures:
+        return 0
+    print()
+    print(render_failures(outcome.failures))
+    print(
+        f"\n{len(outcome.failures)} of {outcome.total} cells quarantined "
+        "after exhausting retries; rerun with --resume to re-attempt them."
+    )
+    if not quiet and any(f.injected for f in outcome.failures):
+        print("(* = injected by the active REPRO_FAULT_PLAN)")
+    return 3
+
+
 def _run_campaign_command(args: argparse.Namespace) -> int:
     from repro.campaign.executor import RunResult, run_campaign
     from repro.campaign.rollup import (
@@ -366,18 +419,28 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
         f"jobs={args.jobs}"
     )
     outcome = run_campaign(
-        spec, jobs=args.jobs, store=store, resume=args.resume, progress=progress
+        spec,
+        jobs=args.jobs,
+        store=store,
+        resume=args.resume,
+        progress=progress,
+        max_retries=args.max_retries,
+        cell_timeout=args.cell_timeout,
+        keep_going=args.keep_going,
     )
     if outcome.skipped:
         print(f"  [resume] skipped {outcome.skipped} completed cells")
     print()
-    print(render_rollup(outcome.results, title=f"Campaign rollup: {spec.name}"))
+    if outcome.results:
+        print(render_rollup(outcome.results, title=f"Campaign rollup: {spec.name}"))
+    else:
+        print("(no completed cells to roll up)")
     print(f"\n[store: {outcome.store_path}]")
-    if args.csv:
+    if args.csv and outcome.results:
         print(f"[csv written to {write_results_csv(outcome.results, args.csv)}]")
-    if args.jsonl:
+    if args.jsonl and outcome.results:
         print(f"[jsonl written to {write_results_jsonl(outcome.results, args.jsonl)}]")
-    return 0
+    return _report_failures(outcome, args.quiet)
 
 
 def _run_open_system_command(args: argparse.Namespace) -> int:
@@ -423,15 +486,21 @@ def _run_open_system_command(args: argparse.Namespace) -> int:
         store=args.store,
         resume=args.resume,
         progress=progress,
+        max_retries=args.max_retries,
+        cell_timeout=args.cell_timeout,
+        keep_going=args.keep_going,
     )
     if outcome.skipped:
         print(f"  [resume] skipped {outcome.skipped} completed cells")
     print()
-    print(render_open_system(outcome))
+    if outcome.results:
+        print(render_open_system(outcome))
+    else:
+        print("(no completed cells to report)")
     print(f"\n[store: {outcome.store_path}]")
-    if args.csv:
+    if args.csv and outcome.results:
         print(f"[csv written to {write_open_csv(outcome, args.csv)}]")
-    return 0
+    return _report_failures(outcome, args.quiet)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -447,9 +516,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 def _run_memo_command(args: argparse.Namespace) -> int:
     from repro.cache.store import MemoStore, active_memo_store
 
-    # ``stats`` attaches read-only so inspecting a mistyped path cannot
-    # create a stray directory and database.
-    mode = "ro" if args.action == "stats" else "rw"
+    # ``stats`` and ``verify`` attach read-only so inspecting a mistyped
+    # path cannot create a stray directory and database.
+    mode = "rw" if args.action == "clear" else "ro"
     if args.memo_dir is not None:
         store = MemoStore(args.memo_dir, mode=mode)
     else:
@@ -460,6 +529,24 @@ def _run_memo_command(args: argparse.Namespace) -> int:
         store.clear()
         print(f"cleared persistent memo store at {store.path}")
         return 0
+    if args.action == "verify":
+        report = store.verify()
+        print(f"persistent memo store: {report['path']}")
+        print(f"  status: {report['status']}")
+        print(f"  integrity: {report['integrity'] or '(no database)'}")
+        if report["status"] in ("ok", "stale"):
+            print(
+                f"  schema version: {report['version'] or '(unstamped)'}"
+                + ("" if report["version_ok"] else " [stale]")
+            )
+        if report["entries"]:
+            print(f"  entries: {sum(report['entries'].values())}")
+        if report["status"] == "corrupt":
+            print(
+                "  a read-write attach will quarantine this database "
+                "(rename it aside) and rebuild a fresh one"
+            )
+        return 0 if report["status"] == "ok" else 3
     stats = store.stats()
     entries = stats["entries"]
     print(f"persistent memo store: {stats['path']}")
@@ -468,6 +555,11 @@ def _run_memo_command(args: argparse.Namespace) -> int:
     print(f"  trace analyses: {entries.get('analysis', 0)}")
     print(f"  sharing matrices: {entries.get('sharing', 0)}")
     print(f"  seed-invariant cells: {entries.get('cell', 0)}")
+    if stats["health"]["status"] != "ok":
+        print(
+            f"  health: {stats['health']['status']} "
+            f"({stats['health']['detail']})"
+        )
     return 0
 
 

@@ -165,6 +165,65 @@ class CampaignError(ExperimentError):
     """A campaign spec, store, or executor was configured inconsistently."""
 
 
+class CellTimeoutError(CampaignError):
+    """One cell exceeded its per-cell wall-clock budget.
+
+    Raised by the engine's fan-out loops when ``cell_timeout`` fires;
+    carries the cell key and the budget so quarantine records (and the
+    abort path without ``keep_going``) can report exactly what timed out.
+    """
+
+    def __init__(self, key: str, timeout: float) -> None:
+        self.key = key
+        self.timeout = timeout
+        super().__init__(
+            f"cell {key!r} exceeded its {timeout:g}s wall-clock budget"
+        )
+
+    def __reduce__(self):
+        # Custom __init__ signature: pickle must replay (key, timeout),
+        # not the rendered message, or the pool's result pipe breaks.
+        return (type(self), (self.key, self.timeout))
+
+
+class WorkerCrashError(CampaignError):
+    """A pool worker died (crash, OOM-kill) while executing a cell.
+
+    Raised in place of the bare ``BrokenProcessPool`` once the engine has
+    isolated the crash to a single cell, so the failure names the cell
+    instead of the pool.
+    """
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        super().__init__(f"worker process died while executing cell {key!r}")
+
+    def __reduce__(self):
+        return (type(self), (self.key,))
+
+
+class InjectedFaultError(ReproError):
+    """A fault deliberately raised by the fault-injection harness.
+
+    Distinct from every organic error class so tests can assert that a
+    quarantined failure was the injected one and not a real bug.
+    """
+
+    def __init__(self, site: str, key: str) -> None:
+        self.site = site
+        self.key = key
+        super().__init__(f"injected fault at {site}:{key}")
+
+    def __reduce__(self):
+        # Injected errors cross the worker/parent pickle boundary; the
+        # args tuple holds the rendered message, not (site, key).
+        return (type(self), (self.site, self.key))
+
+
+class FaultPlanError(ReproError):
+    """A fault-injection plan (``REPRO_FAULT_PLAN``) failed to parse."""
+
+
 class MemoStoreError(ReproError):
     """The persistent memo store was misconfigured or misused."""
 

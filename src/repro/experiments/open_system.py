@@ -101,6 +101,9 @@ def run_open_system(
     store: "ResultStore | str | Path | None" = None,
     resume: bool = False,
     progress: "ProgressFn | None" = None,
+    max_retries: int = 0,
+    cell_timeout: float | None = None,
+    keep_going: bool = False,
 ) -> CampaignOutcome:
     """Run the sweep; a full campaign with store/resume semantics."""
     spec = campaign_spec_open_system(
@@ -114,9 +117,16 @@ def run_open_system(
     )
     if store is None:
         store = ResultStore(ResultStore.default_path(spec.spec_hash()))
-    return Engine(jobs=jobs, store=store, resume=resume, progress=progress).run_campaign(
-        spec
+    engine = Engine(
+        jobs=jobs,
+        store=store,
+        resume=resume,
+        progress=progress,
+        max_retries=max_retries,
+        cell_timeout=cell_timeout,
+        keep_going=keep_going,
     )
+    return engine.run_campaign(spec)
 
 
 def render_open_system(outcome: CampaignOutcome) -> str:

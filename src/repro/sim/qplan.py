@@ -64,6 +64,7 @@ off, keeping ``REPRO_FAST_CACHE=0`` a pure scalar oracle mode.
 from __future__ import annotations
 
 import os
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 import numpy as np
@@ -73,6 +74,7 @@ from repro.cache.memo import TraceMemo, memoized_analysis
 from repro.cache.sa_cache import SetAssociativeCache
 from repro.errors import ValidationError
 from repro.sim.trace import ProcessTrace
+from repro.util.faults import fault_point
 from repro.util.memo import BoundedDict
 
 _quantum_batch_enabled = os.environ.get("REPRO_QUANTUM_BATCH", "1") != "0"
@@ -144,6 +146,32 @@ def set_quantum_batch(enabled: bool) -> bool:
 
         bump_worker_state_epoch()
     return previous
+
+
+@contextmanager
+def scalar_fallback():
+    """Force the pure scalar oracle for the duration of one cell.
+
+    The degradation path of :func:`repro.campaign.executor.execute_run`:
+    when the batched or vectorized engine raises, the cell re-runs under
+    this manager, which disables quantum batching *and* the fast cache.
+    Unlike :func:`set_quantum_batch`/:func:`set_fast_cache` it does not
+    bump the worker-state epoch — the downgrade is local to one cell and
+    fully restored before any pool-reuse decision can observe it, so it
+    must not retire a healthy worker pool.
+    """
+    from repro.cache import memo as cache_memo
+
+    global _quantum_batch_enabled
+    previous_batch = _quantum_batch_enabled
+    previous_fast = cache_memo._fast_cache_enabled
+    _quantum_batch_enabled = False
+    cache_memo._fast_cache_enabled = False
+    try:
+        yield
+    finally:
+        _quantum_batch_enabled = previous_batch
+        cache_memo._fast_cache_enabled = previous_fast
 
 
 @dataclass
@@ -319,6 +347,7 @@ def run_plan_quantum(
     only accumulates statistics; without it the scalar cache's per-set
     lists and dirty set are read and rewritten in place.
     """
+    fault_point("qplan", "run")
     n = plan.num_accesses
     if start < 0 or start > n:
         raise ValidationError(f"start index {start} out of range")

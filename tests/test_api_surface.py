@@ -21,6 +21,7 @@ EXPECTED_API_SURFACE = sorted(
         "ArrivalSpec",
         "CampaignOutcome",
         "CampaignSpec",
+        "CellFailure",
         "Engine",
         "EXECUTION_POLICIES",
         "MACHINES",

@@ -1,0 +1,188 @@
+"""The deterministic fault-injection harness (repro.util.faults)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import FaultPlanError, InjectedFaultError
+from repro.util.faults import (
+    PLAN_ENV,
+    FaultPlan,
+    FaultRule,
+    active_fault_plan,
+    configure_fault_plan,
+    fault_point,
+    reset_ledger,
+)
+from repro.util.invalidation import worker_state_epoch
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_plan(monkeypatch):
+    """Tests must not see (or leak) a fault plan via the environment."""
+    monkeypatch.delenv(PLAN_ENV, raising=False)
+    yield
+    monkeypatch.delenv(PLAN_ENV, raising=False)
+
+
+class TestPlanGrammar:
+    def test_settings_and_rules_parse(self, tmp_path):
+        plan = FaultPlan.parse(
+            f"seed=42; ledger={tmp_path}; "
+            "crash@cell:MxM*,times=1; "
+            "hang@cell:*LS*,seconds=2.5,p=0.5; "
+            "error@qplan; corrupt@store"
+        )
+        assert plan.seed == 42
+        assert plan.ledger == tmp_path
+        assert [r.action for r in plan.rules] == [
+            "crash", "hang", "error", "corrupt",
+        ]
+        assert plan.rules[0].match == "MxM*"
+        assert plan.rules[0].times == 1
+        assert plan.rules[1].seconds == 2.5
+        assert plan.rules[1].p == 0.5
+        assert plan.rules[2].match == "*"
+        assert [r.index for r in plan.rules] == [0, 1, 2, 3]
+
+    def test_glob_may_contain_colons_and_pipes(self):
+        plan = FaultPlan.parse("error@cell:mix:3|paper|LS*")
+        assert plan.rules[0].match == "mix:3|paper|LS*"
+
+    def test_default_ledger_is_per_plan(self):
+        a = FaultPlan.parse("error@cell")
+        b = FaultPlan.parse("error@qplan")
+        assert a.ledger is not None
+        assert a.ledger != b.ledger
+        assert FaultPlan.parse("error@cell").ledger == a.ledger
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "explode@cell",              # unknown action
+            "error@nowhere",             # unknown site
+            "error@cell,bogus=1",        # unknown param
+            "error@cell,times=lots",     # bad int
+            "seed=abc",                  # bad seed
+            "volume=11",                 # unknown setting
+        ],
+    )
+    def test_bad_plans_raise(self, text):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.parse(text)
+
+    def test_configure_validates_before_activating(self):
+        with pytest.raises(FaultPlanError):
+            configure_fault_plan("explode@cell")
+        assert PLAN_ENV not in os.environ
+
+
+class TestDecisions:
+    def test_probability_is_deterministic_per_key(self):
+        plan = FaultPlan.parse("seed=7; error@cell,p=0.5")
+        rule = plan.rules[0]
+        keys = [f"cell-{n}" for n in range(200)]
+        first = [plan._decides_to_fire(rule, "cell", k) for k in keys]
+        second = [plan._decides_to_fire(rule, "cell", k) for k in keys]
+        assert first == second
+        # p=0.5 over 200 keys: both verdicts must occur
+        assert any(first) and not all(first)
+
+    def test_seed_changes_the_verdicts(self):
+        keys = [f"cell-{n}" for n in range(200)]
+
+        def verdicts(seed):
+            plan = FaultPlan.parse(f"seed={seed}; error@cell,p=0.5")
+            return [plan._decides_to_fire(plan.rules[0], "cell", k) for k in keys]
+
+        assert verdicts(1) != verdicts(2)
+
+    def test_p_one_and_zero_shortcut(self):
+        plan = FaultPlan.parse("error@cell,p=1; error@cell,p=0")
+        assert plan._decides_to_fire(plan.rules[0], "cell", "k")
+        assert not plan._decides_to_fire(plan.rules[1], "cell", "k")
+
+
+class TestLedger:
+    def test_times_caps_total_firings(self, tmp_path):
+        plan = FaultPlan.parse(f"ledger={tmp_path}; error@cell,times=3")
+        fired = 0
+        for n in range(10):
+            try:
+                plan.fire("cell", f"key-{n}")
+            except InjectedFaultError:
+                fired += 1
+        assert fired == 3
+        assert len(list(tmp_path.iterdir())) == 3
+
+    def test_reset_ledger_rearms(self, tmp_path):
+        plan = FaultPlan.parse(f"ledger={tmp_path}; error@cell,times=1")
+        with pytest.raises(InjectedFaultError):
+            plan.fire("cell", "k")
+        plan.fire("cell", "k")  # cap reached: silent
+        reset_ledger(plan)
+        with pytest.raises(InjectedFaultError):
+            plan.fire("cell", "k")
+
+    def test_unlimited_rules_skip_the_ledger(self, tmp_path):
+        plan = FaultPlan.parse(f"ledger={tmp_path}; error@cell")
+        for _ in range(3):
+            with pytest.raises(InjectedFaultError):
+                plan.fire("cell", "k")
+        assert not tmp_path.exists() or not list(tmp_path.iterdir())
+
+
+class TestActivation:
+    def test_no_plan_means_no_ops(self):
+        assert active_fault_plan() is None
+        fault_point("cell", "anything")  # must not raise
+
+    def test_env_plan_is_cached_until_text_changes(self, monkeypatch):
+        monkeypatch.setenv(PLAN_ENV, "seed=1; error@cell:nope")
+        first = active_fault_plan()
+        assert first is not None and first.seed == 1
+        assert active_fault_plan() is first
+        monkeypatch.setenv(PLAN_ENV, "seed=2; error@cell:nope")
+        assert active_fault_plan().seed == 2
+
+    def test_configure_sets_env_and_bumps_epoch(self):
+        before = worker_state_epoch()
+        plan = configure_fault_plan("seed=5; error@cell:nothing-matches")
+        try:
+            assert os.environ[PLAN_ENV] == "seed=5; error@cell:nothing-matches"
+            assert plan is not None and plan.seed == 5
+            assert worker_state_epoch() != before
+        finally:
+            configure_fault_plan(None)
+        assert PLAN_ENV not in os.environ
+
+    def test_fault_point_site_filtering(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(PLAN_ENV, f"ledger={tmp_path}; error@qplan")
+        fault_point("cell", "key")  # different site: no-op
+        with pytest.raises(InjectedFaultError) as info:
+            fault_point("qplan", "run")
+        assert info.value.site == "qplan"
+        assert info.value.key == "run"
+
+
+class TestRuleIdentity:
+    def test_rule_ids_distinguish_duplicate_rules(self):
+        plan = FaultPlan.parse("error@cell,times=1; error@cell,times=1")
+        ids = {rule.rule_id() for rule in plan.rules}
+        assert len(ids) == 2
+
+    def test_injected_error_survives_pickling(self):
+        import pickle
+
+        exc = pickle.loads(pickle.dumps(InjectedFaultError("cell", "k")))
+        assert isinstance(exc, InjectedFaultError)
+        assert (exc.site, exc.key) == ("cell", "k")
+
+    def test_rule_dataclass_defaults(self):
+        rule = FaultRule(action="hang", site="cell")
+        assert rule.match == "*"
+        assert rule.p == 1.0
+        assert rule.times is None
+        assert rule.seconds == 30.0
