@@ -49,9 +49,9 @@ def main(argv: list[str] | None = None) -> int:
     base_fig = baseline.get("figure7", {})
     if fresh_fig.get("max_tasks") != base_fig.get("max_tasks"):
         sys.exit(
-            f"bench shapes differ (max_tasks "
+            "bench shapes differ (max_tasks "
             f"{fresh_fig.get('max_tasks')} vs {base_fig.get('max_tasks')}): "
-            f"run the same bench mode as the committed baseline"
+            "run the same bench mode as the committed baseline"
         )
     try:
         fresh_cold = float(fresh_fig["cold_seconds"])

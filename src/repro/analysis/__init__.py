@@ -1,0 +1,42 @@
+"""``repro check`` — registry-driven static analysis for repo invariants.
+
+The engine's correctness rests on invariants no runtime test can guard
+cheaply: byte-identical artefacts need seeded-RNG discipline, the
+process pool needs exceptions that pickle across the result pipe,
+resumable campaigns need spec-hash-stable frozen dataclasses, and the
+long-lived worker pool needs every mutable module global declared to the
+worker-state epoch (:mod:`repro.util.invalidation`).  This package
+checks those invariants *structurally*, at analysis time — the same move
+the source paper makes by scheduling from compile-time locality sets
+instead of reacting to run-time misses.
+
+Rules live in a :class:`~repro.api.registry.Registry` (the scheduler
+zoo's registry class), so plugins register with the same decorator
+protocol and unknown ``--rule`` names enumerate the catalog::
+
+    from repro.analysis import register_rule
+
+    @register_rule("my-rule", description="what invariant it protects")
+    def my_rule(ctx):
+        for node in ctx.walk():
+            ...
+            yield ctx.finding(node, "my-rule", "message")
+
+Run it with ``python -m repro check [paths] [--rule ...]``; see
+``docs/ANALYSIS.md`` for the rule catalog and the plugin recipe.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import Finding, ModuleContext, collect_files, run_check
+from repro.analysis.registry import RULES, register_rule, rule_names
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "RULES",
+    "collect_files",
+    "register_rule",
+    "rule_names",
+    "run_check",
+]

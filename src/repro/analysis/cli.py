@@ -1,0 +1,174 @@
+"""The ``python -m repro check`` command: run the rules, render, gate.
+
+Exit codes: ``0`` clean, ``1`` findings, ``2`` usage errors (unknown
+rules raise the registry's enumerating error through the main CLI's
+:class:`~repro.errors.ReproError` handler), matching the convention the
+campaign CLI set (``3`` = quarantined cells).
+
+The baseline mechanism exists for *intentional, temporary* suppressions
+(e.g. landing a new rule before its last violations are fixed):
+``--write-baseline FILE`` records today's findings;  ``--baseline FILE``
+subtracts them from later runs.  Baseline entries key on
+``rule::path::message`` — not line numbers — so edits elsewhere in a
+file do not resurrect a suppressed finding.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.engine import Finding, collect_files, run_check
+from repro.errors import AnalysisError
+
+#: The JSON output schema version; bump on incompatible changes.
+JSON_SCHEMA_VERSION = 1
+
+
+def add_check_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``check`` subcommand's arguments to ``parser``."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to check (default: src)",
+    )
+    parser.add_argument(
+        "--rule", action="append", default=None, dest="rules", metavar="NAME",
+        help=(
+            "run only this rule (repeatable, comma lists allowed); "
+            "unknown names enumerate the catalog"
+        ),
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="format",
+        help="output format (json emits the stable machine-readable schema)",
+    )
+    parser.add_argument(
+        "--baseline", type=str, default=None, metavar="FILE",
+        help="suppress findings recorded in this baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline", type=str, default=None, dest="write_baseline",
+        metavar="FILE",
+        help="write the current findings as a baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", dest="list_rules",
+        help="list the registered rules and exit",
+    )
+
+
+def _selected_rules(raw: Sequence[str] | None) -> list[str] | None:
+    if raw is None:
+        return None
+    names: list[str] = []
+    for item in raw:
+        names.extend(name.strip() for name in item.split(",") if name.strip())
+    if not names:
+        raise AnalysisError("--rule was given but named no rules")
+    return names
+
+
+def load_baseline(path: str | Path) -> set[str]:
+    """The suppressed finding keys recorded in a baseline file."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise AnalysisError(f"baseline file not found: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise AnalysisError(f"baseline file {path} is not valid JSON: {exc}") from None
+    suppressed = payload.get("suppressed") if isinstance(payload, dict) else None
+    if not isinstance(suppressed, list) or not all(
+        isinstance(key, str) for key in suppressed
+    ):
+        raise AnalysisError(
+            f"baseline file {path} must be "
+            '{"version": 1, "suppressed": ["rule::path::message", ...]}'
+        )
+    return set(suppressed)
+
+
+def write_baseline(path: str | Path, findings: Sequence[Finding]) -> Path:
+    """Record ``findings`` as a baseline file; returns the path written."""
+    target = Path(path)
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "suppressed": sorted({f.baseline_key for f in findings}),
+    }
+    target.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return target
+
+
+def render_json(
+    paths: Sequence[str], rules: Sequence[str], findings: Sequence[Finding]
+) -> str:
+    """The machine-readable report (schema documented in docs/ANALYSIS.md)."""
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "checked_paths": list(paths),
+        "rules": list(rules),
+        "count": len(findings),
+        "findings": [f.to_json() for f in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _render_rule_list() -> str:
+    from repro.analysis.registry import RULES
+
+    lines = [f"registered analysis rules ({len(RULES)}):"]
+    width = max(len(name) for name in RULES.names())
+    for entry in RULES.entries():
+        marker = "" if entry.origin == "builtin" else f" [{entry.origin}]"
+        lines.append(f"  {entry.name:<{width}}  {entry.description}{marker}")
+    return "\n".join(lines)
+
+
+def run_check_command(args: argparse.Namespace) -> int:
+    """Execute ``repro check`` for parsed ``args``; returns the exit code."""
+    import repro.analysis.rules  # noqa: F401  (registers the builtin rules)
+    from repro.analysis.registry import RULES
+
+    if args.list_rules:
+        print(_render_rule_list())
+        return 0
+    selected = _selected_rules(args.rules)
+    for name in selected or []:
+        RULES.get(name)  # raise the enumerating error before any parsing
+    active = selected if selected is not None else RULES.names()
+    findings = run_check(args.paths, rules=selected)
+    checked = len(collect_files(args.paths))
+
+    if args.write_baseline is not None:
+        target = write_baseline(args.write_baseline, findings)
+        print(
+            f"wrote baseline with {len(findings)} finding(s) to {target} "
+            f"({checked} files, {len(active)} rules)"
+        )
+        return 0
+
+    suppressed_count = 0
+    if args.baseline is not None:
+        suppressed = load_baseline(args.baseline)
+        before = len(findings)
+        findings = [f for f in findings if f.baseline_key not in suppressed]
+        suppressed_count = before - len(findings)
+
+    if args.format == "json":
+        print(render_json([str(p) for p in args.paths], active, findings))
+        return 1 if findings else 0
+
+    for finding in findings:
+        print(finding.render())
+    suffix = f", {suppressed_count} baselined" if suppressed_count else ""
+    if findings:
+        print(
+            f"\nrepro check: {len(findings)} finding(s) in {checked} files "
+            f"({len(active)} rules{suffix})"
+        )
+        return 1
+    print(f"repro check: clean ({checked} files, {len(active)} rules{suffix})")
+    return 0

@@ -1,0 +1,228 @@
+"""The ``repro check`` engine: parse modules once, run every rule over them.
+
+The engine owns everything rule-agnostic — file discovery, parsing,
+module naming, inline suppressions, finding order — so a rule is just a
+generator over a :class:`ModuleContext`.  Findings are plain frozen
+records; the CLI renders them as text or JSON and compares them against
+a baseline file for intentional suppressions.
+
+Inline suppression: a ``# repro-check: ignore[rule-a, rule-b]`` comment
+(or a bare ``# repro-check: ignore`` for every rule) on the flagged line
+silences findings anchored there.  Suppressions are for the rare
+legitimate exception; prefer fixing the violation or, for a transition
+period, the CLI's ``--baseline`` mechanism.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Mapping, Sequence
+
+from repro.errors import AnalysisError
+
+#: Matches ``# repro-check: ignore`` with an optional ``[rule, rule]``.
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-check:\s*ignore(?:\[(?P<rules>[^\]]*)\])?"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    @property
+    def baseline_key(self) -> str:
+        """The identity used by baseline files.
+
+        Line and column are deliberately excluded so unrelated edits
+        above a baselined finding do not un-suppress it.
+        """
+        return f"{self.rule}::{self.path}::{self.message}"
+
+    def render(self) -> str:
+        """The one-line ``path:line:col: rule: message`` form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+    def to_json(self) -> dict[str, object]:
+        """The JSON-output record (stable schema, see docs/ANALYSIS.md)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+class ModuleContext:
+    """One parsed module plus the helpers rules lean on."""
+
+    def __init__(self, path: Path, source: str, display_path: str) -> None:
+        self.path = path
+        #: The path findings report: as given on the command line,
+        #: posix-separated, so output is stable across machines.
+        self.display_path = display_path
+        self.source = source
+        self.tree = ast.parse(source, filename=display_path)
+        self.module_name = _module_name_for(path)
+        self._suppressions = _parse_suppressions(source)
+
+    def walk(self) -> Iterator[ast.AST]:
+        """Every AST node of the module, in :func:`ast.walk` order."""
+        return ast.walk(self.tree)
+
+    def finding(self, node: ast.AST, rule: str, message: str) -> Finding:
+        """A :class:`Finding` anchored at ``node``."""
+        return Finding(
+            rule=rule,
+            path=self.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+    def is_suppressed(self, line: int, rule: str) -> bool:
+        """Whether ``line`` carries an ignore comment covering ``rule``."""
+        rules = self._suppressions.get(line)
+        if rules is None:
+            return False
+        return not rules or rule in rules
+
+    def in_package(self, *packages: str) -> bool:
+        """Whether this module lives under any of the dotted ``packages``."""
+        if self.module_name is None:
+            return False
+        return any(
+            self.module_name == pkg or self.module_name.startswith(pkg + ".")
+            for pkg in packages
+        )
+
+
+def _parse_suppressions(source: str) -> Mapping[int, frozenset[str]]:
+    """``line -> rules`` for every ignore comment (empty set = all rules)."""
+    table: dict[int, frozenset[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        raw = match.group("rules")
+        if raw is None:
+            table[lineno] = frozenset()
+        else:
+            table[lineno] = frozenset(
+                name.strip() for name in raw.split(",") if name.strip()
+            )
+    return table
+
+
+def _module_name_for(path: Path) -> str | None:
+    """The dotted module name, walking up while ``__init__.py`` exists."""
+    try:
+        resolved = path.resolve()
+    except OSError:  # pragma: no cover - filesystem race
+        return None
+    parts = (
+        [] if resolved.stem == "__init__" else [resolved.stem]
+    )
+    package = resolved.parent
+    while (package / "__init__.py").is_file():
+        parts.append(package.name)
+        package = package.parent
+    if not parts:
+        return None
+    return ".".join(reversed(parts))
+
+
+def collect_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Every ``.py`` file under ``paths``, sorted, caches excluded.
+
+    Directories are walked recursively; explicit file arguments are
+    taken as-is.  A path that does not exist raises
+    :class:`~repro.errors.AnalysisError` (a silent skip would let a CI
+    typo report "clean" while checking nothing).
+    """
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(
+                candidate
+                for candidate in sorted(path.rglob("*.py"))
+                if "__pycache__" not in candidate.parts
+            )
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise AnalysisError(f"no such file or directory: {raw}")
+    seen: set[Path] = set()
+    unique: list[Path] = []
+    for path in files:
+        if path not in seen:
+            seen.add(path)
+            unique.append(path)
+    return unique
+
+
+def run_check(
+    paths: Sequence[str | Path],
+    rules: Sequence[str] | None = None,
+) -> list[Finding]:
+    """Run ``rules`` (default: all registered) over every module in ``paths``.
+
+    Returns findings sorted by location then rule.  Unknown rule names
+    raise the registry's enumerating
+    :class:`~repro.errors.UnknownEntryError`; unparsable files surface
+    as findings under the reserved ``syntax-error`` rule rather than
+    aborting the whole run.
+    """
+    import repro.analysis.rules  # noqa: F401  (registers the builtin rules)
+    from repro.analysis.registry import RULES
+
+    selected = list(RULES.names()) if rules is None else list(rules)
+    rule_fns = [(name, RULES.get(name)) for name in selected]
+    findings: list[Finding] = []
+    for path in collect_files(paths):
+        display = Path(path).as_posix()
+        try:
+            source = path.read_text(encoding="utf-8")
+            ctx = ModuleContext(path, source, display)
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            lineno = getattr(exc, "lineno", None) or 1
+            findings.append(
+                Finding(
+                    rule="syntax-error",
+                    path=display,
+                    line=int(lineno),
+                    col=1,
+                    message=f"file does not parse: {exc.__class__.__name__}: {exc}",
+                )
+            )
+            continue
+        for name, fn in rule_fns:
+            for finding in fn(ctx):
+                if not ctx.is_suppressed(finding.line, finding.rule):
+                    findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule, f.message))
+    return findings
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None

@@ -1,0 +1,56 @@
+"""The analysis-rule registry: the scheduler zoo's protocol, for checks.
+
+A rule is a callable ``(ModuleContext) -> Iterable[Finding]``.  Rules
+register under kebab-case names through the same generic
+:class:`~repro.api.registry.Registry` the schedulers and workloads use,
+so discovery (``repro check --list-rules``), unknown-name errors that
+enumerate the catalog, and third-party plugins all behave identically
+across the system's registries.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable, TypeVar
+
+from repro.api.registry import Registry
+from repro.util.invalidation import register_worker_state
+
+if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from repro.analysis.engine import Finding, ModuleContext
+
+#: The signature every rule implements.
+RuleFn = Callable[["ModuleContext"], Iterable["Finding"]]
+
+_F = TypeVar("_F", bound=RuleFn)
+
+#: The rule catalog.  ``Registry`` already bumps the worker-state epoch
+#: on every mutation, which is this table's registration.
+RULES: Registry[RuleFn] = Registry("analysis rule")
+register_worker_state(__name__, "RULES", note="epoch-bumped by Registry itself")
+
+
+def register_rule(
+    name: str, *, description: str = "", origin: str = "builtin"
+) -> Callable[[_F], _F]:
+    """Register a rule under ``name``; use as a decorator.
+
+    ``description`` is the one-line invariant statement shown by
+    ``repro check --list-rules``.  Plugins omit ``origin`` (it defaults
+    to ``"builtin"`` here because the in-tree rules are the common case;
+    pass ``origin="plugin"`` to be labelled as such in listings).
+    """
+
+    def decorate(fn: _F) -> _F:
+        # The decorator IS the module-scope registration idiom the rule
+        # wants; the inner call is its mechanics.
+        RULES.register(  # repro-check: ignore[nested-registration]
+            name, fn, description=description, origin=origin
+        )
+        return fn
+
+    return decorate
+
+
+def rule_names() -> list[str]:
+    """Registered rule names, in registration order."""
+    return RULES.names()

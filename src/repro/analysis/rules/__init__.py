@@ -1,0 +1,38 @@
+"""The builtin rule catalog; importing this package registers every rule.
+
+Each module groups the rules protecting one invariant family (see
+``docs/ANALYSIS.md`` for the catalog with rationale):
+
+- :mod:`~repro.analysis.rules.determinism` — seeded-RNG discipline,
+  wall-clock-free hot paths, ordered iteration;
+- :mod:`~repro.analysis.rules.pickle_safety` — exceptions that survive
+  the process pool's result pipe;
+- :mod:`~repro.analysis.rules.worker_state` — declared fork-inherited
+  globals and module-import-time registry purity;
+- :mod:`~repro.analysis.rules.spec_hash` — hash-stable frozen spec
+  dataclasses;
+- :mod:`~repro.analysis.rules.api_surface` — ``__all__`` kept in sync
+  with the real exports;
+- :mod:`~repro.analysis.rules.typing_discipline` — fully-annotated
+  defs across the ``mypy --strict`` core.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules import (  # noqa: F401  (import = registration)
+    api_surface,
+    determinism,
+    pickle_safety,
+    spec_hash,
+    typing_discipline,
+    worker_state,
+)
+
+__all__ = [
+    "api_surface",
+    "determinism",
+    "pickle_safety",
+    "spec_hash",
+    "typing_discipline",
+    "worker_state",
+]

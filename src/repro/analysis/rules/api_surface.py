@@ -1,0 +1,156 @@
+"""Rule guarding the public facade: ``__all__`` must match reality.
+
+``repro.api`` resolves its exports lazily through an ``_EXPORTS``
+name->module table (PEP 562), snapshotted by ``__all__`` and mirrored by
+a ``TYPE_CHECKING`` import block for static analyzers.  Three tables,
+one truth: any drift means an export that tab-completes but raises
+``AttributeError``, or a name importable at runtime that every type
+checker rejects.  The rule also covers ordinary packages: every
+``__all__`` entry must actually be bound by the module.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ModuleContext
+from repro.analysis.registry import register_rule
+
+
+def _string_list(node: ast.expr) -> list[str] | None:
+    """The literal strings of a list/tuple display, else ``None``."""
+    if not isinstance(node, (ast.List, ast.Tuple)):
+        return None
+    out: list[str] = []
+    for element in node.elts:
+        if not isinstance(element, ast.Constant) or not isinstance(
+            element.value, str
+        ):
+            return None
+        out.append(element.value)
+    return out
+
+
+def _bound_names(body: list[ast.stmt]) -> set[str]:
+    """Names bound by a statement list (imports, defs, assignments)."""
+    names: set[str] = set()
+    for stmt in body:
+        if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            for alias in stmt.names:
+                if alias.name == "*":
+                    continue
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(stmt.name)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+                elif isinstance(target, (ast.Tuple, ast.List)):
+                    for element in target.elts:
+                        if isinstance(element, ast.Name):
+                            names.add(element.id)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            names.add(stmt.target.id)
+        elif isinstance(stmt, (ast.If, ast.Try)):
+            names |= _bound_names(stmt.body)
+            for handler in getattr(stmt, "handlers", []):
+                names |= _bound_names(handler.body)
+            names |= _bound_names(stmt.orelse)
+            names |= _bound_names(getattr(stmt, "finalbody", []))
+    return names
+
+
+def _type_checking_names(tree: ast.Module) -> set[str] | None:
+    """Names imported under ``if TYPE_CHECKING:``, or ``None`` if no block."""
+    for stmt in tree.body:
+        if not isinstance(stmt, ast.If):
+            continue
+        test = stmt.test
+        is_tc = (isinstance(test, ast.Name) and test.id == "TYPE_CHECKING") or (
+            isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING"
+        )
+        if is_tc:
+            return _bound_names(stmt.body)
+    return None
+
+
+@register_rule(
+    "api-all-drift",
+    description=(
+        "__all__ must agree with the module's real bindings (and, for "
+        "lazy facades, with _EXPORTS and the TYPE_CHECKING mirror)"
+    ),
+)
+def api_all_drift(ctx: ModuleContext) -> Iterator[Finding]:
+    """Flag ``__all__`` entries with no backing export, and facade drift."""
+    all_stmt: ast.stmt | None = None
+    all_names: list[str] | None = None
+    exports_keys: list[str] | None = None
+    exports_stmt: ast.stmt | None = None
+    for stmt in ctx.tree.body:
+        if isinstance(stmt, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in stmt.targets
+        ):
+            all_stmt, all_names = stmt, _string_list(stmt.value)
+        if isinstance(stmt, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "_EXPORTS" for t in stmt.targets
+        ):
+            if isinstance(stmt.value, ast.Dict):
+                keys: list[str] = []
+                for key in stmt.value.keys:
+                    if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                        keys.append(key.value)
+                exports_keys, exports_stmt = keys, stmt
+    if all_stmt is None or all_names is None:
+        return
+
+    bound = _bound_names(ctx.tree.body)
+    tc_names = _type_checking_names(ctx.tree)
+    lazy = exports_keys is not None or any(
+        isinstance(stmt, ast.FunctionDef) and stmt.name == "__getattr__"
+        for stmt in ctx.tree.body
+    )
+    resolvable = set(bound)
+    if exports_keys is not None:
+        resolvable |= set(exports_keys)
+    if tc_names is not None:
+        resolvable |= tc_names
+
+    for name in all_names:
+        if name not in resolvable and not lazy:
+            yield ctx.finding(
+                all_stmt,
+                "api-all-drift",
+                f"__all__ exports {name!r} but the module never binds it; "
+                "the name raises AttributeError on import",
+            )
+    if exports_keys is not None:
+        missing = sorted(set(exports_keys) - set(all_names))
+        extra = sorted(set(all_names) - set(exports_keys))
+        for name in missing:
+            yield ctx.finding(
+                exports_stmt if exports_stmt is not None else all_stmt,
+                "api-all-drift",
+                f"lazy export {name!r} is in _EXPORTS but missing from "
+                "__all__; star-imports and docs will not see it",
+            )
+        for name in extra:
+            yield ctx.finding(
+                all_stmt,
+                "api-all-drift",
+                f"__all__ lists {name!r} but _EXPORTS cannot resolve it; "
+                "accessing repro.api.{name} raises AttributeError".replace(
+                    "{name}", name
+                ),
+            )
+        if tc_names is not None:
+            for name in sorted(set(exports_keys) - tc_names):
+                yield ctx.finding(
+                    exports_stmt if exports_stmt is not None else all_stmt,
+                    "api-all-drift",
+                    f"lazy export {name!r} is missing from the TYPE_CHECKING "
+                    "import mirror; static analyzers reject a name that "
+                    "works at runtime",
+                )

@@ -1,0 +1,81 @@
+"""Rule guarding the process pool's result pipe: exceptions must pickle.
+
+A worker raising ``SomeError("msg built from", parts)`` sends the
+exception through ``multiprocessing``'s pickle round-trip.  Pickle
+replays ``type(exc)(*exc.args)`` — but a subclass whose ``__init__``
+takes structured arguments and passes a *rendered message* to
+``super().__init__`` has ``args == (message,)``, so the replay calls
+``__init__(message)`` with the wrong arity and the pool dies with a
+confusing ``TypeError`` instead of the real error.  PR 7 retrofitted
+``__reduce__`` onto three classes after hitting exactly this; the rule
+makes the fix structural for every future exception.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ModuleContext
+from repro.analysis.registry import register_rule
+
+_PICKLE_HOOKS = frozenset({"__reduce__", "__reduce_ex__", "__getnewargs__"})
+
+
+def _is_exception_class(node: ast.ClassDef) -> bool:
+    """Heuristic: any base whose name ends in Error/Exception/Warning."""
+    for base in node.bases:
+        name = base.attr if isinstance(base, ast.Attribute) else (
+            base.id if isinstance(base, ast.Name) else None
+        )
+        if name is not None and name.endswith(("Error", "Exception", "Warning")):
+            return True
+    return False
+
+
+def _custom_init(node: ast.ClassDef) -> ast.FunctionDef | None:
+    """The class's own ``__init__`` if it takes more than ``self``."""
+    for stmt in node.body:
+        if isinstance(stmt, ast.FunctionDef) and stmt.name == "__init__":
+            args = stmt.args
+            extra = (
+                len(args.posonlyargs)
+                + len(args.args)
+                - 1  # self
+                + len(args.kwonlyargs)
+            )
+            if extra > 0 or args.vararg is not None or args.kwarg is not None:
+                return stmt
+    return None
+
+
+def _defines_pickle_hook(node: ast.ClassDef) -> bool:
+    return any(
+        isinstance(stmt, ast.FunctionDef) and stmt.name in _PICKLE_HOOKS
+        for stmt in node.body
+    )
+
+
+@register_rule(
+    "exception-reduce",
+    description=(
+        "exception subclasses with a non-default __init__ must define "
+        "__reduce__ so they survive the pool's pickle round-trip"
+    ),
+)
+def exception_reduce(ctx: ModuleContext) -> Iterator[Finding]:
+    """Flag exception classes whose pickle replay would call the wrong arity."""
+    for node in ctx.walk():
+        if not isinstance(node, ast.ClassDef) or not _is_exception_class(node):
+            continue
+        init = _custom_init(node)
+        if init is None or _defines_pickle_hook(node):
+            continue
+        yield ctx.finding(
+            node,
+            "exception-reduce",
+            f"exception {node.name!r} has a custom __init__ but no "
+            "__reduce__: unpickling across the worker result pipe replays "
+            "type(exc)(*args) with the rendered message and crashes with a "
+            "TypeError — add __reduce__ returning (type, ctor_args)",
+        )

@@ -1,0 +1,103 @@
+"""Rule guarding spec-hash stability of the frozen spec dataclasses.
+
+Resumable campaigns key their result stores on a hash of the frozen
+spec records (:mod:`repro.campaign.spec`).  A frozen dataclass with a
+mutable default (``field(default_factory=list)``, a literal ``{}``)
+either breaks hashing outright or — worse — hashes by identity while
+comparing by value, so "the same spec" stops mapping to the same store
+cell.  Frozen specs must default to immutable values (tuples, numbers,
+strings, ``None``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ModuleContext, dotted_name
+from repro.analysis.registry import register_rule
+
+_MUTABLE_DEFAULT_FACTORIES = frozenset(
+    {"dict", "list", "set", "bytearray", "OrderedDict", "defaultdict", "deque"}
+)
+_MUTABLE_DEFAULT_CALLS = _MUTABLE_DEFAULT_FACTORIES
+
+
+def _is_frozen_dataclass(node: ast.ClassDef) -> bool:
+    """Whether the class carries ``@dataclass(..., frozen=True)``."""
+    for decorator in node.decorator_list:
+        if not isinstance(decorator, ast.Call):
+            continue
+        if dotted_name(decorator.func) not in ("dataclass", "dataclasses.dataclass"):
+            continue
+        for keyword in decorator.keywords:
+            if (
+                keyword.arg == "frozen"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+            ):
+                return True
+    return False
+
+
+def _mutable_default_reason(value: ast.expr) -> str | None:
+    """Why a field default breaks hash stability, or ``None`` if it won't."""
+    if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return "a mutable literal default"
+    if not isinstance(value, ast.Call):
+        return None
+    dotted = dotted_name(value.func)
+    if dotted is None:
+        return None
+    leaf = dotted.rsplit(".", 1)[-1]
+    if leaf in _MUTABLE_DEFAULT_CALLS:
+        return f"a mutable {leaf}() default"
+    if leaf == "field":
+        for keyword in value.keywords:
+            if keyword.arg == "default_factory":
+                factory = keyword.value
+                factory_name = dotted_name(factory)
+                if factory_name is not None and (
+                    factory_name.rsplit(".", 1)[-1] in _MUTABLE_DEFAULT_FACTORIES
+                ):
+                    return f"default_factory={factory_name} (a mutable container)"
+                if isinstance(factory, ast.Lambda) and _mutable_default_reason(
+                    factory.body
+                ):
+                    return "a default_factory lambda returning a mutable container"
+            elif keyword.arg == "default":
+                reason = _mutable_default_reason(keyword.value)
+                if reason is not None:
+                    return reason
+    return None
+
+
+@register_rule(
+    "frozen-spec-default",
+    description=(
+        "frozen dataclasses must not default fields to mutable or "
+        "non-hashable values — spec hashes and store keys depend on it"
+    ),
+)
+def frozen_spec_default(ctx: ModuleContext) -> Iterator[Finding]:
+    """Flag mutable defaults on ``@dataclass(frozen=True)`` fields."""
+    for node in ctx.walk():
+        if not isinstance(node, ast.ClassDef) or not _is_frozen_dataclass(node):
+            continue
+        for stmt in node.body:
+            if not isinstance(stmt, ast.AnnAssign) or stmt.value is None:
+                continue
+            reason = _mutable_default_reason(stmt.value)
+            if reason is None:
+                continue
+            target = (
+                stmt.target.id if isinstance(stmt.target, ast.Name) else "field"
+            )
+            yield ctx.finding(
+                stmt,
+                "frozen-spec-default",
+                f"frozen dataclass {node.name!r} field {target!r} has "
+                f"{reason}: frozen specs must hash stably (same value, "
+                "same hash) — default to a tuple/None and normalize in "
+                "__post_init__ or the builder instead",
+            )

@@ -42,6 +42,8 @@ from __future__ import annotations
 from importlib import import_module
 from typing import TYPE_CHECKING
 
+from repro.util.invalidation import register_worker_state
+
 #: The public surface.  tests/test_api_surface.py snapshots this list —
 #: additions and removals must update that test deliberately.
 __all__ = [
@@ -108,6 +110,7 @@ _EXPORTS = {
     "register_workload": "repro.api.registries",
     "run_campaign": "repro.campaign.executor",
 }
+register_worker_state(__name__, "_EXPORTS", note="constant after import")
 
 if TYPE_CHECKING:  # pragma: no cover - static analysis only
     from repro.api.engine import EXECUTION_POLICIES, Engine
@@ -141,7 +144,7 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
     )
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     try:
         module = _EXPORTS[name]
     except KeyError:

@@ -30,6 +30,7 @@ import time
 from concurrent.futures import (
     FIRST_COMPLETED,
     CancelledError,
+    Future,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
     wait,
@@ -43,7 +44,7 @@ from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 from repro.api.scenario import Scenario
 from repro.campaign.spec import CampaignSpec, RunSpec
 from repro.errors import CampaignError, CellTimeoutError, WorkerCrashError
-from repro.util.invalidation import worker_state_epoch
+from repro.util.invalidation import register_worker_state, worker_state_epoch
 
 if TYPE_CHECKING:
     from repro.campaign.executor import CampaignOutcome, ProgressFn, RunResult
@@ -109,7 +110,7 @@ def _pool_worker_init(
         configure_memo_store(memo_dir, mode=memo_mode)
 
 
-def _pool_init_args() -> tuple:
+def _pool_init_args() -> tuple[object, ...]:
     import os as _os
 
     from repro.cache.memo import fast_cache_enabled, trace_memo_enabled
@@ -136,6 +137,10 @@ def _pool_init_args() -> tuple:
 #: state changed since it started (plugin registrations, engine
 #: toggles, memo-store reconfiguration — see repro.util.invalidation).
 _SHARED_POOLS: dict[int, tuple[int, ProcessPoolExecutor]] = {}
+register_worker_state(
+    __name__, "_SHARED_POOLS",
+    note="pool cache keyed by jobs; entries retired on epoch mismatch",
+)
 
 
 def _shared_process_pool(jobs: int) -> ProcessPoolExecutor:
@@ -210,7 +215,7 @@ def _chunk_runs(
     collapsing into one serial task.  Chunks are ordered by descending
     estimated cost so the pool's greedy assignment balances naturally.
     """
-    groups: dict[tuple, list[int]] = {}
+    groups: dict[tuple[object, ...], list[int]] = {}
     for index, run in enumerate(runs):
         groups.setdefault((run.workload, run.machine, run.scale), []).append(index)
     cap = max(4, math.ceil(len(runs) / (jobs * 4)))
@@ -237,7 +242,12 @@ class _SerialWatchdog:
     def __init__(self) -> None:
         self._pool: ThreadPoolExecutor | None = None
 
-    def call(self, fn, run: "RunSpec", timeout: float):
+    def call(
+        self,
+        fn: "Callable[[RunSpec], RunResult]",
+        run: "RunSpec",
+        timeout: float,
+    ) -> "RunResult":
         if self._pool is None:
             self._pool = ThreadPoolExecutor(max_workers=1)
         future = self._pool.submit(fn, run)
@@ -288,8 +298,8 @@ class _FanOut:
         self.outstanding: set[int] = set(range(count))
         self.attempts_used = [0] * count
         self.first_submit: dict[int, float] = {}
-        self.active: dict = {}  # Future -> list[int]
-        self.run_started: dict = {}  # Future -> monotonic stamp
+        self.active: "dict[Future[object], list[int]]" = {}
+        self.run_started: "dict[Future[object], float]" = {}  # monotonic stamps
         self.delayed: list[tuple[float, int]] = []  # (due, index)
         self.single_mode = self.cell_timeout is not None
         self.abort_exc: BaseException | None = None
@@ -391,7 +401,7 @@ class _FanOut:
 
     # -- completion paths ----------------------------------------------------
 
-    def _complete(self, future) -> None:
+    def _complete(self, future: "Future[object]") -> None:
         # A pool break drains *all* in-flight units at once, so sibling
         # futures from the same wait() batch may already be gone.
         indices = self.active.pop(future, None)
@@ -480,7 +490,9 @@ class _FanOut:
             # opted into quarantine see exactly the historical error.
             self.abort_exc = exc
 
-    def _pool_break(self, future, indices: list[int], exc: BaseException) -> None:
+    def _pool_break(
+        self, future: "Future[object]", indices: list[int], exc: BaseException
+    ) -> None:
         """A worker died: retire the pool, resubmit only incomplete work.
 
         Every in-flight future dies with the pool, so the break alone

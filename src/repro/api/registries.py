@@ -38,6 +38,7 @@ from typing import Callable
 
 from repro.api.registry import Registry, _first_doc_line as _doc_line
 from repro.errors import RegistryError
+from repro.util.invalidation import register_worker_state
 from repro.sched.base import Scheduler
 from repro.sched.fifo import FifoScheduler
 from repro.sched.locality import LocalityScheduler, StaticLocalityScheduler
@@ -72,10 +73,18 @@ WORKLOADS: Registry["WorkloadFactory"] = Registry("workload")
 
 #: Machine presets: name -> sorted ``(field, value)`` override pairs
 #: against the Table-2 default machine.
-MACHINES: Registry[tuple] = Registry("machine preset")
+MACHINES: Registry[tuple[tuple[str, object], ...]] = Registry("machine preset")
 
 #: Arrival-process generators for open-system runs.
 ARRIVALS: Registry["ArrivalFactory"] = Registry("arrival")
+
+# All four registries are fork-inherited worker state; the Registry
+# class itself bumps the epoch on every register/unregister, so a pool
+# snapshotted before a plugin registration is retired, not reused.
+register_worker_state(__name__, "SCHEDULERS", note="epoch-bumped by Registry")
+register_worker_state(__name__, "WORKLOADS", note="epoch-bumped by Registry")
+register_worker_state(__name__, "MACHINES", note="epoch-bumped by Registry")
+register_worker_state(__name__, "ARRIVALS", note="epoch-bumped by Registry")
 
 
 # -- schedulers -------------------------------------------------------------------
@@ -88,7 +97,7 @@ def register_scheduler(
     description: str = "",
     origin: str = "plugin",
     overwrite: bool = False,
-):
+) -> object:
     """Register a scheduler under ``name``; usable as a decorator.
 
     Accepts either a :class:`~repro.sched.base.Scheduler` subclass or a
@@ -98,8 +107,10 @@ def register_scheduler(
     strategies do not).
     """
 
-    def _register(obj):
-        SCHEDULERS.register(
+    def _register(obj: object) -> object:
+        # This decorator is the sanctioned module-scope registration entry
+        # point; the nested call is its implementation.
+        SCHEDULERS.register(  # repro-check: ignore[nested-registration]
             name,
             _as_scheduler_factory(obj),
             description=description or _doc_line(obj),
@@ -118,7 +129,7 @@ def _as_scheduler_factory(obj: object) -> Callable[..., Scheduler]:
     if isinstance(obj, type) and issubclass(obj, Scheduler):
         takes_seed = "seed" in inspect.signature(obj.__init__).parameters
 
-        def factory(seed, **params):
+        def factory(seed: int, **params: object) -> Scheduler:
             return obj(seed=seed, **params) if takes_seed else obj(**params)
 
         factory.__doc__ = obj.__doc__
@@ -199,7 +210,7 @@ class WorkloadFactory:
 
 def register_workload(
     name: str,
-    builder: Callable | None = None,
+    builder: Callable[..., object] | None = None,
     *,
     description: str = "",
     parameterized: bool = False,
@@ -207,7 +218,7 @@ def register_workload(
     seed_sensitive: bool = True,
     origin: str = "plugin",
     overwrite: bool = False,
-):
+) -> object:
     """Register a workload builder under ``name``; usable as a decorator.
 
     The builder may declare any subset of ``(count, scale, seed)``
@@ -219,7 +230,7 @@ def register_workload(
     to opt back into cross-seed memoization.
     """
 
-    def _register(fn):
+    def _register(fn: Callable[..., object]) -> Callable[..., object]:
         parameters = inspect.signature(fn).parameters
         accepts_all = any(
             p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
@@ -232,8 +243,10 @@ def register_workload(
                 f"accepts a 'count' parameter (or **kwargs)"
             )
 
-        def build(count=None, scale=1.0, seed=0):
-            kwargs = {}
+        def build(
+            count: int | None = None, scale: float = 1.0, seed: int = 0
+        ) -> object:
+            kwargs: dict[str, object] = {}
             if parameterized:
                 kwargs["count"] = count
             if "scale" in parameters or accepts_all:
@@ -242,7 +255,8 @@ def register_workload(
                 kwargs["seed"] = seed
             return fn(**kwargs)
 
-        WORKLOADS.register(
+        # Decorator implementation — the sanctioned registration entry point.
+        WORKLOADS.register(  # repro-check: ignore[nested-registration]
             name,
             WorkloadFactory(
                 name=name,
@@ -349,7 +363,8 @@ def register_machine(
     :class:`~repro.sim.config.MachineConfig` the first time the preset
     is resolved (spec construction), keeping this module import-light.
     """
-    MACHINES.register(
+    # register_machine() is itself the sanctioned registration entry point.
+    MACHINES.register(  # repro-check: ignore[nested-registration]
         name,
         tuple(sorted(overrides.items())),
         description=description
@@ -417,13 +432,13 @@ class ArrivalFactory:
 
 def register_arrival(
     name: str,
-    generator: Callable | None = None,
+    generator: Callable[..., object] | None = None,
     *,
     description: str = "",
     seed_sensitive: bool = True,
     origin: str = "plugin",
     overwrite: bool = False,
-):
+) -> object:
     """Register an arrival-process generator; usable as a decorator.
 
     The generator signature is ``generator(apps, rng, machine, **params)
@@ -436,8 +451,9 @@ def register_arrival(
     reuses a schedule the seed should have changed.
     """
 
-    def _register(fn):
-        ARRIVALS.register(
+    def _register(fn: Callable[..., object]) -> Callable[..., object]:
+        # Decorator implementation — the sanctioned registration entry point.
+        ARRIVALS.register(  # repro-check: ignore[nested-registration]
             name,
             ArrivalFactory(
                 name=name,

@@ -62,7 +62,7 @@ class Registry(Generic[T]):
         description: str = "",
         origin: str = "plugin",
         overwrite: bool = False,
-    ):
+    ) -> "T | Callable[[T], T]":
         """Register ``value`` under ``name``; usable as a decorator.
 
         With ``value`` omitted, returns a decorator that registers the
@@ -147,8 +147,8 @@ class Registry(Generic[T]):
     def legacy_mapping(
         self,
         replacement: str,
-        wrap: Callable | None = None,
-        unwrap: Callable | None = None,
+        wrap: "Callable[[str, object], object] | None" = None,
+        unwrap: "Callable[[str, object], object] | None" = None,
     ) -> "LegacyRegistryView":
         """A dict-like deprecation shim over this registry.
 
@@ -175,8 +175,8 @@ class LegacyRegistryView(MutableMapping):
         self,
         registry: Registry,
         replacement: str,
-        wrap: Callable | None = None,
-        unwrap: Callable | None = None,
+        wrap: "Callable[[str, object], object] | None" = None,
+        unwrap: "Callable[[str, object], object] | None" = None,
     ) -> None:
         self._registry = registry
         self._replacement = replacement
@@ -186,11 +186,11 @@ class LegacyRegistryView(MutableMapping):
         self._wrap = wrap
         self._unwrap = unwrap
 
-    def __getitem__(self, name: str):
+    def __getitem__(self, name: str) -> object:
         value = self._registry.get(name)  # UnknownEntryError is a KeyError
         return self._wrap(name, value) if self._wrap is not None else value
 
-    def __setitem__(self, name: str, value) -> None:
+    def __setitem__(self, name: str, value: object) -> None:
         warnings.warn(
             f"registering a {self._registry.kind} by mapping assignment is "
             f"deprecated; use {self._replacement} instead",
@@ -199,7 +199,11 @@ class LegacyRegistryView(MutableMapping):
         )
         if self._unwrap is not None:
             value = self._unwrap(name, value)
-        self._registry.register(name, value, overwrite=True)
+        # Deprecated mapping shim over Registry.register — the warning
+        # above already steers callers to the module-scope idiom.
+        self._registry.register(  # repro-check: ignore[nested-registration]
+            name, value, overwrite=True
+        )
 
     def __delitem__(self, name: str) -> None:
         warnings.warn(

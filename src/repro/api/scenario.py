@@ -35,6 +35,7 @@ from repro.campaign.spec import (
 from repro.errors import CampaignError
 from repro.sim.arrivals import ArrivalSpec
 from repro.sim.config import MachineConfig
+from repro.util.invalidation import register_worker_state
 from repro.util.units import KIB
 
 if TYPE_CHECKING:
@@ -50,6 +51,7 @@ _MACHINE_ALIASES = {
     "quantum": lambda v: ("quantum_cycles", v),
     "mem_latency": lambda v: ("memory_latency_cycles", v),
 }
+register_worker_state(__name__, "_MACHINE_ALIASES", note="constant after import")
 
 
 @dataclass(frozen=True)
@@ -220,7 +222,7 @@ class Scenario:
             raise CampaignError(
                 "a scenario needs at least one workload; add .workload(...)"
             )
-        kwargs: dict = {}
+        kwargs: dict[str, object] = {}
         if self.title is not None:
             kwargs["name"] = self.title
         return CampaignSpec(

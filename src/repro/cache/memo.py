@@ -48,6 +48,8 @@ from repro.cache.fast_engine import (
     warm_adjust,
 )
 
+from repro.util.invalidation import register_worker_state
+
 if TYPE_CHECKING:
     from repro.cache.sa_cache import SetAssociativeCache
 
@@ -61,7 +63,13 @@ MIN_VECTORIZED_LEN = 2048
 DEFAULT_MEMO_ENTRIES = 16384
 
 _fast_cache_enabled = os.environ.get("REPRO_FAST_CACHE", "1") != "0"
+register_worker_state(
+    __name__, "_fast_cache_enabled", note="setter bumps the epoch"
+)
 _trace_memo_enabled = os.environ.get("REPRO_TRACE_MEMO", "1") != "0"
+register_worker_state(
+    __name__, "_trace_memo_enabled", note="setter bumps the epoch"
+)
 
 
 def fast_cache_enabled() -> bool:
@@ -166,6 +174,9 @@ class TraceMemo:
 
 #: The process-wide memo used by the simulator.
 TRACE_MEMO = TraceMemo()
+register_worker_state(
+    __name__, "TRACE_MEMO", note="content-addressed by trace fingerprint"
+)
 
 
 def memoized_analysis(

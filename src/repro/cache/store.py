@@ -44,10 +44,16 @@ import sqlite3
 import threading
 import warnings
 from pathlib import Path
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:
+    import numpy as np
+
+    from repro.cache.fast_engine import TraceAnalysis
 
 from repro.errors import MemoStoreError
 from repro.util.faults import fault_point
-from repro.util.invalidation import bump_worker_state_epoch
+from repro.util.invalidation import bump_worker_state_epoch, register_worker_state
 
 #: Bump whenever the persisted value layout changes (pickled
 #: TraceAnalysis fields, RunResult schema): mismatched stores are
@@ -318,7 +324,9 @@ class MemoStore:
         """The store key mirroring the in-RAM memo's tuple key."""
         return f"{num_sets}/{assoc}/{fingerprint.hex()}"
 
-    def get_analysis(self, num_sets: int, assoc: int, fingerprint: bytes):
+    def get_analysis(
+        self, num_sets: int, assoc: int, fingerprint: bytes
+    ) -> "TraceAnalysis | None":
         """Fetch a persisted :class:`TraceAnalysis`, or None."""
         blob = self._get("analysis", self.analysis_key(num_sets, assoc, fingerprint))
         if blob is None:
@@ -328,7 +336,9 @@ class MemoStore:
         except Exception:  # corrupt row: treat as a miss
             return None
 
-    def put_analysis(self, num_sets: int, assoc: int, fingerprint: bytes, analysis) -> None:
+    def put_analysis(
+        self, num_sets: int, assoc: int, fingerprint: bytes, analysis: "TraceAnalysis"
+    ) -> None:
         """Persist a :class:`TraceAnalysis` (idempotent)."""
         self._put(
             "analysis",
@@ -338,7 +348,9 @@ class MemoStore:
 
     # -- sharing matrices ----------------------------------------------------
 
-    def get_sharing(self, key: str):
+    def get_sharing(
+        self, key: str
+    ) -> "tuple[tuple[str, ...], np.ndarray] | None":
         """Fetch a persisted sharing matrix as ``(pids, int64 matrix)``."""
         blob = self._get("sharing", key)
         if blob is None:
@@ -349,7 +361,9 @@ class MemoStore:
         except Exception:  # corrupt row: treat as a miss
             return None
 
-    def put_sharing(self, key: str, pids, matrix) -> None:
+    def put_sharing(
+        self, key: str, pids: "Sequence[str]", matrix: "np.ndarray"
+    ) -> None:
         """Persist a sharing matrix (idempotent)."""
         self._put(
             "sharing",
@@ -361,7 +375,7 @@ class MemoStore:
 
     # -- seed-invariant campaign cells ---------------------------------------
 
-    def get_cell(self, key: str) -> dict | None:
+    def get_cell(self, key: str) -> dict[str, object] | None:
         """Fetch a persisted seed-invariant cell payload, or None."""
         blob = self._get("cell", key)
         if blob is None:
@@ -372,7 +386,7 @@ class MemoStore:
             return None
         return payload if isinstance(payload, dict) else None
 
-    def put_cell(self, key: str, payload: dict) -> None:
+    def put_cell(self, key: str, payload: dict[str, object]) -> None:
         """Persist a seed-invariant cell payload (idempotent)."""
         self._put("cell", key, json.dumps(payload, sort_keys=True).encode("utf-8"))
 
@@ -391,7 +405,7 @@ class MemoStore:
             return {}
         return {kind: int(count) for kind, count in rows}
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, object]:
         """Counters for ``repro memo stats`` and the benchmarks."""
         size = self.path.stat().st_size if self.path.exists() else 0
         return {
@@ -405,7 +419,7 @@ class MemoStore:
             "health": dict(self.health),
         }
 
-    def verify(self) -> dict:
+    def verify(self) -> dict[str, object]:
         """Integrity report for ``repro memo verify``.
 
         Runs a direct (non-healing) integrity check against the database
@@ -413,7 +427,7 @@ class MemoStore:
         ``status`` is ``ok``, ``missing`` (no database yet), ``stale``
         (version mismatch — a rw attach would drop it), or ``corrupt``.
         """
-        report: dict = {
+        report: dict[str, object] = {
             "path": str(self.path),
             "mode": self.mode,
             "health": dict(self.health),
@@ -485,6 +499,9 @@ class MemoStore:
 # -- process-wide activation ------------------------------------------------------
 
 _active_store: MemoStore | None = None
+register_worker_state(
+    __name__, "_active_store", note="configure_memo_store bumps the epoch"
+)
 
 
 def configure_memo_store(

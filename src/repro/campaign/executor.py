@@ -16,7 +16,11 @@ from __future__ import annotations
 import pickle
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:
+    from repro.sched.base import Scheduler
+    from repro.sim.results import OpenSystemResult
 
 from repro.cache.stats import CacheStats
 from repro.campaign.failures import CellFailure
@@ -29,6 +33,7 @@ from repro.campaign.spec import (
 from repro.campaign.store import ResultStore, as_store
 from repro.errors import CampaignError
 from repro.util.faults import fault_point
+from repro.util.invalidation import register_worker_state
 from repro.util.memo import BoundedDict
 
 #: Progress callback: (result, completed_count, total_count).
@@ -64,13 +69,13 @@ class RunResult:
     arrival: str | None = None
     #: Open-system metrics (response times, slowdown, throughput) for
     #: cells run with an ArrivalSpec; None for closed cells.
-    open: dict | None = None
+    open: dict[str, float] | None = None
     #: Set when the cell's batched/vectorized path raised and the scalar
     #: oracle re-ran it ("<ErrorType>: message"); None on the fast path.
     downgraded: str | None = None
 
-    def to_dict(self) -> dict:
-        data = {
+    def to_dict(self) -> dict[str, object]:
+        data: dict[str, object] = {
             "key": self.key,
             "workload": self.workload,
             "machine": self.machine,
@@ -96,7 +101,7 @@ class RunResult:
         return data
 
     @classmethod
-    def from_dict(cls, data: dict) -> "RunResult":
+    def from_dict(cls, data: dict[str, object]) -> "RunResult":
         arrival = data.get("arrival")
         open_metrics = data.get("open")
         return cls(
@@ -137,6 +142,9 @@ class RunResult:
 #: on a seed-independent workload produces identical results for every
 #: seed of the grid, so its replicas reuse one simulation.
 _CELL_MEMO: BoundedDict = BoundedDict(4096)
+register_worker_state(
+    __name__, "_CELL_MEMO", note="content-addressed; values pure in keys"
+)
 
 
 def clear_cell_memo() -> None:
@@ -144,7 +152,9 @@ def clear_cell_memo() -> None:
     _CELL_MEMO.clear()
 
 
-def _seedless_cell_key(run: RunSpec, scheduler) -> tuple | None:
+def _seedless_cell_key(
+    run: RunSpec, scheduler: "Scheduler"
+) -> tuple[object, ...] | None:
     """Seed-independent identity of a cell, or None if the seed matters."""
     if scheduler.seed_sensitive or workload_seed_sensitive(run.workload):
         return None
@@ -163,7 +173,7 @@ def _seedless_cell_key(run: RunSpec, scheduler) -> tuple | None:
     )
 
 
-def _persistent_cell_key(memo_key: tuple) -> str:
+def _persistent_cell_key(memo_key: tuple[object, ...]) -> str:
     """Stable store key for a seed-invariant cell identity.
 
     The in-RAM key is a tuple of primitives whose ``repr`` is
@@ -260,7 +270,7 @@ def _execute_cell(run: RunSpec) -> RunResult:
                 return _adopt_cached(run, cached)
     machine = run.machine.build()
     epg = build_campaign_workload(run.workload, scale=run.scale, seed=run.seed)
-    open_metrics: dict | None = None
+    open_metrics: dict[str, float] | None = None
     if run.arrival is not None:
         from repro.sim.simulator import MPSoCSimulator
 
@@ -340,7 +350,7 @@ def execute_chunk_outcomes(
     return outcomes
 
 
-def _open_metrics(result) -> dict:
+def _open_metrics(result: "OpenSystemResult") -> dict[str, float]:
     """Flatten an :class:`~repro.sim.results.OpenSystemResult` for the store."""
     stats = result.response_stats()
     to_ms = 1e3 / result.clock_hz

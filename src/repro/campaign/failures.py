@@ -44,8 +44,8 @@ class CellFailure:
     #: harness rather than organic code (chaos tests assert on this).
     injected: bool = False
 
-    def to_dict(self) -> dict:
-        data = {
+    def to_dict(self) -> dict[str, object]:
+        data: dict[str, object] = {
             "failure": True,
             "key": self.key,
             "workload": self.workload,
@@ -66,7 +66,7 @@ class CellFailure:
         return data
 
     @classmethod
-    def from_dict(cls, data: dict) -> "CellFailure":
+    def from_dict(cls, data: dict[str, object]) -> "CellFailure":
         arrival = data.get("arrival")
         return cls(
             key=str(data["key"]),

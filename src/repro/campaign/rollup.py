@@ -72,7 +72,7 @@ def rollup_results(results: Sequence[RunResult]) -> list[RollupRow]:
     if not results:
         raise CampaignError("no campaign results to roll up")
     # baselines per (workload, machine, arrival, seed)
-    baselines: dict[tuple, dict[str, RunResult]] = {}
+    baselines: dict[tuple[object, ...], dict[str, RunResult]] = {}
     for result in results:
         cell = baselines.setdefault(
             (result.workload, result.machine, result.arrival, result.seed), {}
@@ -80,7 +80,7 @@ def rollup_results(results: Sequence[RunResult]) -> list[RollupRow]:
         if result.scheduler_name in ("RS", "RRS") and result.scheduler_name not in cell:
             cell[result.scheduler_name] = result
 
-    groups: dict[tuple, list[RunResult]] = {}
+    groups: dict[tuple[object, ...], list[RunResult]] = {}
     for result in results:
         groups.setdefault(
             (result.workload, result.machine, result.arrival, result.scheduler), []
@@ -233,7 +233,7 @@ def results_to_csv(results: Sequence[RunResult]) -> str:
     """
     if not results:
         raise CampaignError("no campaign results to export")
-    columns: tuple = CSV_COLUMNS
+    columns: tuple[str, ...] = CSV_COLUMNS
     if any(result.arrival is not None for result in results):
         at = CSV_COLUMNS.index("scheduler") + 1
         columns = CSV_COLUMNS[:at] + ("arrival",) + CSV_COLUMNS[at:]

@@ -33,6 +33,7 @@ from repro.procgraph.task import Task
 from repro.sched.base import Scheduler
 from repro.sim.arrivals import ArrivalSpec
 from repro.sim.config import MachineConfig
+from repro.util.invalidation import register_worker_state
 from repro.util.memo import BoundedDict
 from repro.util.rng import derive_seed
 from repro.workloads.suite import workload_names
@@ -113,6 +114,9 @@ def workload_seed_sensitive(ref: str) -> bool:
 #: cell; sharing the graph object lets every derived cache (data sets,
 #: sharing matrices, built traces) amortize across the whole grid.
 _WORKLOAD_MEMO: BoundedDict = BoundedDict(32)
+register_worker_state(
+    __name__, "_WORKLOAD_MEMO", note="content-addressed; values pure in keys"
+)
 
 
 def build_campaign_workload(
@@ -210,7 +214,7 @@ class MachineVariant:
         """Materialize the :class:`MachineConfig`."""
         return MachineConfig.paper_default().with_overrides(**dict(self.overrides))
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         return {"name": self.name, "overrides": dict(self.overrides)}
 
     @classmethod
@@ -220,12 +224,16 @@ class MachineVariant:
         return cls.from_overrides(data["name"], **data.get("overrides", {}))
 
 
-def _preset_variant(name: str, overrides: tuple) -> MachineVariant:
+def _preset_variant(
+    name: str, overrides: tuple[tuple[str, object], ...]
+) -> MachineVariant:
     """Wrap a registry preset (override pairs) into a validated variant."""
     return MachineVariant(name=name, overrides=tuple(overrides))
 
 
-def _preset_overrides(name: str, value: object) -> tuple:
+def _preset_overrides(
+    name: str, value: object
+) -> tuple[tuple[str, object], ...]:
     """Inverse of :func:`_preset_variant` for legacy-mapping writes."""
     if isinstance(value, MachineVariant):
         return value.overrides
@@ -305,8 +313,8 @@ class SchedulerSpec:
                 f"{self.name!r}: {exc}"
             ) from exc
 
-    def to_dict(self) -> dict:
-        data: dict = {"name": self.name}
+    def to_dict(self) -> dict[str, object]:
+        data: dict[str, object] = {"name": self.name}
         if self.params:
             data["params"] = dict(self.params)
         if self.label is not None:
@@ -359,7 +367,7 @@ class RunSpec:
         for open cells only — the arrival params; closed cells keep
         their historical keys bit for bit).
         """
-        parts: dict = {
+        parts: dict[str, object] = {
             "machine": dict(self.machine.overrides),
             "scheduler": [self.scheduler.name, dict(self.scheduler.params)],
         }
@@ -464,8 +472,8 @@ class CampaignSpec:
             for seed in self.seeds
         ]
 
-    def to_dict(self) -> dict:
-        data = {
+    def to_dict(self) -> dict[str, object]:
+        data: dict[str, object] = {
             "name": self.name,
             "scale": self.scale,
             "workloads": list(self.workloads),

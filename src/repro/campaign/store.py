@@ -112,7 +112,7 @@ class ResultStore:
                 failures.pop(key, None)
         return failures
 
-    def _append_record(self, record: dict) -> None:
+    def _append_record(self, record: dict[str, object]) -> None:
         """Durably append one JSON record.
 
         If a previous crash left a torn final line with no newline, a

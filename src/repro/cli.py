@@ -84,6 +84,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     add_memo_dir(memo)
 
+    check = sub.add_parser(
+        "check",
+        help=(
+            "run the static-analysis rules (determinism, pickle-safety, "
+            "worker-state invariants) over the source tree"
+        ),
+    )
+    from repro.analysis.cli import add_check_arguments
+
+    add_check_arguments(check)
+
     lst = sub.add_parser(
         "list",
         help="list the registered schedulers, workloads, or machine presets",
@@ -570,6 +581,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         configure_memo_store(args.memo_dir)
     if args.command == "memo":
         return _run_memo_command(args)
+    if args.command == "check":
+        from repro.analysis.cli import run_check_command
+
+        return run_check_command(args)
     if args.command == "tables":
         from repro.experiments.tables import render_table1, render_table2
 

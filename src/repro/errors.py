@@ -27,10 +27,17 @@ class DimensionMismatchError(PresburgerError):
     def __init__(self, expected: int, actual: int, context: str = "") -> None:
         self.expected = expected
         self.actual = actual
+        self.context = context
         suffix = f" ({context})" if context else ""
         super().__init__(
             f"dimension mismatch: expected {expected}, got {actual}{suffix}"
         )
+
+    def __reduce__(self) -> tuple[type["DimensionMismatchError"], tuple[int, int, str]]:
+        # Custom __init__ signature: pickle must replay the constructor
+        # arguments, not the rendered message, or the pool's result pipe
+        # breaks (same pattern as CellTimeoutError below).
+        return (type(self), (self.expected, self.actual, self.context))
 
 
 class UnboundedSetError(PresburgerError):
@@ -48,6 +55,9 @@ class UnknownArrayError(ProgramModelError, KeyError):
         self.array_name = name
         super().__init__(f"unknown array: {name!r}")
 
+    def __reduce__(self) -> tuple[type["UnknownArrayError"], tuple[str]]:
+        return (type(self), (self.array_name,))
+
 
 class GraphError(ReproError):
     """Base class for process-graph structural errors."""
@@ -60,6 +70,9 @@ class CyclicDependenceError(GraphError):
         self.cycle = list(cycle)
         super().__init__(f"dependence cycle detected: {' -> '.join(self.cycle)}")
 
+    def __reduce__(self) -> tuple[type["CyclicDependenceError"], tuple[list[str]]]:
+        return (type(self), (self.cycle,))
+
 
 class DuplicateProcessError(GraphError):
     """Two processes with the same id were added to one graph."""
@@ -68,6 +81,9 @@ class DuplicateProcessError(GraphError):
         self.pid = pid
         super().__init__(f"duplicate process id: {pid!r}")
 
+    def __reduce__(self) -> tuple[type["DuplicateProcessError"], tuple[str]]:
+        return (type(self), (self.pid,))
+
 
 class UnknownProcessError(GraphError, KeyError):
     """A graph operation referenced a process id that is not in the graph."""
@@ -75,6 +91,9 @@ class UnknownProcessError(GraphError, KeyError):
     def __init__(self, pid: str) -> None:
         self.pid = pid
         super().__init__(f"unknown process id: {pid!r}")
+
+    def __reduce__(self) -> tuple[type["UnknownProcessError"], tuple[str]]:
+        return (type(self), (self.pid,))
 
 
 class LayoutError(ReproError):
@@ -110,6 +129,9 @@ class EventOrderingError(SimulationError):
         super().__init__(
             f"event scheduled in the past: now={now}, event time={event_time}"
         )
+
+    def __reduce__(self) -> tuple[type["EventOrderingError"], tuple[int, int]]:
+        return (type(self), (self.now, self.event_time))
 
 
 class WorkloadError(ReproError):
@@ -155,6 +177,9 @@ class UnknownWorkloadError(WorkloadError, KeyError):
             f"unknown workload {name!r}; known workloads: "
             f"{', '.join(known)}{suffix}"
         )
+
+    def __reduce__(self) -> tuple[type["UnknownWorkloadError"], tuple[str, list[str]]]:
+        return (type(self), (self.name, self.known))
 
 
 class ExperimentError(ReproError):
@@ -228,6 +253,10 @@ class MemoStoreError(ReproError):
     """The persistent memo store was misconfigured or misused."""
 
 
+class AnalysisError(ReproError):
+    """The static-analysis engine (``repro check``) was misconfigured."""
+
+
 class RegistryError(ReproError):
     """A :mod:`repro.api` registry was misused (bad name, duplicate entry)."""
 
@@ -251,6 +280,11 @@ class UnknownEntryError(RegistryError, KeyError):
         hint = suggest_name(name, self.known) if isinstance(name, str) else None
         suffix = f" (did you mean {hint!r}?)" if hint else ""
         super().__init__(f"unknown {kind} {name!r}; {detail}{suffix}")
+
+    def __reduce__(
+        self,
+    ) -> tuple[type["UnknownEntryError"], tuple[str, object, list[str]]]:
+        return (type(self), (self.kind, self.name, self.known))
 
     def __str__(self) -> str:
         # KeyError.__str__ reprs its argument, which would double-quote

@@ -70,8 +70,11 @@ def related_array_pairs(
                     f"schedule references unknown process "
                     f"{prev_pid!r} or {next_pid!r}"
                 )
-            for name_a in set(process_arrays[prev_pid]):
-                for name_b in set(process_arrays[next_pid]):
+            # sorted() pins the visit order: the result is a set either
+            # way, but the deterministic order keeps this loop safe to
+            # extend (and `repro check` clean).
+            for name_a in sorted(set(process_arrays[prev_pid])):
+                for name_b in sorted(set(process_arrays[next_pid])):
                     if name_a != name_b:
                         pairs.add(normalize_pair(name_a, name_b))
     return pairs

@@ -37,6 +37,7 @@ from repro.sched.locality import TrimPolicy, figure3_schedule, make_locality_pic
 from repro.sharing.conflicts import compute_conflict_matrix, unique_lines
 from repro.sharing.matrix import sharing_matrix_for
 from repro.presburger.points import PointSet
+from repro.util.invalidation import register_worker_state
 from repro.util.memo import BoundedDict
 
 
@@ -46,6 +47,9 @@ from repro.util.memo import BoundedDict
 #: task's processes is computed once per campaign, not once per mix that
 #: includes the task.
 _UNION_MEMO: BoundedDict = BoundedDict(512)
+register_worker_state(
+    __name__, "_UNION_MEMO", note="content-addressed; values pure in keys"
+)
 
 
 def _union_memoized(name: str, sets: list[PointSet]) -> PointSet:
@@ -62,6 +66,9 @@ def _union_memoized(name: str, sets: list[PointSet]) -> PointSet:
 #: element size, and the line size — all stable across the mixes that
 #: share a (memoized) process.
 _HOT_LINES_MEMO: BoundedDict = BoundedDict(4096)
+register_worker_state(
+    __name__, "_HOT_LINES_MEMO", note="content-addressed; values pure in keys"
+)
 
 
 def _hot_lines(points: PointSet, layout: DataLayout, name: str, line_size: int) -> int:

@@ -20,6 +20,7 @@ import numpy as np
 from repro.cache.geometry import CacheGeometry
 from repro.errors import UnknownArrayError, ValidationError
 from repro.presburger.points import PointSet
+from repro.util.invalidation import register_worker_state
 from repro.util.memo import BoundedDict
 from repro.util.tables import format_matrix
 
@@ -140,6 +141,9 @@ def compute_conflict_matrix(
 #: with memoized workloads and stable bases, growing mixes recompute
 #: nothing.
 _HISTOGRAM_MEMO: BoundedDict = BoundedDict(2048)
+register_worker_state(
+    __name__, "_HISTOGRAM_MEMO", note="content-addressed; values pure in keys"
+)
 
 
 def _set_histogram(

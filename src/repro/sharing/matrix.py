@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.errors import UnknownProcessError, ValidationError
 from repro.procgraph.process import Process
+from repro.util.invalidation import register_worker_state
 from repro.util.memo import BoundedDict
 from repro.util.tables import format_matrix
 
@@ -165,6 +166,9 @@ def compute_sharing_matrix(processes: Sequence[Process]) -> SharingMatrix:
 #: alive.  Point sets are cached on (memoized) processes, so overlapping
 #: workload mixes re-request the same pairs once per matrix.
 _PAIR_MEMO: BoundedDict = BoundedDict(65536)
+register_worker_state(
+    __name__, "_PAIR_MEMO", note="content-addressed; values pure in keys"
+)
 
 
 def _pair_intersection(a, b) -> int:

@@ -65,6 +65,7 @@ from __future__ import annotations
 
 import os
 from contextlib import contextmanager
+from typing import Iterator, Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -75,9 +76,13 @@ from repro.cache.sa_cache import SetAssociativeCache
 from repro.errors import ValidationError
 from repro.sim.trace import ProcessTrace
 from repro.util.faults import fault_point
+from repro.util.invalidation import register_worker_state
 from repro.util.memo import BoundedDict
 
 _quantum_batch_enabled = os.environ.get("REPRO_QUANTUM_BATCH", "1") != "0"
+register_worker_state(
+    __name__, "_quantum_batch_enabled", note="setter bumps the epoch"
+)
 
 #: Minimum expected *executed* accesses per quantum for the batched path
 #: to beat the scalar loop (measured crossover ≈ 1200 on the Table-2
@@ -94,7 +99,12 @@ DEFAULT_COLD_MISS_RATE = 0.10
 
 
 def estimate_quantum_accesses(
-    traces, num_sets: int, assoc: int, hit_cost: int, miss_extra: int, budget: int
+    traces: Sequence[ProcessTrace],
+    num_sets: int,
+    assoc: int,
+    hit_cost: int,
+    miss_extra: int,
+    budget: int,
 ) -> float:
     """Expected executed accesses per quantum on one core.
 
@@ -149,7 +159,7 @@ def set_quantum_batch(enabled: bool) -> bool:
 
 
 @contextmanager
-def scalar_fallback():
+def scalar_fallback() -> Iterator[None]:
     """Force the pure scalar oracle for the duration of one cell.
 
     The degradation path of :func:`repro.campaign.executor.execute_run`:
@@ -209,8 +219,8 @@ class QuantumPlan:
     cold_miss_rate: float
     #: plain-int views for the list-backend loops, built on first use —
     #: way-table (assoc ≤ 2) runs never need them.
-    lines_list: list | None = None
-    sets_list: list | None = None
+    lines_list: list[int] | None = None
+    sets_list: list[int] | None = None
 
     def ensure_lists(self) -> None:
         """Materialize the Python-int views the list backend walks."""
@@ -709,7 +719,7 @@ def _close_segment_list(
     w: np.ndarray,
     num_writes: int,
     warm_touches: list[tuple[int, int, bool]],
-    live_sets: list,
+    live_sets: list[list[int]],
     live_dirty: set[int],
 ) -> int:
     """End-state merge for the general (per-set list) backend.

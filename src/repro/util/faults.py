@@ -53,6 +53,7 @@ from fnmatch import fnmatchcase
 from pathlib import Path
 
 from repro.errors import FaultPlanError, InjectedFaultError
+from repro.util.invalidation import register_worker_state
 
 #: Environment variable holding the active plan text.
 PLAN_ENV = "REPRO_FAULT_PLAN"
@@ -146,7 +147,7 @@ class FaultPlan:
                 f"unknown fault site {site!r} in {clause!r}; expected one "
                 f"of {', '.join(SITES)}"
             )
-        kwargs: dict = {"match": match.strip() or "*"}
+        kwargs: dict[str, object] = {"match": match.strip() or "*"}
         for param in params:
             key, _, value = param.partition("=")
             key = key.strip()
@@ -245,7 +246,13 @@ def _corrupt_file(path_text: str) -> None:
 # -- process-wide activation -------------------------------------------------------
 
 _cached_text: str | None = None
+register_worker_state(
+    __name__, "_cached_text", note="re-derived from the environment per call"
+)
 _cached_plan: FaultPlan | None = None
+register_worker_state(
+    __name__, "_cached_plan", note="re-derived from the environment per call"
+)
 
 
 def active_fault_plan() -> FaultPlan | None:

@@ -43,7 +43,7 @@ class BoundedDict(dict):
         """The capacity bound."""
         return self._max_entries
 
-    def put(self, key, value) -> None:
+    def put(self, key: object, value: object) -> None:
         """Insert, evicting the oldest entry if at capacity.
 
         (CPython dicts iterate in insertion order, so ``next(iter(...))``

@@ -9,12 +9,15 @@ seed always yields the same schedule and the same cycle counts.
 from __future__ import annotations
 
 import hashlib
+from typing import TypeVar
 
 import numpy as np
 
 from repro.errors import ValidationError
 
 _SEED_MODULUS = 2**63 - 1
+
+_T = TypeVar("_T")
 
 
 def derive_seed(base_seed: int, *labels: str | int) -> int:
@@ -66,13 +69,13 @@ class DeterministicRng:
             raise ValidationError(f"empty randint range [{low}, {high})")
         return int(self._generator.integers(low, high))
 
-    def choice(self, items: list):
+    def choice(self, items: "list[_T]") -> "_T":
         """Uniformly choose one element of a non-empty list."""
         if not items:
             raise ValidationError("cannot choose from an empty list")
         return items[self.randint(0, len(items))]
 
-    def shuffle(self, items: list) -> list:
+    def shuffle(self, items: "list[_T]") -> "list[_T]":
         """Return a new list with the items in a random order."""
         order = self._generator.permutation(len(items))
         return [items[int(i)] for i in order]

@@ -12,7 +12,9 @@ from typing import Any
 from repro.errors import ValidationError
 
 
-def check_type(name: str, value: Any, expected: type | tuple[type, ...]) -> None:
+def check_type(
+    name: str, value: Any, expected: type[Any] | tuple[type[Any], ...]
+) -> None:
     """Raise unless ``value`` is an instance of ``expected``.
 
     ``bool`` is rejected where an int is expected, since ``True`` silently

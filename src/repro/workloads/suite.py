@@ -11,6 +11,7 @@ from repro.errors import UnknownWorkloadError, ValidationError
 from repro.procgraph.graph import ExtendedProcessGraph
 from repro.procgraph.process import Process
 from repro.procgraph.task import Task
+from repro.util.invalidation import register_worker_state
 from repro.util.memo import BoundedDict
 from repro.util.rng import DeterministicRng
 from repro.workloads.base import WorkloadSpec
@@ -31,6 +32,7 @@ SUITE: tuple[WorkloadSpec, ...] = (
 )
 
 _BY_NAME = {spec.name: spec for spec in SUITE}
+register_worker_state(__name__, "_BY_NAME", note="constant after import")
 
 #: (name, scale) → Task memo.  Suite tasks are deterministic pure
 #: functions of their scale, and Task/Process objects are structurally
@@ -39,6 +41,9 @@ _BY_NAME = {spec.name: spec for spec in SUITE}
 #: across every mix and campaign cell that names it is what lets those
 #: caches pay off across whole experiment grids.
 _TASK_MEMO: BoundedDict = BoundedDict(64)
+register_worker_state(
+    __name__, "_TASK_MEMO", note="keyed by (name, scale); tasks deterministic"
+)
 
 
 def workload_names() -> list[str]:

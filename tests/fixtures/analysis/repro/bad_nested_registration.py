@@ -1,0 +1,9 @@
+"""Fixture: registrations deferred into function bodies."""
+
+
+def install_plugins(registry: object, factory: object) -> None:
+    registry.register("custom", factory)  # flagged: .register in a function
+
+
+def late_setup() -> None:
+    register_scheduler("custom", object())  # flagged: register_* in a function  # noqa: F821

@@ -1,0 +1,10 @@
+"""Fixture: fork-inherited mutable globals invisible to the epoch."""
+
+_CACHE: dict[str, int] = {}  # flagged: mutable global, never declared
+
+_MODE = "fast"
+
+
+def set_mode(mode: str) -> None:
+    global _MODE  # flagged: reassigned global, never declared
+    _MODE = mode

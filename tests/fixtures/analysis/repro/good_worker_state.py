@@ -1,0 +1,14 @@
+"""Fixture: mutable globals declared to the worker-state epoch."""
+
+from repro.util.invalidation import register_worker_state
+
+_CACHE: dict[str, int] = {}
+register_worker_state(__name__, "_CACHE", note="content-addressed")
+
+_MODE = "fast"
+register_worker_state(__name__, "_MODE", note="setter bumps the epoch")
+
+
+def set_mode(mode: str) -> None:
+    global _MODE
+    _MODE = mode

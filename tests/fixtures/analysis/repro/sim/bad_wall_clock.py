@@ -1,0 +1,12 @@
+"""Fixture: wall-clock reads inside a simulation hot path."""
+
+import os
+import time
+
+
+def stamp() -> float:
+    return time.time()  # flagged: wall clock in repro.sim
+
+
+def salt() -> bytes:
+    return os.urandom(8)  # flagged: OS entropy in repro.sim

@@ -1,0 +1,5 @@
+"""Fixture: simulated time is counted, never read from the host."""
+
+
+def advance(now_cycles: int, quantum_cycles: int) -> int:
+    return now_cycles + quantum_cycles

@@ -1,0 +1,9 @@
+"""Fixture: strict-core code missing the annotations mypy would demand."""
+
+
+def scale(values, factor):  # flagged: unannotated params, no return
+    return [v * factor for v in values]
+
+
+def head(items: list) -> object:  # flagged: bare generic parameter
+    return items[0]

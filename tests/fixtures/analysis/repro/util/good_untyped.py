@@ -1,0 +1,9 @@
+"""Fixture: strict-core code fully annotated."""
+
+
+def scale(values: list[float], factor: float) -> list[float]:
+    return [v * factor for v in values]
+
+
+def head(items: list[str]) -> str:
+    return items[0]

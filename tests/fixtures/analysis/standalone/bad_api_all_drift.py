@@ -1,0 +1,22 @@
+"""Fixture: a lazy facade whose three tables disagree.
+
+``__all__`` promises ``load`` and ``save``; ``_EXPORTS`` can only resolve
+``load``; the TYPE_CHECKING mirror knows neither.  ``phantom`` resolves
+lazily but is missing from ``__all__``.
+"""
+
+from typing import TYPE_CHECKING
+
+__all__ = ["load", "save"]
+
+_EXPORTS = {
+    "load": "somewhere.io",
+    "phantom": "somewhere.else",
+}
+
+if TYPE_CHECKING:
+    from somewhere.io import load  # noqa: F401  (mirror misses 'phantom')
+
+
+def __getattr__(name: str) -> object:
+    raise AttributeError(name)

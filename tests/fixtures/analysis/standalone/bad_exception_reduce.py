@@ -1,0 +1,13 @@
+"""Fixture: an exception whose pickle round-trip would crash.
+
+``super().__init__(rendered)`` leaves ``args == (rendered,)``; unpickling
+replays ``type(exc)(*args)`` — one positional argument into a two-argument
+constructor — so the worker's failure never reaches the parent.
+"""
+
+
+class ShapeMismatchError(ValueError):
+    def __init__(self, expected: int, actual: int) -> None:
+        self.expected = expected
+        self.actual = actual
+        super().__init__(f"expected {expected}, got {actual}")

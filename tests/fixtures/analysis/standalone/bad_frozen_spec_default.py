@@ -1,0 +1,10 @@
+"""Fixture: mutable defaults on a frozen spec dataclass."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class BadSpec:
+    name: str = "spec"
+    tags: list[str] = field(default_factory=list)  # flagged: mutable factory
+    table: dict[str, int] = field(default_factory=dict)  # flagged

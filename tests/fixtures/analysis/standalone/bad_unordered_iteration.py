@@ -1,0 +1,16 @@
+"""Fixture: iteration that follows set hash order."""
+
+
+def walk(items: list[str]) -> list[str]:
+    out: list[str] = []
+    for item in set(items):  # flagged: for over a set
+        out.append(item)
+    return out
+
+
+def literal() -> list[int]:
+    return [x * 2 for x in {1, 2, 3}]  # flagged: comprehension over a set literal
+
+
+def materialize(a: set[str], b: set[str]) -> list[str]:
+    return list(a | set(b))  # flagged: list() of a set union

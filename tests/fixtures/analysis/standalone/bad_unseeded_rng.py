@@ -1,0 +1,22 @@
+"""Fixture: every form of hidden global RNG state the rule must flag."""
+
+import random
+
+import numpy as np
+from random import choice  # flagged: ImportFrom of stdlib random
+
+
+def roll() -> float:
+    return random.random()  # flagged: stdlib global state
+
+
+def pick() -> int:
+    return choice([1, 2, 3])  # the import above is the finding
+
+
+def noise() -> object:
+    return np.random.rand(3)  # flagged: numpy hidden global state
+
+
+def entropy() -> object:
+    return np.random.default_rng()  # flagged: unseeded default_rng()

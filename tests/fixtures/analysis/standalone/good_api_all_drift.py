@@ -1,0 +1,9 @@
+"""Fixture: an ordinary module whose __all__ matches its bindings."""
+
+__all__ = ["VERSION", "describe"]
+
+VERSION = "1.0"
+
+
+def describe() -> str:
+    return f"fixture {VERSION}"

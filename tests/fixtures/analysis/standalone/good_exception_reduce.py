@@ -1,0 +1,15 @@
+"""Fixture: the pickle-safe exception idiom."""
+
+
+class ShapeMismatchError(ValueError):
+    def __init__(self, expected: int, actual: int) -> None:
+        self.expected = expected
+        self.actual = actual
+        super().__init__(f"expected {expected}, got {actual}")
+
+    def __reduce__(self) -> tuple[type["ShapeMismatchError"], tuple[int, int]]:
+        return (type(self), (self.expected, self.actual))
+
+
+class PlainError(ValueError):
+    """A default __init__ pickles fine; no __reduce__ required."""

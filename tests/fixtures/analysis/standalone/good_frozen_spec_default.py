@@ -1,0 +1,10 @@
+"""Fixture: frozen specs default to hashable immutable values."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GoodSpec:
+    name: str = "spec"
+    tags: tuple[str, ...] = ()
+    threshold: float | None = None

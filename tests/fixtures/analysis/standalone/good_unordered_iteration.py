@@ -1,0 +1,12 @@
+"""Fixture: set iteration pinned through sorted()."""
+
+
+def walk(items: list[str]) -> list[str]:
+    out: list[str] = []
+    for item in sorted(set(items)):  # sorted: deterministic order
+        out.append(item)
+    return out
+
+
+def total(items: list[str]) -> int:
+    return len({item for item in items})  # no iteration, just cardinality

@@ -1,0 +1,11 @@
+"""Fixture: explicitly-seeded generators are the sanctioned idiom."""
+
+import numpy as np
+
+
+def make_generator(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)  # seeded: allowed
+
+
+def make_bitgen(seed: int) -> np.random.PCG64:
+    return np.random.PCG64(seed)  # constructor: allowed

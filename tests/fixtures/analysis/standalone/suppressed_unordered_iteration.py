@@ -1,0 +1,8 @@
+"""Fixture: an inline suppression silences exactly the named rule."""
+
+
+def commutative_sum(items: list[int]) -> int:
+    total = 0
+    for item in {abs(i) for i in items}:  # repro-check: ignore[unordered-iteration]
+        total += item
+    return total
