@@ -12,6 +12,12 @@ cache kernel's accesses/second is the yardstick: a machine that runs the
 scalar kernel at half the baseline's speed is allowed twice the
 wall-clock).  A fresh run more than ``tolerance`` slower than the
 normalized baseline fails with exit code 1.
+
+When BOTH files carry a ``contention`` section, the contention-charging
+overhead ratios (contended wall-clock / uncontended wall-clock, already
+machine-independent) are gated with the same tolerance.  A baseline
+predating the contention axis is simply skipped, so the committed
+BENCH_PR5.json stays valid.
 """
 
 from __future__ import annotations
@@ -27,6 +33,37 @@ def load(path: str) -> dict:
         return json.loads(Path(path).read_text())
     except (OSError, json.JSONDecodeError) as exc:
         sys.exit(f"cannot read bench results {path}: {exc}")
+
+
+def check_contention(fresh: dict, baseline: dict, tolerance: float) -> int:
+    """Gate the contention-model charging overhead, if both runs have it."""
+    fresh_con = fresh.get("contention")
+    base_con = baseline.get("contention")
+    if not isinstance(fresh_con, dict) or not isinstance(base_con, dict):
+        print("contention: section absent from fresh or baseline, skipped")
+        return 0
+    failures = 0
+    for key in ("bus_overhead", "noc_overhead"):
+        try:
+            fresh_ratio = float(fresh_con[key])
+            base_ratio = float(base_con[key])
+        except (KeyError, TypeError, ValueError):
+            print(f"contention: {key} missing, skipped")
+            continue
+        limit = base_ratio * (1.0 + tolerance)
+        verdict = "OK" if fresh_ratio <= limit else "REGRESSION"
+        print(
+            f"contention {key}: fresh x{fresh_ratio:.2f} vs baseline "
+            f"x{base_ratio:.2f} (limit x{limit:.2f}) -> {verdict}"
+        )
+        if fresh_ratio > limit:
+            failures += 1
+    if failures:
+        print(
+            "contention charging overhead regressed more than "
+            f"{tolerance:.0%} vs the committed baseline", file=sys.stderr
+        )
+    return failures
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -77,13 +114,14 @@ def main(argv: list[str] | None = None) -> int:
         f"(machine factor {machine_factor:.2f}, normalized limit "
         f"{limit:.3f}s) -> {verdict}"
     )
+    failed = check_contention(fresh, baseline, args.tolerance) > 0
     if fresh_cold > limit:
         print(
             "figure7 cold wall-clock regressed more than "
             f"{args.tolerance:.0%} vs the committed baseline", file=sys.stderr
         )
-        return 1
-    return 0
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -23,6 +23,7 @@ STRICT_CORE = (
     "repro.api",
     "repro.campaign",
     "repro.cache.store",
+    "repro.sim.contention",
     "repro.sim.qplan",
     "repro.util",
 )

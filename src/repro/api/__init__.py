@@ -50,9 +50,11 @@ __all__ = [
     "ARRIVALS",
     "ArrivalFactory",
     "ArrivalSpec",
+    "CONTENTION",
     "CampaignOutcome",
     "CampaignSpec",
     "CellFailure",
+    "ContentionFactory",
     "Engine",
     "EXECUTION_POLICIES",
     "MACHINES",
@@ -68,10 +70,12 @@ __all__ = [
     "WorkloadFactory",
     "group_comparisons",
     "list_arrivals",
+    "list_contentions",
     "list_machines",
     "list_schedulers",
     "list_workloads",
     "register_arrival",
+    "register_contention",
     "register_machine",
     "register_scheduler",
     "register_workload",
@@ -83,9 +87,11 @@ _EXPORTS = {
     "ARRIVALS": "repro.api.registries",
     "ArrivalFactory": "repro.api.registries",
     "ArrivalSpec": "repro.sim.arrivals",
+    "CONTENTION": "repro.api.registries",
     "CampaignOutcome": "repro.campaign.executor",
     "CampaignSpec": "repro.campaign.spec",
     "CellFailure": "repro.campaign.failures",
+    "ContentionFactory": "repro.api.registries",
     "Engine": "repro.api.engine",
     "EXECUTION_POLICIES": "repro.api.engine",
     "MACHINES": "repro.api.registries",
@@ -101,10 +107,12 @@ _EXPORTS = {
     "WorkloadFactory": "repro.api.registries",
     "group_comparisons": "repro.campaign.compat",
     "list_arrivals": "repro.api.registries",
+    "list_contentions": "repro.api.registries",
     "list_machines": "repro.api.registries",
     "list_schedulers": "repro.api.registries",
     "list_workloads": "repro.api.registries",
     "register_arrival": "repro.api.registries",
+    "register_contention": "repro.api.registries",
     "register_machine": "repro.api.registries",
     "register_scheduler": "repro.api.registries",
     "register_workload": "repro.api.registries",
@@ -116,16 +124,20 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
     from repro.api.engine import EXECUTION_POLICIES, Engine
     from repro.api.registries import (
         ARRIVALS,
+        CONTENTION,
         MACHINES,
         SCHEDULERS,
         WORKLOADS,
         ArrivalFactory,
+        ContentionFactory,
         WorkloadFactory,
         list_arrivals,
+        list_contentions,
         list_machines,
         list_schedulers,
         list_workloads,
         register_arrival,
+        register_contention,
         register_machine,
         register_scheduler,
         register_workload,

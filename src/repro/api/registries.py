@@ -1,4 +1,4 @@
-"""The four concrete registries: schedulers, workloads, machines, arrivals.
+"""The five concrete registries: schedulers, workloads, machines, arrivals, contention.
 
 This module is the single place the paper's closed factory tables
 (previously ``campaign/spec.py`` and ``workloads/suite.py``) now live,
@@ -11,7 +11,10 @@ opened up for extension:
 - :data:`MACHINES` — ``name -> override tuple`` applied to the Table-2
   machine;
 - :data:`ARRIVALS` — ``name -> ArrivalFactory`` generating open-system
-  arrival schedules (``batch``, ``poisson``, ``bursty``, ``trace``).
+  arrival schedules (``batch``, ``poisson``, ``bursty``, ``trace``);
+- :data:`CONTENTION` — ``name -> ContentionFactory`` building off-chip
+  contention models (``none``, ``bus``, ``noc``) a machine selects via
+  :attr:`~repro.sim.config.MachineConfig.contention`.
 
 Third-party code extends any axis with the ``register_*`` decorators and
 then addresses its entries by string exactly like the builtins — in
@@ -56,6 +59,7 @@ from repro.sim.arrivals import (
     poisson_arrivals,
     trace_arrivals,
 )
+from repro.sim.contention import bus_contention, no_contention, noc_contention
 from repro.util.units import KIB
 from repro.workloads.suite import (
     SUITE,
@@ -78,13 +82,17 @@ MACHINES: Registry[tuple[tuple[str, object], ...]] = Registry("machine preset")
 #: Arrival-process generators for open-system runs.
 ARRIVALS: Registry["ArrivalFactory"] = Registry("arrival")
 
-# All four registries are fork-inherited worker state; the Registry
+#: Off-chip contention models addressed by machines' ``contention`` field.
+CONTENTION: Registry["ContentionFactory"] = Registry("contention model")
+
+# All five registries are fork-inherited worker state; the Registry
 # class itself bumps the epoch on every register/unregister, so a pool
 # snapshotted before a plugin registration is retired, not reused.
 register_worker_state(__name__, "SCHEDULERS", note="epoch-bumped by Registry")
 register_worker_state(__name__, "WORKLOADS", note="epoch-bumped by Registry")
 register_worker_state(__name__, "MACHINES", note="epoch-bumped by Registry")
 register_worker_state(__name__, "ARRIVALS", note="epoch-bumped by Registry")
+register_worker_state(__name__, "CONTENTION", note="epoch-bumped by Registry")
 
 
 # -- schedulers -------------------------------------------------------------------
@@ -490,6 +498,87 @@ register_arrival(
 )
 
 
+# -- contention models --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ContentionFactory:
+    """One contention-model registry entry.
+
+    ``build(machine, **params)`` returns a
+    :class:`~repro.sim.contention.ContentionModel` for one
+    :class:`~repro.sim.config.MachineConfig`; ``params`` are the
+    machine's :attr:`~repro.sim.config.MachineConfig.contention_params`
+    pairs.  Builders must be deterministic pure functions — the
+    simulator charges the model out of time order and across worker
+    processes, so any hidden state would break the batched-vs-scalar
+    and determinism oracles (``tests/test_contention_properties.py``).
+    """
+
+    name: str
+    build: Callable[..., object]
+    description: str = ""
+
+
+def register_contention(
+    name: str,
+    builder: Callable[..., object] | None = None,
+    *,
+    description: str = "",
+    origin: str = "plugin",
+    overwrite: bool = False,
+) -> object:
+    """Register a contention-model builder; usable as a decorator.
+
+    The builder signature is ``builder(machine, **params) ->
+    ContentionModel``: ``machine`` is the cell's
+    :class:`~repro.sim.config.MachineConfig` (builders typically read
+    ``num_cores`` and ``quantum_cycles``), ``params`` the machine's
+    declared parameter pairs.  The returned model's ``delay_cycles(core,
+    transfers, wall_cycles)`` is charged once per executed segment; see
+    ``docs/API.md`` and ``examples/custom_contention.py`` for a recipe.
+    """
+
+    def _register(fn: Callable[..., object]) -> Callable[..., object]:
+        # Decorator implementation — the sanctioned registration entry point.
+        CONTENTION.register(  # repro-check: ignore[nested-registration]
+            name,
+            ContentionFactory(
+                name=name,
+                build=fn,
+                description=description or _doc_line(fn),
+            ),
+            description=description or _doc_line(fn),
+            origin=origin,
+            overwrite=overwrite,
+        )
+        return fn
+
+    if builder is None:
+        return _register
+    return _register(builder)
+
+
+register_contention(
+    "none", no_contention, origin="builtin",
+    description="un-queued off-chip transfers (the paper's flat miss latency)",
+)
+register_contention(
+    "bus", bus_contention, origin="builtin",
+    description=(
+        "shared-bus TDMA fair share: `lines_per_quantum` line transfers "
+        "per quantum across all cores"
+    ),
+)
+register_contention(
+    "noc", noc_contention, origin="builtin",
+    description=(
+        "spiral-mapped mesh NoC: `hop_cycles` per Manhattan hop from the "
+        "core's cluster (`cluster_size` cores each) to the hub"
+    ),
+)
+
+
 # -- discovery helpers (the ``repro list`` surface) -------------------------------
 
 
@@ -514,3 +603,8 @@ def list_machines() -> list[tuple[str, str, str]]:
 def list_arrivals() -> list[tuple[str, str, str]]:
     """``(name, origin, description)`` rows, registration order."""
     return [(e.name, e.origin, e.description) for e in ARRIVALS.entries()]
+
+
+def list_contentions() -> list[tuple[str, str, str]]:
+    """``(name, origin, description)`` rows, registration order."""
+    return [(e.name, e.origin, e.description) for e in CONTENTION.entries()]

@@ -194,6 +194,49 @@ def _bench_quantum_batch(quick: bool) -> dict:
     }
 
 
+def _bench_contention(quick: bool) -> dict:
+    """Overhead of the contention axis on the preemptive driver.
+
+    Three passes over one RRS mix: the null model (must cost nothing —
+    the drivers skip the charging branch entirely), the ``bus`` model,
+    and the ``noc`` model.  The interesting numbers are the relative
+    overheads: the axis charges per executed segment, so it must stay
+    in the noise next to trace execution.
+    """
+    from repro.campaign.spec import build_campaign_workload
+    from repro.sched.round_robin import RoundRobinScheduler
+    from repro.sim.config import MachineConfig
+    from repro.sim.simulator import MPSoCSimulator
+
+    mix = "mix:2" if quick else "mix:4"
+    epg = build_campaign_workload(mix, scale=1.0, seed=0)
+    scheduler = RoundRobinScheduler()
+    machines = {
+        "none": MachineConfig.paper_default(),
+        "bus": MachineConfig.paper_default().with_overrides(
+            contention="bus", contention_params={"lines_per_quantum": 64}
+        ),
+        "noc": MachineConfig.paper_default().with_overrides(
+            contention="noc", contention_params={"hop_cycles": 4}
+        ),
+    }
+    MPSoCSimulator(machines["none"]).run(epg, scheduler)  # warm traces
+
+    seconds = {}
+    for name, machine in machines.items():
+        simulator = MPSoCSimulator(machine)
+        simulator.run(epg, scheduler)  # warm this machine's plans
+        seconds[name] = _best(lambda sim=simulator: sim.run(epg, scheduler))
+    return {
+        "workload": mix,
+        "none_seconds": round(seconds["none"], 4),
+        "bus_seconds": round(seconds["bus"], 4),
+        "noc_seconds": round(seconds["noc"], 4),
+        "bus_overhead": round(seconds["bus"] / seconds["none"], 2),
+        "noc_overhead": round(seconds["noc"] / seconds["none"], 2),
+    }
+
+
 def _bench_figure7(quick: bool) -> dict:
     """Figure 7 end to end, fast engine on vs off (scalar reference)."""
     from repro.cache.store import active_memo_store, configure_memo_store
@@ -365,6 +408,7 @@ def run_bench(quick: bool = False) -> dict:
         "cache_kernels": _bench_kernels(quick),
         "budget_loop": _bench_budget(quick),
         "quantum_batch": _bench_quantum_batch(quick),
+        "contention": _bench_contention(quick),
         "figure7": _bench_figure7(quick),
         "campaign_jobs": _bench_campaign_jobs(quick),
         "open_system_memo": _bench_open_system_memo(quick),
@@ -399,6 +443,13 @@ def render_bench(results: dict) -> str:
         f"  quantum-batch ({qbatch['workload']}, q={qbatch['quantum_cycles']}): "
         f"scalar {qbatch['scalar_seconds']}s vs batched "
         f"{qbatch['batched_seconds']}s ({qbatch['batched_speedup']}x)"
+    )
+    contention = results["contention"]
+    lines.append(
+        f"  contention ({contention['workload']}): none "
+        f"{contention['none_seconds']}s, bus {contention['bus_seconds']}s "
+        f"({contention['bus_overhead']}x), noc {contention['noc_seconds']}s "
+        f"({contention['noc_overhead']}x)"
     )
     lines.append(
         f"  figure7(|T|<={figure7['max_tasks']}) cold {figure7['cold_seconds']}s;"

@@ -65,6 +65,12 @@ class RunResult:
     misses: int
     utilization: float
     per_core_utilization: list[float] = field(default_factory=list)
+    #: Total cycles cores spent queued on the contended off-chip path;
+    #: None for cells whose machine runs the null ("none") model.
+    queue_delay_cycles: int | None = None
+    #: Off-chip line transfers summed across cores; None without a
+    #: contention model.
+    bus_transfers: int | None = None
     #: Arrival-axis label for open-system cells; None for closed cells.
     arrival: str | None = None
     #: Open-system metrics (response times, slowdown, throughput) for
@@ -92,6 +98,10 @@ class RunResult:
             "per_core_utilization": self.per_core_utilization,
         }
         # Closed-system rows keep their historical schema byte for byte.
+        if self.queue_delay_cycles is not None:
+            data["queue_delay_cycles"] = self.queue_delay_cycles
+        if self.bus_transfers is not None:
+            data["bus_transfers"] = self.bus_transfers
         if self.arrival is not None:
             data["arrival"] = self.arrival
         if self.open is not None:
@@ -104,6 +114,8 @@ class RunResult:
     def from_dict(cls, data: dict[str, object]) -> "RunResult":
         arrival = data.get("arrival")
         open_metrics = data.get("open")
+        queue_delay = data.get("queue_delay_cycles")
+        bus_transfers = data.get("bus_transfers")
         return cls(
             key=str(data["key"]),
             workload=str(data["workload"]),
@@ -119,6 +131,8 @@ class RunResult:
             misses=int(data["misses"]),
             utilization=float(data["utilization"]),
             per_core_utilization=[float(u) for u in data.get("per_core_utilization", [])],
+            queue_delay_cycles=int(queue_delay) if queue_delay is not None else None,
+            bus_transfers=int(bus_transfers) if bus_transfers is not None else None,
             arrival=str(arrival) if arrival is not None else None,
             open=dict(open_metrics) if open_metrics is not None else None,
             downgraded=(
@@ -302,6 +316,14 @@ def _execute_cell(run: RunSpec) -> RunResult:
             (core.busy_cycles / makespan) if makespan else 0.0
             for core in result.cores
         ],
+        queue_delay_cycles=(
+            result.total_queue_delay_cycles
+            if machine.contention != "none"
+            else None
+        ),
+        bus_transfers=(
+            result.total_bus_transfers if machine.contention != "none" else None
+        ),
         arrival=run.arrival.effective_label if run.arrival is not None else None,
         open=open_metrics,
     )

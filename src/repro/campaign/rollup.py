@@ -55,6 +55,9 @@ class RollupRow:
     mean_response_ms: float | None = None
     mean_p99_ms: float | None = None
     mean_slowdown: float | None = None
+    #: Mean off-chip queueing delay per run (cycles); None when no
+    #: member ran under a contention model.
+    mean_queue_delay_cycles: float | None = None
 
 
 def _mean(values: Sequence[float]) -> float:
@@ -101,6 +104,9 @@ def rollup_results(results: Sequence[RunResult]) -> list[RollupRow]:
             if rrs is not None and member.seconds > 0:
                 speedups_rrs.append(rrs.seconds / member.seconds)
         open_members = [m for m in members if m.open is not None]
+        contended = [
+            m for m in members if m.queue_delay_cycles is not None
+        ]
         rows.append(
             RollupRow(
                 workload=workload,
@@ -129,6 +135,11 @@ def rollup_results(results: Sequence[RunResult]) -> list[RollupRow]:
                     if open_members
                     else None
                 ),
+                mean_queue_delay_cycles=(
+                    _mean([float(m.queue_delay_cycles) for m in contended])
+                    if contended
+                    else None
+                ),
             )
         )
     return rows
@@ -147,10 +158,13 @@ def render_rollup(results: Sequence[RunResult], title: str = "Campaign rollup") 
 
     rows = rollup_results(results)
     open_system = any(row.arrival is not None for row in rows)
+    contended = any(row.mean_queue_delay_cycles is not None for row in rows)
     headers = ["workload", "machine"]
     if open_system:
         headers.append("arrival")
     headers += ["scheduler", "runs", "time (ms)", "miss rate", "util"]
+    if contended:
+        headers.append("bus wait (cyc)")
     if open_system:
         headers += ["resp (ms)", "p99 (ms)", "slowdown"]
     headers += ["vs RS", "vs RRS", "Δmiss vs RS"]
@@ -170,6 +184,8 @@ def render_rollup(results: Sequence[RunResult], title: str = "Campaign rollup") 
             f"{row.mean_miss_rate:.4f}",
             f"{row.mean_utilization:.2f}",
         ]
+        if contended:
+            cells.append(optional(row.mean_queue_delay_cycles, "{:.0f}"))
         if open_system:
             cells += [
                 optional(row.mean_response_ms, "{:.3f}"),
@@ -229,14 +245,18 @@ def results_to_csv(results: Sequence[RunResult]) -> str:
     Closed campaigns keep the historical column set byte for byte; when
     any result carries the arrival axis, an ``arrival`` column is
     inserted after ``scheduler`` so open-system rows differing only in
-    arrival rate stay distinguishable.
+    arrival rate stay distinguishable.  Likewise, when any result ran
+    under a contention model, ``queue_delay_cycles`` and
+    ``bus_transfers`` columns are appended (empty for null-model rows).
     """
     if not results:
         raise CampaignError("no campaign results to export")
     columns: tuple[str, ...] = CSV_COLUMNS
     if any(result.arrival is not None for result in results):
         at = CSV_COLUMNS.index("scheduler") + 1
-        columns = CSV_COLUMNS[:at] + ("arrival",) + CSV_COLUMNS[at:]
+        columns = columns[:at] + ("arrival",) + columns[at:]
+    if any(result.queue_delay_cycles is not None for result in results):
+        columns = columns + ("queue_delay_cycles", "bus_transfers")
     return rows_to_csv([result.to_dict() for result in results], columns)
 
 

@@ -183,11 +183,28 @@ class MachineVariant:
                     f"machine variant {self.name!r} overrides unknown "
                     f"MachineConfig field {field_name!r}"
                 )
+        # Canonicalize contention parameters to the sorted-pair form the
+        # config itself uses, so the variant stays hashable (memo keys)
+        # and a dict-passing caller hashes identically to a JSON round
+        # trip of the same variant.
         # Validate the values too (MachineConfig's own checks), so a bad
         # variant fails at spec time, not mid-campaign at its first cell.
         from repro.errors import ReproError
 
         try:
+            if any(name == "contention_params" for name, _ in self.overrides):
+                from repro.sim.contention import normalize_contention_params
+
+                object.__setattr__(
+                    self,
+                    "overrides",
+                    tuple(
+                        (name, normalize_contention_params(value))
+                        if name == "contention_params"
+                        else (name, value)
+                        for name, value in self.overrides
+                    ),
+                )
             self.build()
         except ReproError as exc:
             raise CampaignError(
@@ -221,7 +238,14 @@ class MachineVariant:
     def from_dict(cls, data: Mapping) -> "MachineVariant":
         if isinstance(data, str):
             return resolve_machine_preset(data)
-        return cls.from_overrides(data["name"], **data.get("overrides", {}))
+        overrides = data.get("overrides", {})
+        if not isinstance(overrides, Mapping):
+            raise CampaignError(
+                f"machine variant {data.get('name')!r}: 'overrides' must be a "
+                f"JSON object mapping MachineConfig fields to values, "
+                f"got {type(overrides).__name__}"
+            )
+        return cls.from_overrides(data["name"], **overrides)
 
 
 def _preset_variant(

@@ -101,7 +101,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     lst.add_argument(
         "what",
-        choices=("schedulers", "workloads", "machines", "arrivals"),
+        choices=("schedulers", "workloads", "machines", "arrivals", "contentions"),
         help="which registry to list",
     )
 
@@ -347,6 +347,7 @@ def _campaign_spec_from_args(args: argparse.Namespace) -> "CampaignSpec":
 def _run_list_command(args: argparse.Namespace) -> int:
     from repro.api.registries import (
         list_arrivals,
+        list_contentions,
         list_machines,
         list_schedulers,
         list_workloads,
@@ -357,6 +358,7 @@ def _run_list_command(args: argparse.Namespace) -> int:
         "workloads": list_workloads,
         "machines": list_machines,
         "arrivals": list_arrivals,
+        "contentions": list_contentions,
     }[args.what]()
     print(f"registered {args.what} ({len(rows)}):")
     width = max(len(name) for name, _, _ in rows)

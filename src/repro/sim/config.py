@@ -38,6 +38,12 @@ tuples describe that:
 Empty tuples mean "homogeneous": every existing artefact is reproduced
 byte-identically.  :meth:`MachineConfig.clustered` builds the common
 cluster shapes without spelling the tuples out by hand.
+
+Off-chip contention (beyond the paper): ``contention`` names a model
+from the :data:`~repro.api.registries.CONTENTION` registry (``none``,
+``bus``, ``noc``, or a plugin) and ``contention_params`` parameterizes
+it; see :mod:`repro.sim.contention`.  The defaults (``"none"``, no
+params) charge nothing and keep every artefact byte-identical.
 """
 
 from __future__ import annotations
@@ -71,6 +77,12 @@ class MachineConfig:
     core_cache_sizes: tuple = ()
     #: Per-core associativities; empty = ``cache_associativity`` everywhere.
     core_cache_assocs: tuple = ()
+    #: Off-chip contention model name (``repro list contentions``);
+    #: ``"none"`` = the paper's un-queued flat miss latency.
+    contention: str = "none"
+    #: Sorted ``(name, value)`` parameter pairs for the contention model;
+    #: dicts and JSON pair lists are normalized on construction.
+    contention_params: tuple = ()
 
     def __post_init__(self) -> None:
         from repro.errors import ValidationError
@@ -124,6 +136,24 @@ class MachineConfig:
         if self.core_cache_sizes or self.core_cache_assocs:
             for core in range(self.num_cores):
                 self.geometry_for(core)
+        # Contention axis: the default ("none", no params) skips this block
+        # entirely, so pre-contention configs execute the identical
+        # validation they always have.  Anything else is normalized and
+        # validated eagerly by building the model once — unknown names and
+        # bad parameters fail at spec/config time, not mid-simulation.
+        if self.contention != "none" or self.contention_params:
+            from repro.sim.contention import (
+                build_contention,
+                normalize_contention_params,
+            )
+
+            object.__setattr__(self, "contention", str(self.contention))
+            object.__setattr__(
+                self,
+                "contention_params",
+                normalize_contention_params(self.contention_params),
+            )
+            build_contention(self)
 
     @classmethod
     def paper_default(cls) -> "MachineConfig":
@@ -300,6 +330,14 @@ class MachineConfig:
                 (
                     "Per-core associativity",
                     ", ".join(f"{a}-way" for a in self.core_cache_assocs),
+                )
+            )
+        if self.contention != "none":
+            detail = ", ".join(f"{k}={v}" for k, v in self.contention_params)
+            rows.append(
+                (
+                    "Off-chip contention",
+                    self.contention + (f" ({detail})" if detail else ""),
                 )
             )
         return rows

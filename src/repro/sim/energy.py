@@ -74,7 +74,10 @@ def energy_of(
     Every cache access costs one L1 access; every miss additionally costs
     one off-chip access; dirty evictions cost one write-back each; cores
     burn active energy while busy and idle energy for the remainder of
-    the makespan.
+    the makespan.  Cycles a contention model spent queueing for the
+    shared off-chip path (``CoreRecord.queue_delay_cycles``, included in
+    ``busy_cycles``) are re-charged at the idle rate: a core waiting for
+    bus slots is stalled, not computing.
     """
     model = model if model is not None else EnergyModel()
     total = result.total_cache
@@ -83,8 +86,9 @@ def energy_of(
     offchip_nj += total.dirty_evictions * model.writeback_nj
     busy = sum(core.busy_cycles for core in result.cores)
     idle = sum(core.idle_cycles(result.makespan_cycles) for core in result.cores)
-    active_nj = busy * model.core_active_nj_per_cycle
-    idle_nj = idle * model.core_idle_nj_per_cycle
+    stalled = sum(core.queue_delay_cycles for core in result.cores)
+    active_nj = (busy - stalled) * model.core_active_nj_per_cycle
+    idle_nj = (idle + stalled) * model.core_idle_nj_per_cycle
     return EnergyBreakdown(
         cache_mj=cache_nj * 1e-6,
         offchip_mj=offchip_nj * 1e-6,

@@ -63,10 +63,22 @@ class CoreRecord:
     executed_pids: list[str]  # dispatch order (repeats possible under RRS)
     cache: CacheStats
     classified: ClassifiedMisses | None = None
+    #: Cycles spent queued for the shared off-chip path (contention
+    #: models); 0 without one.  Included in ``busy_cycles``.
+    queue_delay_cycles: int = 0
+    #: Off-chip line transfers (misses plus dirty write-backs) the core
+    #: issued; tracked only when a contention model is active.
+    bus_transfers: int = 0
 
     def idle_cycles(self, makespan: int) -> int:
         """Cycles the core spent waiting within the makespan."""
         return makespan - self.busy_cycles
+
+    def achieved_bandwidth(self, makespan: int) -> float:
+        """Off-chip line transfers per kilocycle of makespan."""
+        if makespan <= 0:
+            return 0.0
+        return self.bus_transfers * 1e3 / makespan
 
 
 @dataclass
@@ -120,6 +132,22 @@ class SimulationResult:
         return sum(c.busy_cycles for c in self.cores) / (
             len(self.cores) * self.makespan_cycles
         )
+
+    @property
+    def total_queue_delay_cycles(self) -> int:
+        """Cycles all cores spent queued on the contended off-chip path."""
+        return sum(core.queue_delay_cycles for core in self.cores)
+
+    @property
+    def total_bus_transfers(self) -> int:
+        """Off-chip line transfers across all cores (contention runs)."""
+        return sum(core.bus_transfers for core in self.cores)
+
+    def achieved_bandwidth(self) -> float:
+        """Machine-wide off-chip line transfers per kilocycle of makespan."""
+        if self.makespan_cycles <= 0:
+            return 0.0
+        return self.total_bus_transfers * 1e3 / self.makespan_cycles
 
     def validate_against(self, epg) -> None:
         """Structural sanity: every process ran exactly once and no process

@@ -40,6 +40,15 @@ Modelling notes (documented substitutions for Simics):
 - A hit costs ``cache_hit_cycles``; a miss additionally costs
   ``memory_latency_cycles``; each iteration charges its fragment's
   compute cycles.
+- Off-chip contention (``MachineConfig.contention``): after a segment's
+  ordinary cost is settled — including heterogeneity scaling — the
+  machine's contention model is charged once on the segment's aggregate
+  off-chip transfers (misses plus dirty write-backs) and its undelayed
+  wall duration, and the returned stall extends the segment.  The stall
+  is a pure function of those per-segment aggregates, so the scalar and
+  quantum-batched paths charge bit-identical delays and hit/miss counts
+  are never perturbed (see :mod:`repro.sim.contention`).  The default
+  ``none`` model skips the branch entirely.
 """
 
 from __future__ import annotations
@@ -63,6 +72,7 @@ from repro.procgraph.graph import ProcessGraph
 from repro.sched.base import PlanMode, Scheduler, SchedulerPlan, default_layout
 from repro.sim.arrivals import ArrivalSchedule
 from repro.sim.config import MachineConfig
+from repro.sim.contention import contention_model_for
 from repro.sim.engine import EventQueue
 from repro.sim.qplan import (
     MIN_BATCH_WINDOW,
@@ -284,6 +294,9 @@ class MPSoCSimulator:
                 "static plan must place every process exactly once"
             )
         caches, classifiers = self._make_caches()
+        contention = contention_model_for(self._config)
+        queue_delay = [0] * num_cores
+        transfers_of = [0] * num_cores
         completion: dict[str, int] = {}
         records: dict[str, ProcessRecord] = {}
         next_index = [0] * num_cores
@@ -306,12 +319,17 @@ class MPSoCSimulator:
                     evictions_before = cache.stats.dirty_evictions
                     classifier = classifiers[core] if classifiers else None
                     hits, misses = self._run_whole_trace(cache, classifier, trace)
+                    evicted = cache.stats.dirty_evictions - evictions_before
                     duration = self._duration(trace, hits, misses)
-                    duration += self._writeback_cycles(
-                        cache.stats.dirty_evictions - evictions_before
-                    )
+                    duration += self._writeback_cycles(evicted)
                     duration += self._config.context_switch_cycles
                     duration = self._config.scaled_cycles(core, duration)
+                    if contention is not None:
+                        transfers = misses + evicted
+                        stall = contention.delay_cycles(core, transfers, duration)
+                        duration += stall
+                        queue_delay[core] += stall
+                        transfers_of[core] += transfers
                     completion[pid] = start + duration
                     records[pid] = ProcessRecord(
                         pid=pid,
@@ -343,6 +361,8 @@ class MPSoCSimulator:
                 executed_pids=list(queues[core]),
                 cache=caches[core].stats,
                 classified=classifiers[core].counts if classifiers else None,
+                queue_delay_cycles=queue_delay[core],
+                bus_transfers=transfers_of[core],
             )
             for core in range(num_cores)
         ]
@@ -365,6 +385,9 @@ class MPSoCSimulator:
     ) -> SimulationResult:
         num_cores = self._config.num_cores
         caches, classifiers = self._make_caches()
+        contention = contention_model_for(self._config)
+        queue_delay = [0] * num_cores
+        transfers_of = [0] * num_cores
         events = EventQueue()
         pending = {pid: len(epg.predecessors(pid)) for pid in epg.pids}
         # Open-system admission: a pid participates only once its app has
@@ -419,12 +442,17 @@ class MPSoCSimulator:
                 classifier = classifiers[core] if classifiers else None
                 evictions_before = cache.stats.dirty_evictions
                 hits, misses = self._run_whole_trace(cache, classifier, trace)
+                evicted = cache.stats.dirty_evictions - evictions_before
                 duration = self._duration(trace, hits, misses)
-                duration += self._writeback_cycles(
-                    cache.stats.dirty_evictions - evictions_before
-                )
+                duration += self._writeback_cycles(evicted)
                 duration += self._config.context_switch_cycles
                 duration = self._config.scaled_cycles(core, duration)
+                if contention is not None:
+                    transfers = misses + evicted
+                    stall = contention.delay_cycles(core, transfers, duration)
+                    duration += stall
+                    queue_delay[core] += stall
+                    transfers_of[core] += transfers
                 records[pid] = ProcessRecord(
                     pid=pid,
                     start_cycle=now,
@@ -474,6 +502,8 @@ class MPSoCSimulator:
                 executed_pids=executed[core],
                 cache=caches[core].stats,
                 classified=classifiers[core].counts if classifiers else None,
+                queue_delay_cycles=queue_delay[core],
+                bus_transfers=transfers_of[core],
             )
             for core in range(num_cores)
         ]
@@ -503,6 +533,9 @@ class MPSoCSimulator:
         quantum = plan.quantum_cycles
         config = self._config
         caches, _ = self._make_caches()
+        contention = contention_model_for(config)
+        queue_delay = [0] * num_cores
+        transfers_of = [0] * num_cores
         # Per-core set masks (heterogeneous caches may differ in size or
         # associativity); ``budget_rows`` memoizes per mask, so the
         # homogeneous machine still converts each trace exactly once.
@@ -609,11 +642,16 @@ class MPSoCSimulator:
                     miss_extra,
                     budgets[core],
                 )
-            used += self._writeback_cycles(
-                cache.stats.dirty_evictions - evictions_before
-            )
+            evicted = cache.stats.dirty_evictions - evictions_before
+            used += self._writeback_cycles(evicted)
             used += config.context_switch_cycles
             used = config.scaled_cycles(core, used)
+            if contention is not None:
+                transfers = misses + evicted
+                stall = contention.delay_cycles(core, transfers, used)
+                used += stall
+                queue_delay[core] += stall
+                transfers_of[core] += transfers
             cursor[pid] = next_index
             hits_acc[pid] += hits
             misses_acc[pid] += misses
@@ -677,6 +715,8 @@ class MPSoCSimulator:
                 busy_cycles=busy[core],
                 executed_pids=executed[core],
                 cache=caches[core].stats,
+                queue_delay_cycles=queue_delay[core],
+                bus_transfers=transfers_of[core],
             )
             for core in range(num_cores)
         ]

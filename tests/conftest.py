@@ -4,9 +4,19 @@ The fixtures build deliberately small artefacts (tiny arrays, few
 processes, a 2-core machine with a 1 KB cache) so the full suite stays
 fast while still exercising every code path the full-size experiments
 use.
+
+Process-level environment isolation lives here too: the autouse
+fixtures below snapshot and restore the ``REPRO_*`` variables around
+every test (shedding any ambient fault plan at entry), and assert per
+module that no test leaked a change past its own teardown.  Individual
+suites therefore never need their own ad-hoc ``delenv`` fixtures — a
+test that wants one of these variables set just uses ``monkeypatch`` or
+the supported ``configure_*`` entry point as usual.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -20,6 +30,60 @@ from repro.programs.loops import LoopNest
 from repro.programs.partition import block_partition
 from repro.presburger.terms import var
 from repro.sim.config import MachineConfig
+
+#: The process-level knobs the runtime reads from the environment.
+#: ``REPRO_QUANTUM_BATCH`` is sampled once at import, so restoring it
+#: here protects hash keys and subprocess spawns, not the in-process
+#: default; CI's matrix export (set before pytest starts) is unaffected.
+ISOLATED_ENV_VARS = (
+    "REPRO_MEMO_DIR",
+    "REPRO_QUANTUM_BATCH",
+    "REPRO_FAULT_PLAN",
+)
+
+
+def _env_snapshot() -> dict[str, str | None]:
+    return {name: os.environ.get(name) for name in ISOLATED_ENV_VARS}
+
+
+def _env_restore(snapshot: dict[str, str | None]) -> None:
+    for name, value in snapshot.items():
+        if value is None:
+            os.environ.pop(name, None)
+        else:
+            os.environ[name] = value
+
+
+@pytest.fixture(autouse=True)
+def _isolated_repro_env():
+    """Snapshot/restore the REPRO_* variables around every test.
+
+    An ambient fault plan is removed at entry — tests must opt into
+    fault injection explicitly — and whatever the test did to any of
+    the isolated variables is undone at exit.
+    """
+    snapshot = _env_snapshot()
+    os.environ.pop("REPRO_FAULT_PLAN", None)
+    yield
+    _env_restore(snapshot)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _assert_no_env_leak():
+    """Fail a module whose tests leak REPRO_* changes past teardown.
+
+    The function-scoped fixture above restores after each test; this
+    catches leaks from module/session-scoped fixtures and from code
+    that mutates ``os.environ`` outside the per-test window.
+    """
+    snapshot = _env_snapshot()
+    yield
+    leaked = sorted(
+        name
+        for name in ISOLATED_ENV_VARS
+        if os.environ.get(name) != snapshot[name]
+    )
+    assert not leaked, f"test module leaked environment variables: {leaked}"
 
 
 def make_copy_fragment(

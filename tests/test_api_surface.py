@@ -19,9 +19,11 @@ EXPECTED_API_SURFACE = sorted(
         "ARRIVALS",
         "ArrivalFactory",
         "ArrivalSpec",
+        "CONTENTION",
         "CampaignOutcome",
         "CampaignSpec",
         "CellFailure",
+        "ContentionFactory",
         "Engine",
         "EXECUTION_POLICIES",
         "MACHINES",
@@ -37,10 +39,12 @@ EXPECTED_API_SURFACE = sorted(
         "WorkloadFactory",
         "group_comparisons",
         "list_arrivals",
+        "list_contentions",
         "list_machines",
         "list_schedulers",
         "list_workloads",
         "register_arrival",
+        "register_contention",
         "register_machine",
         "register_scheduler",
         "register_workload",

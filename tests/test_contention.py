@@ -1,0 +1,380 @@
+"""Unit tests for the off-chip contention axis (repro.sim.contention).
+
+The property-based oracle harness lives in
+``test_contention_properties.py``; this file pins the concrete pieces:
+the delay formulas, the spiral placement, registry plumbing,
+``MachineConfig`` threading, and the result/rollup/CSV surfaces.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign.executor import RunResult
+from repro.campaign.rollup import render_rollup, results_to_csv, rollup_results
+from repro.campaign.spec import MachineVariant
+from repro.errors import CampaignError, ReproError, ValidationError
+from repro.procgraph.graph import ExtendedProcessGraph
+from repro.sched.round_robin import RoundRobinScheduler
+from repro.sim.config import MachineConfig
+from repro.sim.contention import (
+    BusContention,
+    NoContention,
+    NocContention,
+    build_contention,
+    contention_model_for,
+    normalize_contention_params,
+    spiral_coordinate,
+    spiral_distance,
+)
+from repro.sim.simulator import MPSoCSimulator
+
+from conftest import make_two_phase_task
+
+
+class TestSpiralPlacement:
+    def test_first_ring_by_hand(self):
+        want = [
+            (0, 0),  # hub
+            (1, 0), (1, 1), (0, 1), (-1, 1),
+            (-1, 0), (-1, -1), (0, -1), (1, -1),
+            (2, -1),  # ring 2 starts
+        ]
+        assert [spiral_coordinate(i) for i in range(10)] == want
+
+    def test_distances_match_coordinates(self):
+        for index in range(200):
+            x, y = spiral_coordinate(index)
+            assert spiral_distance(index) == abs(x) + abs(y)
+
+    def test_cells_are_unique(self):
+        cells = [spiral_coordinate(i) for i in range(400)]
+        assert len(set(cells)) == len(cells)
+
+    def test_consecutive_cells_are_one_hop_apart(self):
+        previous = spiral_coordinate(0)
+        for index in range(1, 400):
+            x, y = spiral_coordinate(index)
+            assert abs(x - previous[0]) + abs(y - previous[1]) == 1
+            previous = (x, y)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValidationError):
+            spiral_coordinate(-1)
+
+
+class TestBusContention:
+    def test_delay_by_hand(self):
+        # 10 lines/quantum over 2 cores on a 100-cycle quantum: each
+        # transfer needs 100 * 2 / 10 = 20 cycles of bus schedule.
+        model = BusContention(num_cores=2, quantum_cycles=100, lines_per_quantum=10)
+        assert model.delay_cycles(0, 5, 60) == 40  # need 100, had 60
+        assert model.delay_cycles(0, 5, 100) == 0  # wall covers the need
+        assert model.delay_cycles(0, 0, 1) == 0  # nothing transferred
+        assert model.delay_cycles(0, 5, -7) == 100  # negative wall clamped
+
+    def test_need_rounds_up(self):
+        model = BusContention(num_cores=1, quantum_cycles=3, lines_per_quantum=2)
+        assert model.delay_cycles(0, 1, 0) == 2  # ceil(3/2)
+
+    def test_monotone_in_budget(self):
+        delays = [
+            BusContention(
+                num_cores=4, quantum_cycles=1000, lines_per_quantum=budget
+            ).delay_cycles(1, 37, 500)
+            for budget in (1, 2, 4, 16, 64, 256, 1 << 20)
+        ]
+        assert delays == sorted(delays, reverse=True)
+        assert delays[-1] == 0  # a huge budget charges nothing
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(num_cores=0, quantum_cycles=100, lines_per_quantum=1),
+            dict(num_cores=2, quantum_cycles=-5, lines_per_quantum=1),
+            dict(num_cores=2, quantum_cycles=100, lines_per_quantum=0),
+            dict(num_cores=True, quantum_cycles=100, lines_per_quantum=1),
+            dict(num_cores=2, quantum_cycles=100.5, lines_per_quantum=1),
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            BusContention(**kwargs)
+
+
+class TestNocContention:
+    def test_hub_cluster_is_free(self):
+        model = NocContention(hop_cycles=4, cluster_size=1)
+        assert model.delay_cycles(0, 100, 0) == 0
+
+    def test_per_transfer_hop_charge(self):
+        model = NocContention(hop_cycles=4, cluster_size=1)
+        # core 3 sits on spiral cell 3 = (0, 1): one hop from the hub.
+        assert model.delay_cycles(3, 5, 0) == 5 * 4 * 1
+        # core 9 sits on spiral cell 9 = (2, -1): three hops.
+        assert model.delay_cycles(9, 2, 123456) == 2 * 4 * 3
+
+    def test_clustering_shares_a_cell(self):
+        model = NocContention(hop_cycles=7, cluster_size=2)
+        assert model.delay_cycles(0, 3, 0) == 0  # cluster 0
+        assert model.delay_cycles(1, 3, 0) == 0  # still cluster 0
+        assert model.delay_cycles(2, 3, 0) == 3 * 7  # cluster 1, one hop
+        assert model.delay_cycles(3, 3, 0) == 3 * 7
+
+    def test_zero_hop_cost_is_free_everywhere(self):
+        model = NocContention(hop_cycles=0, cluster_size=1)
+        assert all(model.delay_cycles(core, 50, 0) == 0 for core in range(16))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(hop_cycles=-1, cluster_size=1),
+            dict(hop_cycles=4, cluster_size=0),
+            dict(hop_cycles=2.5, cluster_size=1),
+            dict(hop_cycles=False, cluster_size=1),
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            NocContention(**kwargs)
+
+
+class TestParamNormalization:
+    def test_dict_sorts_into_pairs(self):
+        pairs = normalize_contention_params({"b": 2, "a": 1})
+        assert pairs == (("a", 1), ("b", 2))
+
+    def test_json_pair_lists_accepted(self):
+        round_tripped = json.loads(json.dumps([["hop_cycles", 4]]))
+        assert normalize_contention_params(round_tripped) == (("hop_cycles", 4),)
+
+    @pytest.mark.parametrize(
+        "bad", ["not-pairs", [("a",)], [("a", 1, 2)], 17, [["a", 1], ["a", 2]]]
+    )
+    def test_bad_shapes_rejected(self, bad):
+        with pytest.raises(ValidationError):
+            normalize_contention_params(bad)
+
+
+class TestRegistry:
+    def test_builtins_are_listed(self):
+        from repro.api import list_contentions
+
+        rows = {name: origin for name, origin, _ in list_contentions()}
+        assert rows["none"] == "builtin"
+        assert rows["bus"] == "builtin"
+        assert rows["noc"] == "builtin"
+
+    def test_register_and_build_round_trip(self):
+        from repro.api import CONTENTION, register_contention
+
+        @register_contention("test-fixed", description="constant stall")
+        def fixed(machine, stall=11):
+            return BusContention(
+                num_cores=machine.num_cores,
+                quantum_cycles=stall,
+                lines_per_quantum=1,
+            )
+
+        try:
+            machine = MachineConfig(
+                contention="test-fixed", contention_params={"stall": 3}
+            )
+            model = build_contention(machine)
+            assert model.quantum_cycles == 3
+            assert contention_model_for(machine) is not None
+        finally:
+            CONTENTION.unregister("test-fixed")
+
+    def test_unknown_model_rejected_at_config_time(self):
+        with pytest.raises(ReproError, match="bus"):
+            MachineConfig(contention="buss")
+
+    def test_cli_lists_contentions(self, capsys):
+        from repro.cli import main
+
+        assert main(["list", "contentions"]) == 0
+        out = capsys.readouterr().out
+        assert "registered contentions" in out
+        for name in ("none", "bus", "noc"):
+            assert name in out
+
+
+class TestMachineConfigThreading:
+    def test_default_equals_explicit_none(self):
+        assert MachineConfig() == MachineConfig(contention="none")
+
+    def test_params_normalize_on_construction(self):
+        machine = MachineConfig(
+            contention="noc",
+            contention_params={"cluster_size": 2, "hop_cycles": 6},
+        )
+        assert machine.contention_params == (
+            ("cluster_size", 2),
+            ("hop_cycles", 6),
+        )
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ValidationError, match="rejected parameters"):
+            MachineConfig(contention="bus", contention_params={"wat": 1})
+
+    def test_params_without_a_model_rejected(self):
+        with pytest.raises(ValidationError):
+            MachineConfig(contention="none", contention_params={"wat": 1})
+
+    def test_invalid_model_parameters_rejected(self):
+        with pytest.raises(ValidationError):
+            MachineConfig(
+                contention="bus", contention_params={"lines_per_quantum": 0}
+            )
+
+    def test_null_model_takes_the_fast_path(self):
+        assert contention_model_for(MachineConfig()) is None
+
+    def test_configured_model_resolves(self):
+        machine = MachineConfig(contention="bus")
+        model = contention_model_for(machine)
+        assert isinstance(model, BusContention)
+        assert model.num_cores == machine.num_cores
+        assert model.quantum_cycles == machine.quantum_cycles
+        assert isinstance(build_contention(MachineConfig()), NoContention)
+
+    def test_describe_mentions_contention_only_when_set(self):
+        plain = dict(MachineConfig().describe())
+        assert "Off-chip contention" not in plain
+        noisy = dict(
+            MachineConfig(
+                contention="bus", contention_params={"lines_per_quantum": 8}
+            ).describe()
+        )
+        assert "bus" in noisy["Off-chip contention"]
+        assert "lines_per_quantum=8" in noisy["Off-chip contention"]
+
+    def test_with_overrides_sweeps_the_axis(self, small_machine):
+        contended = small_machine.with_overrides(contention="noc")
+        assert contended.contention == "noc"
+        assert isinstance(contention_model_for(contended), NocContention)
+
+
+class TestMachineVariantCanonicalization:
+    def test_dict_params_become_hashable_pairs(self):
+        variant = MachineVariant.from_overrides(
+            "v", contention="bus", contention_params={"lines_per_quantum": 4}
+        )
+        assert hash(variant) is not None
+        assert dict(variant.overrides)["contention_params"] == (
+            ("lines_per_quantum", 4),
+        )
+
+    def test_json_round_trip_is_identity(self):
+        variant = MachineVariant.from_overrides(
+            "v", contention="noc", contention_params={"hop_cycles": 2}
+        )
+        again = MachineVariant.from_dict(json.loads(json.dumps(variant.to_dict())))
+        assert again == variant
+
+    def test_invalid_contention_fails_at_spec_time(self):
+        with pytest.raises(CampaignError, match="invalid"):
+            MachineVariant.from_overrides(
+                "v", contention="bus", contention_params={"lines_per_quantum": -1}
+            )
+
+    def test_pair_list_overrides_in_spec_json_rejected(self):
+        # overrides must be a JSON object; the canonical pair form is an
+        # internal representation and must not leak into the file format
+        with pytest.raises(CampaignError, match="JSON object"):
+            MachineVariant.from_dict(
+                {"name": "v", "overrides": [["contention", "bus"]]}
+            )
+
+
+def _contended_run(machine):
+    epg = ExtendedProcessGraph.from_tasks([make_two_phase_task()])
+    return MPSoCSimulator(machine).run(epg, RoundRobinScheduler())
+
+
+class TestResultSurfaces:
+    def test_core_records_carry_the_telemetry(self, small_machine):
+        machine = small_machine.with_overrides(
+            contention="bus", contention_params={"lines_per_quantum": 2}
+        )
+        result = _contended_run(machine)
+        assert result.total_queue_delay_cycles > 0
+        assert result.total_bus_transfers > 0
+        assert result.total_queue_delay_cycles == sum(
+            core.queue_delay_cycles for core in result.cores
+        )
+        for core in result.cores:
+            assert 0 <= core.queue_delay_cycles <= core.busy_cycles
+            assert core.bus_transfers >= 0
+
+    def test_achieved_bandwidth(self, small_machine):
+        machine = small_machine.with_overrides(contention="noc")
+        result = _contended_run(machine)
+        makespan = result.makespan_cycles
+        per_core = sum(core.achieved_bandwidth(makespan) for core in result.cores)
+        assert result.achieved_bandwidth() == pytest.approx(per_core)
+        assert result.cores[0].achieved_bandwidth(0) == 0.0
+
+    def test_uncontended_telemetry_is_zero(self, small_machine):
+        result = _contended_run(small_machine)
+        assert result.total_queue_delay_cycles == 0
+        assert result.total_bus_transfers == 0
+
+
+def _result_row(scheduler="RS", seed=0, machine="paper", **extra):
+    base = dict(
+        key=f"W|{machine}|{scheduler}|{seed}",
+        workload="W",
+        machine=machine,
+        scheduler=scheduler,
+        scheduler_name=scheduler,
+        seed=seed,
+        scale=1.0,
+        seconds=0.5,
+        makespan_cycles=1000,
+        miss_rate=0.1,
+        hits=90,
+        misses=10,
+        utilization=0.8,
+    )
+    base.update(extra)
+    return RunResult(**base)
+
+
+class TestCampaignSurfaces:
+    def test_run_result_round_trips_contention_fields(self):
+        row = _result_row(queue_delay_cycles=123, bus_transfers=45)
+        assert RunResult.from_dict(row.to_dict()) == row
+
+    def test_uncontended_dict_keeps_historical_schema(self):
+        payload = _result_row().to_dict()
+        assert "queue_delay_cycles" not in payload
+        assert "bus_transfers" not in payload
+
+    def test_csv_columns_appear_only_under_contention(self):
+        plain = results_to_csv([_result_row()])
+        assert "queue_delay_cycles" not in plain.splitlines()[0]
+        mixed = results_to_csv(
+            [_result_row(), _result_row(seed=1, queue_delay_cycles=7, bus_transfers=3)]
+        )
+        header, first, second = mixed.splitlines()
+        assert header.endswith("queue_delay_cycles,bus_transfers")
+        assert first.endswith(",,")  # null-model row renders empty cells
+        assert second.endswith(",7,3")
+
+    def test_rollup_means_and_rendering(self):
+        rows = rollup_results(
+            [
+                _result_row(seed=0, queue_delay_cycles=10, bus_transfers=1),
+                _result_row(seed=1, queue_delay_cycles=30, bus_transfers=1),
+            ]
+        )
+        assert rows[0].mean_queue_delay_cycles == pytest.approx(20.0)
+        table = render_rollup(
+            [_result_row(seed=0, queue_delay_cycles=10, bus_transfers=1)]
+        )
+        assert "bus wait (cyc)" in table
+        assert "bus wait" not in render_rollup([_result_row()])

@@ -18,13 +18,9 @@ from repro.util.faults import (
 )
 from repro.util.invalidation import worker_state_epoch
 
-
-@pytest.fixture(autouse=True)
-def _no_ambient_plan(monkeypatch):
-    """Tests must not see (or leak) a fault plan via the environment."""
-    monkeypatch.delenv(PLAN_ENV, raising=False)
-    yield
-    monkeypatch.delenv(PLAN_ENV, raising=False)
+# Ambient-plan hygiene (shedding REPRO_FAULT_PLAN before each test and
+# restoring the environment after) comes from the shared autouse
+# fixtures in conftest.py.
 
 
 class TestPlanGrammar:

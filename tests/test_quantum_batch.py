@@ -197,6 +197,8 @@ def _canon(result):
                 core.core_id,
                 core.busy_cycles,
                 tuple(core.executed_pids),
+                core.queue_delay_cycles,
+                core.bus_transfers,
                 core.cache.hits,
                 core.cache.misses,
                 core.cache.write_hits,
@@ -309,6 +311,31 @@ class TestSharedQueueDriverEquivalence:
         finally:
             set_quantum_batch(True)
         assert _canon(batched) == _canon(scalar)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_every_registered_contention_model_matches(
+        self, monkeypatch, seed, small_machine
+    ):
+        """Batched-vs-scalar equality must hold for every model in the
+        CONTENTION registry at its default parameters — a plugin that
+        breaks the oracle fails here, not in production.
+        """
+        from repro.api.registries import list_contentions
+
+        _force_batching(monkeypatch)
+        epg = _epg(seed + 500)
+        for name, _, _ in list_contentions():
+            simulator = MPSoCSimulator(
+                small_machine.with_overrides(contention=name)
+            )
+            set_quantum_batch(True)
+            batched = simulator.run(epg, RoundRobinScheduler())
+            set_quantum_batch(False)
+            try:
+                scalar = simulator.run(epg, RoundRobinScheduler())
+            finally:
+                set_quantum_batch(True)
+            assert _canon(batched) == _canon(scalar), name
 
     def test_default_paper_machine_stays_scalar(self):
         """The Table-2 8k quantum sits below the batching crossover, so

@@ -19,12 +19,10 @@ from repro.campaign.executor import clear_cell_memo, run_campaign
 from repro.campaign.spec import CampaignSpec, MachineVariant, SchedulerSpec
 from repro.campaign.store import ResultStore
 from repro.cache.store import MemoStore
-from repro.util.faults import PLAN_ENV, configure_fault_plan
+from repro.util.faults import configure_fault_plan
 
-
-@pytest.fixture(autouse=True)
-def _no_ambient_plan(monkeypatch):
-    monkeypatch.delenv(PLAN_ENV, raising=False)
+# Ambient REPRO_FAULT_PLAN hygiene comes from conftest.py's shared
+# autouse environment fixtures.
 
 
 @pytest.fixture

@@ -12,9 +12,22 @@ from repro.sim.simulator import MPSoCSimulator
 
 
 class TestEnergyModel:
-    def test_negative_constants_rejected(self):
-        with pytest.raises(ValidationError):
-            EnergyModel(cache_access_nj=-1)
+    @pytest.mark.parametrize(
+        "field_name",
+        [
+            "cache_access_nj",
+            "offchip_access_nj",
+            "writeback_nj",
+            "core_active_nj_per_cycle",
+            "core_idle_nj_per_cycle",
+        ],
+    )
+    def test_negative_constants_rejected(self, field_name):
+        with pytest.raises(ValidationError, match=field_name):
+            EnergyModel(**{field_name: -1})
+
+    def test_zero_constants_allowed(self):
+        assert EnergyModel(0, 0, 0, 0, 0).cache_access_nj == 0
 
     def test_breakdown_total(self):
         breakdown = EnergyBreakdown(1.0, 2.0, 3.0, 4.0)
@@ -58,6 +71,45 @@ class TestEnergyOf:
     def test_free_model_gives_zero(self, result):
         model = EnergyModel(0, 0, 0, 0, 0)
         assert energy_of(result, model).total_mj == 0.0
+
+    def test_queueing_stall_charged_at_idle_rate(self, small_machine, small_epg):
+        """Contention stall sits inside busy_cycles but burns idle power."""
+        machine = small_machine.with_overrides(
+            contention="bus", contention_params={"lines_per_quantum": 2}
+        )
+        result = MPSoCSimulator(machine).run(small_epg, RandomScheduler(seed=1))
+        stalled = sum(core.queue_delay_cycles for core in result.cores)
+        assert stalled > 0
+        model = EnergyModel()
+        breakdown = energy_of(result, model)
+        busy = sum(core.busy_cycles for core in result.cores)
+        idle = sum(
+            core.idle_cycles(result.makespan_cycles) for core in result.cores
+        )
+        assert breakdown.core_active_mj == pytest.approx(
+            (busy - stalled) * model.core_active_nj_per_cycle * 1e-6
+        )
+        assert breakdown.core_idle_mj == pytest.approx(
+            (idle + stalled) * model.core_idle_nj_per_cycle * 1e-6
+        )
+
+    def test_stall_shifts_energy_not_events(self, small_machine, small_epg):
+        """Under a static plan the contended run touches the same lines,
+        so only the active/idle split moves — cache and off-chip energy
+        are identical to the uncontended run."""
+        from repro.sched.locality import StaticLocalityScheduler
+
+        machine = small_machine.with_overrides(
+            contention="noc", contention_params={"hop_cycles": 8}
+        )
+        plain = energy_of(
+            MPSoCSimulator(small_machine).run(small_epg, StaticLocalityScheduler())
+        )
+        contended = energy_of(
+            MPSoCSimulator(machine).run(small_epg, StaticLocalityScheduler())
+        )
+        assert contended.cache_mj == pytest.approx(plain.cache_mj)
+        assert contended.offchip_mj == pytest.approx(plain.offchip_mj)
 
     def test_locality_scheduling_saves_energy(self, small_machine):
         """The paper's power claim: fewer off-chip references mean less
