@@ -13,7 +13,12 @@ Drives the real ``repro campaign`` CLI three times over the same grid:
    quarantined cells.  Must exit 0 and converge the store to the full,
    failure-free grid.
 
-Usage: PYTHONPATH=src python scripts/chaos_smoke.py [--keep]
+With ``--serve``, a fourth pass runs the campaign-*service* chaos smoke
+(``scripts/serve_smoke.py --chaos``): the same invariants stated against
+``python -m repro serve`` under injected request errors, disconnects,
+delays, and a murdered worker.
+
+Usage: PYTHONPATH=src python scripts/chaos_smoke.py [--serve] [--keep]
 """
 
 from __future__ import annotations
@@ -82,6 +87,11 @@ def main() -> int:
     parser.add_argument(
         "--keep", action="store_true",
         help="keep the scratch directory for inspection",
+    )
+    parser.add_argument(
+        "--serve", action="store_true",
+        help="also run the campaign-service chaos smoke "
+             "(scripts/serve_smoke.py --chaos)",
     )
     options = parser.parse_args()
 
@@ -159,6 +169,18 @@ def main() -> int:
                 f"repaired {key} differs from the fault-free baseline"
             )
         print("repair pass OK: store converged to the full grid")
+
+        if options.serve:
+            print("== 4/4 campaign-service chaos smoke ==")
+            serve_smoke = Path(__file__).with_name("serve_smoke.py")
+            proc = subprocess.run(
+                [sys.executable, str(serve_smoke), "--chaos"], env=clean_env
+            )
+            if proc.returncode != 0:
+                raise SystemExit(
+                    f"FAIL: serve chaos smoke exited {proc.returncode}"
+                )
+
         print("CHAOS SMOKE PASSED")
         return 0
     finally:

@@ -14,13 +14,16 @@ Each module groups the rules protecting one invariant family (see
 - :mod:`~repro.analysis.rules.api_surface` — ``__all__`` kept in sync
   with the real exports;
 - :mod:`~repro.analysis.rules.typing_discipline` — fully-annotated
-  defs across the ``mypy --strict`` core.
+  defs across the ``mypy --strict`` core;
+- :mod:`~repro.analysis.rules.async_discipline` — no loop-blocking
+  calls inside the campaign service's coroutines.
 """
 
 from __future__ import annotations
 
 from repro.analysis.rules import (  # noqa: F401  (import = registration)
     api_surface,
+    async_discipline,
     determinism,
     pickle_safety,
     spec_hash,
@@ -30,6 +33,7 @@ from repro.analysis.rules import (  # noqa: F401  (import = registration)
 
 __all__ = [
     "api_surface",
+    "async_discipline",
     "determinism",
     "pickle_safety",
     "spec_hash",

@@ -1,0 +1,104 @@
+"""Rule keeping the campaign service's event loop unblocked.
+
+The ``repro.serve`` package runs every connection on one asyncio event
+loop; a single blocking call in a coroutine stalls *every* connected
+client — heartbeats stop streaming, drains hang, and the chaos smoke's
+latency assertions fail in ways that look like scheduler bugs.  Blocking
+work belongs on the service's executor threads, never in an
+``async def``.  This rule bans the three offenders that have actually
+bitten asyncio services: ``time.sleep`` (use ``asyncio.sleep``),
+synchronous ``subprocess`` entry points (use
+``asyncio.create_subprocess_exec``), and ``sqlite3`` connections (use an
+executor thread).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ModuleContext, dotted_name
+from repro.analysis.registry import register_rule
+
+#: Packages whose coroutines share one event loop and must not block it.
+ASYNC_CORE = ("repro.serve",)
+
+#: Blocking calls banned inside ``async def`` bodies.
+_BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "subprocess.getoutput",
+        "subprocess.getstatusoutput",
+    }
+)
+
+#: Any call into ``sqlite3`` blocks (connect, execute on a connection
+#: made here, ...); the whole module is banned on the loop thread.
+_BLOCKING_PREFIXES = ("sqlite3.",)
+
+
+def _body_calls(
+    func: ast.AsyncFunctionDef,
+) -> Iterator[ast.Call]:
+    """Calls lexically inside ``func``, excluding nested function defs.
+
+    A nested ``def`` runs when *called*, possibly on an executor thread,
+    so its body is judged where it executes, not where it is written.
+    """
+    stack: list[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register_rule(
+    "blocking-call-in-async",
+    description=(
+        "coroutines in the campaign service must not block the event "
+        "loop: no time.sleep, sync subprocess, or sqlite3 calls inside "
+        "async def"
+    ),
+)
+def blocking_call_in_async(ctx: ModuleContext) -> Iterator[Finding]:
+    """Flag loop-blocking calls inside ``async def`` under the async core."""
+    if not ctx.in_package(*ASYNC_CORE):
+        return
+    for node in ctx.walk():
+        if not isinstance(node, ast.AsyncFunctionDef):
+            continue
+        for call in _body_calls(node):
+            name = dotted_name(call.func)
+            if name is None:
+                continue
+            if name in _BLOCKING_CALLS:
+                fix = (
+                    "await asyncio.sleep(...)"
+                    if name == "time.sleep"
+                    else "await asyncio.create_subprocess_exec(...)"
+                )
+                yield ctx.finding(
+                    call,
+                    "blocking-call-in-async",
+                    f"{name}() inside coroutine {node.name!r} blocks the "
+                    f"event loop for every connected client; use {fix} "
+                    "or move the work to an executor thread",
+                )
+            elif name.startswith(_BLOCKING_PREFIXES):
+                yield ctx.finding(
+                    call,
+                    "blocking-call-in-async",
+                    f"{name}() inside coroutine {node.name!r}: sqlite3 "
+                    "I/O blocks the event loop; run it on an executor "
+                    "thread (loop.run_in_executor)",
+                )

@@ -23,6 +23,7 @@ STRICT_CORE = (
     "repro.api",
     "repro.campaign",
     "repro.cache.store",
+    "repro.serve",
     "repro.sim.contention",
     "repro.sim.qplan",
     "repro.util",

@@ -25,6 +25,7 @@ unchanged.
 from __future__ import annotations
 
 import atexit
+import contextlib
 import math
 import time
 from concurrent.futures import (
@@ -43,7 +44,12 @@ from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro.api.scenario import Scenario
 from repro.campaign.spec import CampaignSpec, RunSpec
-from repro.errors import CampaignError, CellTimeoutError, WorkerCrashError
+from repro.errors import (
+    CampaignError,
+    CellTimeoutError,
+    LeaseExpiredError,
+    WorkerCrashError,
+)
 from repro.util.invalidation import register_worker_state, worker_state_epoch
 
 if TYPE_CHECKING:
@@ -90,11 +96,24 @@ def _pool_worker_init(
     the active fault-injection plan consistent across the fleet.
     """
     import os as _os
+    import signal as _signal
 
     from repro.cache.memo import set_fast_cache, set_trace_memo
     from repro.cache.store import active_memo_store, configure_memo_store
     from repro.sim.qplan import set_quantum_batch
     from repro.util.faults import PLAN_ENV
+
+    # Shed fork-inherited asyncio signal plumbing.  A parent running an
+    # event loop (the campaign service) holds SIGTERM/SIGINT handlers
+    # and a signal wakeup fd whose pipe the forked worker shares; left
+    # in place, terminating a worker (a) does not kill it — the
+    # inherited Python-level handler just returns — and (b) writes the
+    # signal byte into the *parent's* wakeup pipe, which the parent
+    # loop dispatches as its own SIGTERM and begins draining.
+    with contextlib.suppress(ValueError, OSError, RuntimeError):
+        _signal.set_wakeup_fd(-1)
+        _signal.signal(_signal.SIGTERM, _signal.SIG_DFL)
+        _signal.signal(_signal.SIGINT, _signal.SIG_DFL)
 
     set_fast_cache(fast_cache)
     set_trace_memo(trace_memo)
@@ -286,6 +305,10 @@ class _FanOut:
     keep_going: bool
     on_result: ResultFn | None
     on_failure: FailureFn | None
+    #: Lease length for dispatched units (processes policy only): a unit
+    #: whose worker stops heartbeating for this long is presumed dead
+    #: and resubmitted.  None disables leasing (the historical behavior).
+    lease_seconds: float | None = None
 
     #: Poll interval while waiting for a future to enter the running
     #: state (needed to anchor its wall-clock deadline).
@@ -301,7 +324,12 @@ class _FanOut:
         self.active: "dict[Future[object], list[int]]" = {}
         self.run_started: "dict[Future[object], float]" = {}  # monotonic stamps
         self.delayed: list[tuple[float, int]] = []  # (due, index)
-        self.single_mode = self.cell_timeout is not None
+        self.single_mode = (
+            self.cell_timeout is not None or self.lease_seconds is not None
+        )
+        self.lease_dir: Path | None = None
+        self.lease_files: "dict[Future[object], Path]" = {}
+        self.lease_counter = 0
         self.abort_exc: BaseException | None = None
         self.pool_breaks = 0
         self.thread_pool: ThreadPoolExecutor | None = None
@@ -344,11 +372,40 @@ class _FanOut:
             self.first_submit.setdefault(index, now)
         if self.policy == "threads":
             future = self.thread_pool.submit(execute_run, self.runs[indices[0]])
+        elif self.lease_seconds is not None:
+            from repro.campaign.leases import (
+                execute_leased_outcomes,
+                grant_lease,
+                heartbeat_interval,
+            )
+
+            if self.lease_dir is None:
+                import tempfile
+
+                self.lease_dir = Path(tempfile.mkdtemp(prefix="repro-leases-"))
+            self.lease_counter += 1
+            lease = self.lease_dir / f"unit-{self.lease_counter}.hb"
+            grant_lease(lease)
+            future = _shared_process_pool(self.jobs).submit(
+                execute_leased_outcomes,
+                [self.runs[i] for i in indices],
+                str(lease),
+                heartbeat_interval(self.lease_seconds),
+            )
+            self.lease_files[future] = lease
         else:
             future = _shared_process_pool(self.jobs).submit(
                 execute_chunk_outcomes, [self.runs[i] for i in indices]
             )
         self.active[future] = indices
+
+    def _drop_lease(self, future: "Future[object]") -> None:
+        lease = self.lease_files.pop(future, None)
+        if lease is not None:
+            try:
+                lease.unlink()
+            except OSError:
+                pass
 
     # -- one scheduler turn --------------------------------------------------
 
@@ -371,6 +428,13 @@ class _FanOut:
         for future in self.active:
             if future not in self.run_started and future.running():
                 self.run_started[future] = now
+                lease = self.lease_files.get(future)
+                if lease is not None:
+                    # Re-anchor the lease clock: time spent queued behind
+                    # a full pool must not count against the worker.
+                    from repro.campaign.leases import grant_lease
+
+                    grant_lease(lease)
         done, _ = wait(
             set(self.active),
             timeout=self._wait_timeout(now),
@@ -380,6 +444,8 @@ class _FanOut:
             self._complete(future)
         if self.cell_timeout is not None and self.abort_exc is None:
             self._expire(time.monotonic())
+        if self.lease_seconds is not None and self.abort_exc is None:
+            self._reap_leases()
 
     def _wait_timeout(self, now: float) -> float | None:
         candidates = []
@@ -395,6 +461,14 @@ class _FanOut:
                 candidates.append(min(running) + self.cell_timeout - now)
             if any(f not in self.run_started for f in self.active):
                 candidates.append(self.poll)
+        if self.lease_seconds is not None and self.active:
+            from repro.campaign.leases import heartbeat_interval
+
+            # Wake at the heartbeat cadence so stale leases are noticed
+            # within one renewal interval of going stale.
+            candidates.append(heartbeat_interval(self.lease_seconds))
+            if any(f not in self.run_started for f in self.active):
+                candidates.append(self.poll)
         if not candidates:
             return None  # block until a future completes
         return max(0.0, min(candidates))
@@ -408,6 +482,7 @@ class _FanOut:
         if indices is None:
             return
         self.run_started.pop(future, None)
+        self._drop_lease(future)
         try:
             payload = future.result()
         except BrokenProcessPool as exc:
@@ -518,6 +593,7 @@ class _FanOut:
         for dead, dead_indices in broken:
             was_running = dead is future or dead in self.run_started
             self.run_started.pop(dead, None)
+            self._drop_lease(dead)
             if dead_indices == [probe_index]:
                 self._cell_failed(
                     probe_index,
@@ -563,8 +639,51 @@ class _FanOut:
         self.run_started.clear()
         self.probe = None  # every in-flight future died with the pool
         for future, indices in units:
+            self._drop_lease(future)
             if future in victims:
                 self._timeout_cell(indices[0])
+                if self.abort_exc is not None:
+                    return
+            else:
+                self._resubmit(indices)
+
+    def _reap_leases(self) -> None:
+        """Expire leased units whose workers stopped heartbeating.
+
+        Unlike a pool break — where every in-flight future dies at once
+        and attribution needs the suspect/solo-probe dance — a stale
+        heartbeat names its cell exactly, so the expired cell is charged
+        a :class:`LeaseExpiredError` (kind ``crash``) directly and the
+        innocent bystanders resubmit uncharged on a fresh pool.
+        """
+        from repro.campaign.leases import heartbeat_age
+
+        expired = [
+            future
+            for future in self.active
+            if future in self.run_started
+            and future in self.lease_files
+            and heartbeat_age(self.lease_files[future]) >= self.lease_seconds
+        ]
+        if not expired:
+            return
+        # The presumed-dead worker may be merely stopped; kill the pool
+        # so it cannot come back and double-report its cell.
+        _terminate_shared_pool(self.jobs)
+        victims = set(expired)
+        units = list(self.active.items())
+        self.active.clear()
+        self.run_started.clear()
+        self.probe = None
+        for future, indices in units:
+            self._drop_lease(future)
+            if future in victims:
+                self._cell_failed(
+                    indices[0],
+                    LeaseExpiredError(
+                        self.runs[indices[0]].cell_key(), self.lease_seconds
+                    ),
+                )
                 if self.abort_exc is not None:
                     return
             else:
@@ -583,6 +702,12 @@ class _FanOut:
         if self.thread_pool is not None:
             self.thread_pool.shutdown(wait=False, cancel_futures=True)
             self.thread_pool = None
+        if self.lease_dir is not None:
+            import shutil
+
+            shutil.rmtree(self.lease_dir, ignore_errors=True)
+            self.lease_dir = None
+            self.lease_files.clear()
 
 
 def _as_run_specs(runnable: object) -> list[RunSpec]:
@@ -620,6 +745,15 @@ class Engine:
     :class:`~repro.campaign.failures.CellFailure` quarantine records
     instead of aborting the batch.  All three default off, which is
     byte-for-byte the historical behavior.
+
+    ``lease_seconds`` adds a liveness check on top: each dispatched unit
+    carries a lease renewed by worker heartbeats, and a worker silent
+    for a full lease is presumed dead — its cell is charged a ``crash``
+    and resubmitted (see :mod:`repro.campaign.leases`).  Leases need
+    real worker processes, so the knob applies to the ``processes``
+    policy only and is silently ignored elsewhere; it bounds *silence*,
+    not runtime — pair it with ``cell_timeout`` to also bound a worker
+    that is alive but stuck.
     """
 
     jobs: int = 1
@@ -630,6 +764,7 @@ class Engine:
     max_retries: int = 0
     cell_timeout: float | None = None
     keep_going: bool = False
+    lease_seconds: float | None = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -646,6 +781,10 @@ class Engine:
         if self.cell_timeout is not None and self.cell_timeout <= 0:
             raise CampaignError(
                 f"cell_timeout must be positive, got {self.cell_timeout}"
+            )
+        if self.lease_seconds is not None and self.lease_seconds <= 0:
+            raise CampaignError(
+                f"lease_seconds must be positive, got {self.lease_seconds}"
             )
 
     # -- single cell ---------------------------------------------------------
@@ -674,6 +813,7 @@ class Engine:
         cell_timeout: float | None = None,
         keep_going: bool | None = None,
         on_failure: FailureFn | None = None,
+        lease_seconds: float | None = None,
     ) -> "list[RunResult]":
         """Run every cell; returns completed results in declaration order.
 
@@ -711,6 +851,17 @@ class Engine:
                 f"cell_timeout must be positive, got {cell_timeout}"
             )
         keep_going = self.keep_going if keep_going is None else keep_going
+        lease_seconds = (
+            self.lease_seconds if lease_seconds is None else lease_seconds
+        )
+        if lease_seconds is not None and lease_seconds <= 0:
+            raise CampaignError(
+                f"lease_seconds must be positive, got {lease_seconds}"
+            )
+        if policy != "processes":
+            # Leases require real worker processes whose silence is
+            # observable; in-process policies cannot lose a worker.
+            lease_seconds = None
         attempts_allowed = max_retries + 1
 
         if policy == "serial":
@@ -727,6 +878,7 @@ class Engine:
             keep_going=keep_going,
             on_result=on_result,
             on_failure=on_failure,
+            lease_seconds=lease_seconds,
         ).execute()
         return [result for result in ordered if result is not None]
 
@@ -811,6 +963,7 @@ class Engine:
             max_retries=self.max_retries,
             cell_timeout=self.cell_timeout,
             keep_going=self.keep_going,
+            lease_seconds=self.lease_seconds,
         )
 
     # -- scheduler comparisons (the run_comparison shape) --------------------

@@ -426,6 +426,7 @@ def run_campaign(
     cell_timeout: float | None = None,
     keep_going: bool = False,
     on_failure: Callable[[CellFailure], None] | None = None,
+    lease_seconds: float | None = None,
 ) -> CampaignOutcome:
     """Expand and execute a campaign.
 
@@ -443,6 +444,10 @@ def run_campaign(
     :attr:`CampaignOutcome.failures`, and — because failure lines never
     load as results — re-attempted by the next ``resume`` run, which is
     thereby a repair pass.
+
+    ``lease_seconds`` arms worker-liveness leases (processes policy
+    only; see :mod:`repro.campaign.leases`): a worker silent for a full
+    lease has its cell charged a ``crash`` failure and resubmitted.
     """
     if jobs < 1:
         raise CampaignError(f"jobs must be >= 1, got {jobs}")
@@ -489,6 +494,7 @@ def run_campaign(
         max_retries=max_retries,
         cell_timeout=cell_timeout,
         keep_going=keep_going,
+        lease_seconds=lease_seconds,
     ).run_many(todo, on_result=record, on_failure=record_failure)
 
     ordered = [

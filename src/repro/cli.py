@@ -8,10 +8,16 @@ the documented flags can never drift from the real ones.
 from __future__ import annotations
 
 import argparse
+import contextlib
+import signal
 import sys
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Iterator, Sequence
 
 from repro.errors import CampaignError, ReproError
+
+#: Exit status of a gracefully interrupted run (128 + SIGINT, the shell
+#: convention), distinct from usage errors (2) and quarantine (3).
+EXIT_INTERRUPTED = 130
 
 # The experiment and campaign machinery (and numpy underneath) is
 # imported inside the dispatch functions: building the parser must stay
@@ -239,6 +245,57 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     add_robustness(camp)
     add_memo_dir(camp)
+
+    serve = sub.add_parser(
+        "serve",
+        help=(
+            "run the campaign service: accept spec submissions over a "
+            "local socket and stream per-cell progress back as JSON lines"
+        ),
+    )
+    serve.add_argument(
+        "--host", type=str, default="127.0.0.1",
+        help="interface to bind (local by design)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port; 0 picks an ephemeral port, announced on stdout",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=2,
+        help="worker processes per running campaign",
+    )
+    serve.add_argument(
+        "--max-active", type=int, default=2, dest="max_active",
+        help="campaigns executing concurrently",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=8, dest="queue_limit",
+        help=(
+            "bounded admission queue: campaigns admitted but unfinished; "
+            "past it, submissions get a structured retry-after reject"
+        ),
+    )
+    serve.add_argument(
+        "--max-retries", type=int, default=2, dest="max_retries",
+        help="per-cell retry budget (services absorb transient failure)",
+    )
+    serve.add_argument(
+        "--cell-timeout", type=float, default=120.0, dest="cell_timeout",
+        help="per-attempt wall-clock budget in seconds",
+    )
+    serve.add_argument(
+        "--lease", type=float, default=15.0, dest="lease_seconds",
+        help=(
+            "worker-liveness lease in seconds: a worker silent this long "
+            "has its cell resubmitted"
+        ),
+    )
+    serve.add_argument(
+        "--store-root", type=str, default=".repro-campaign", dest="store_root",
+        help="directory of the JSONL result stores and spec sidecars",
+    )
+    add_memo_dir(serve)
     return parser
 
 
@@ -373,6 +430,46 @@ def _run_list_command(args: argparse.Namespace) -> int:
     return 0
 
 
+@contextlib.contextmanager
+def _graceful_signals() -> Iterator[None]:
+    """Route SIGTERM onto the KeyboardInterrupt path SIGINT already takes.
+
+    Long campaign runs are sent SIGTERM by schedulers and CI harnesses
+    at least as often as a human presses Ctrl-C; both must exit through
+    the same code path that prints the partial-progress resume hint.
+    Off the main thread (or where signals are unavailable) this is a
+    no-op — the run simply has no graceful-interrupt window.
+    """
+
+    def raise_interrupt(signum: int, frame: object) -> None:
+        raise KeyboardInterrupt
+
+    previous: dict[int, object] = {}
+    with contextlib.suppress(ValueError, OSError, RuntimeError):
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous[signum] = signal.signal(signum, raise_interrupt)
+    try:
+        yield
+    finally:
+        for signum, handler in previous.items():
+            with contextlib.suppress(ValueError, OSError, RuntimeError):
+                signal.signal(signum, handler)  # type: ignore[arg-type]
+
+
+def _report_interrupt(command: str, spec_hash: str, store_path: object) -> int:
+    """The graceful-interrupt epilogue: where the progress went, how to resume."""
+    print(
+        "\ninterrupted: completed cells are flushed to the result store; "
+        "nothing is lost."
+    )
+    print(f"[store: {store_path}]")
+    print(
+        f"resume with: python -m repro {command} ... --resume   "
+        f"(spec hash {spec_hash})"
+    )
+    return EXIT_INTERRUPTED
+
+
 def _report_failures(outcome, quiet: bool) -> int:
     """Print the quarantine report; return the process exit code.
 
@@ -431,16 +528,20 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
         f"{len(spec.schedulers)} schedulers x {len(spec.seeds)} seeds), "
         f"jobs={args.jobs}"
     )
-    outcome = run_campaign(
-        spec,
-        jobs=args.jobs,
-        store=store,
-        resume=args.resume,
-        progress=progress,
-        max_retries=args.max_retries,
-        cell_timeout=args.cell_timeout,
-        keep_going=args.keep_going,
-    )
+    try:
+        with _graceful_signals():
+            outcome = run_campaign(
+                spec,
+                jobs=args.jobs,
+                store=store,
+                resume=args.resume,
+                progress=progress,
+                max_retries=args.max_retries,
+                cell_timeout=args.cell_timeout,
+                keep_going=args.keep_going,
+            )
+    except KeyboardInterrupt:
+        return _report_interrupt("campaign", spec.spec_hash(), store.path)
     if outcome.skipped:
         print(f"  [resume] skipped {outcome.skipped} completed cells")
     print()
@@ -487,22 +588,43 @@ def _run_open_system_command(args: argparse.Namespace) -> int:
                 f"p99 {result.open['response_p99_ms']:.3f} ms"
             )
 
-    outcome = run_open_system(
-        apps=apps,
-        rates=rates,
-        schedulers=schedulers,
-        seeds=seeds,
-        scale=scale,
-        process=args.process,
-        machine=args.machine,
-        jobs=args.jobs,
-        store=args.store,
-        resume=args.resume,
-        progress=progress,
-        max_retries=args.max_retries,
-        cell_timeout=args.cell_timeout,
-        keep_going=args.keep_going,
-    )
+    try:
+        with _graceful_signals():
+            outcome = run_open_system(
+                apps=apps,
+                rates=rates,
+                schedulers=schedulers,
+                seeds=seeds,
+                scale=scale,
+                process=args.process,
+                machine=args.machine,
+                jobs=args.jobs,
+                store=args.store,
+                resume=args.resume,
+                progress=progress,
+                max_retries=args.max_retries,
+                cell_timeout=args.cell_timeout,
+                keep_going=args.keep_going,
+            )
+    except KeyboardInterrupt:
+        from repro.campaign.store import ResultStore
+        from repro.experiments.open_system import campaign_spec_open_system
+
+        spec_hash = campaign_spec_open_system(
+            apps=apps,
+            rates=rates,
+            schedulers=schedulers,
+            seeds=seeds,
+            scale=scale,
+            process=args.process,
+            machine=args.machine,
+        ).spec_hash()
+        store_path = (
+            args.store
+            if args.store is not None
+            else ResultStore.default_path(spec_hash)
+        )
+        return _report_interrupt("open-system", spec_hash, store_path)
     if outcome.skipped:
         print(f"  [resume] skipped {outcome.skipped} completed cells")
     print()
@@ -576,6 +698,34 @@ def _run_memo_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve_command(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.serve.server import run_server
+    from repro.serve.service import ServeConfig
+
+    config = ServeConfig(
+        store_root=Path(args.store_root),
+        jobs=args.jobs,
+        max_active=args.max_active,
+        queue_limit=args.queue_limit,
+        max_retries=args.max_retries,
+        cell_timeout=args.cell_timeout if args.cell_timeout > 0 else None,
+        lease_seconds=args.lease_seconds if args.lease_seconds > 0 else None,
+    )
+
+    def announce(evt: dict) -> None:
+        # One machine-readable line: clients of --port 0 read the bound
+        # port from here.
+        print(json.dumps(evt, sort_keys=True), flush=True)
+
+    code = run_server(host=args.host, port=args.port, config=config,
+                      announce=announce)
+    print("campaign service drained and stopped.", flush=True)
+    return code
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if getattr(args, "memo_dir", None) is not None and args.command != "memo":
         from repro.cache.store import configure_memo_store
@@ -646,6 +796,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(f"\n[json written to {write_bench(results, args.output)}]")
     elif args.command == "campaign":
         return _run_campaign_command(args)
+    elif args.command == "serve":
+        return _run_serve_command(args)
     return 0
 
 

@@ -227,6 +227,30 @@ class WorkerCrashError(CampaignError):
         return (type(self), (self.key,))
 
 
+class LeaseExpiredError(WorkerCrashError):
+    """A leased cell's worker stopped heartbeating before completion.
+
+    Subclasses :class:`WorkerCrashError` because a stale heartbeat means
+    the worker is presumed dead (killed without breaking the pool, or
+    its process wedged beyond even its heartbeat thread); quarantine
+    records therefore classify lease expiries as ``crash``, and the
+    engine resubmits the cell through the ordinary retry machinery.
+    """
+
+    def __init__(self, key: str, lease_seconds: float) -> None:
+        self.key = key
+        self.lease_seconds = lease_seconds
+        # Skip WorkerCrashError.__init__ (it would overwrite the message).
+        Exception.__init__(
+            self,
+            f"lease on cell {key!r} expired: no worker heartbeat for "
+            f"{lease_seconds:g}s (worker presumed dead)",
+        )
+
+    def __reduce__(self):
+        return (type(self), (self.key, self.lease_seconds))
+
+
 class InjectedFaultError(ReproError):
     """A fault deliberately raised by the fault-injection harness.
 
@@ -245,8 +269,28 @@ class InjectedFaultError(ReproError):
         return (type(self), (self.site, self.key))
 
 
+class InjectedDisconnectError(InjectedFaultError):
+    """An injected connection drop (the ``disconnect`` fault kind).
+
+    Raised at ``serve``-site fault points to simulate a client or
+    transport vanishing mid-stream; the server maps it to an abrupt
+    connection abort rather than a structured error reply, so retrying
+    clients exercise the reattach path.  Inherits the ``(site, key)``
+    constructor and ``__reduce__`` from :class:`InjectedFaultError`.
+    """
+
+
 class FaultPlanError(ReproError):
     """A fault-injection plan (``REPRO_FAULT_PLAN``) failed to parse."""
+
+
+class ServeError(ReproError):
+    """The campaign service was misconfigured or a request failed for good.
+
+    Raised client-side when a retrying client exhausts its convergence
+    budget, and server-side for configuration errors; transient faults
+    (disconnects, rejects) are retried, never raised.
+    """
 
 
 class MemoStoreError(ReproError):

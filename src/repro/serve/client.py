@@ -1,0 +1,165 @@
+"""Blocking client for the campaign service, plus the convergence loop.
+
+:class:`ServeClient` is a thin synchronous JSONL client — one request,
+an iterator of events — for scripts, tests, and the CLI.
+
+:func:`submit_converged` is the client the chaos invariant is stated
+about: it retries *through* every transient failure the service can
+exhibit — connection refused, injected disconnects mid-stream, torn
+lines, structured ``rejected`` backpressure (sleeping the advertised
+``retry_after``), drain suspensions, server restarts (reattaching by
+spec hash, falling back to a full resubmit when the new server never
+saw the hash), and quarantined cells (each reattach is a repair pass) —
+until the campaign reports ``done`` with zero failures.  Because the
+service is idempotent and resumes from its store, the loop converges to
+the same timing-independent result fingerprint as a fault-free run.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Iterator
+
+from repro.campaign.spec import CampaignSpec
+from repro.errors import ServeError
+from repro.serve.protocol import encode_line
+
+
+def _as_spec_dict(spec: object) -> dict[str, object]:
+    """Normalize a Scenario / CampaignSpec / plain dict to wire form."""
+    to_campaign = getattr(spec, "to_campaign", None)
+    if callable(to_campaign):  # Scenario (avoids importing the facade here)
+        spec = to_campaign()
+    if isinstance(spec, CampaignSpec):
+        return spec.to_dict()
+    if isinstance(spec, dict):
+        return spec
+    raise ServeError(
+        f"cannot submit {spec!r}: expected a Scenario, CampaignSpec, or "
+        f"spec dict"
+    )
+
+
+class ServeClient:
+    """One campaign server endpoint; each request opens one connection."""
+
+    def __init__(
+        self, port: int, host: str = "127.0.0.1", timeout: float = 60.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def request(self, payload: dict[str, object]) -> Iterator[dict[str, object]]:
+        """Send one request line; yield event objects until the stream ends.
+
+        Undecodable lines (the torn tail of an aborted connection) are
+        skipped, not fatal — the retrying caller treats a stream that
+        ends without a terminal event as a disconnect.
+        """
+        with socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        ) as sock:
+            sock.sendall(encode_line(payload))
+            with sock.makefile("rb") as stream:
+                for raw in stream:
+                    line = raw.strip()
+                    if not line:
+                        continue
+                    try:
+                        data = json.loads(line.decode("utf-8"))
+                    except (UnicodeDecodeError, json.JSONDecodeError):
+                        continue
+                    if isinstance(data, dict):
+                        yield data
+
+    def submit(self, spec: object) -> Iterator[dict[str, object]]:
+        """Submit a campaign; yields the event stream."""
+        return self.request({"op": "submit", "spec": _as_spec_dict(spec)})
+
+    def attach(self, spec_hash: str) -> Iterator[dict[str, object]]:
+        """Reattach to a campaign by spec hash; yields the event stream."""
+        return self.request({"op": "attach", "spec_hash": spec_hash})
+
+    def status(self) -> dict[str, object]:
+        """The server's ``status`` event (jobs, drain state, recovery)."""
+        for evt in self.request({"op": "status"}):
+            return evt
+        raise ServeError("campaign server closed the status stream early")
+
+    def shutdown(self) -> dict[str, object]:
+        """Ask the server to drain and exit; returns its acknowledgment."""
+        for evt in self.request({"op": "shutdown"}):
+            return evt
+        raise ServeError("campaign server closed the shutdown stream early")
+
+
+def submit_converged(
+    client: ServeClient,
+    spec: object,
+    budget: float = 120.0,
+    poll: float = 0.25,
+) -> dict[str, object]:
+    """Retry a submission through every transient fault until ``done``.
+
+    Returns the terminal ``done`` event (rollup, fingerprint) once the
+    campaign completes with zero quarantined cells; raises
+    :class:`ServeError` if that does not happen within ``budget``
+    seconds.  See the module docstring for the faults this loop absorbs.
+    """
+    spec_dict = _as_spec_dict(spec)
+    spec_hash: str | None = None
+    deadline = time.monotonic() + budget
+    last = "no response from server"
+    while time.monotonic() < deadline:
+        try:
+            if spec_hash is None:
+                events = client.submit(spec_dict)
+            else:
+                events = client.attach(spec_hash)
+            terminal = False
+            for evt in events:
+                kind = evt.get("event")
+                if kind == "accepted":
+                    spec_hash = str(evt["spec_hash"])
+                elif kind == "done":
+                    failures = int(evt.get("failures", 0))
+                    if failures == 0:
+                        return evt
+                    # Quarantined cells: reattach for a repair pass.
+                    last = f"{failures} cell(s) quarantined; repairing"
+                    terminal = True
+                    time.sleep(poll)
+                    break
+                elif kind == "rejected":
+                    last = f"rejected: {evt.get('reason')}"
+                    terminal = True
+                    time.sleep(float(evt.get("retry_after", poll)))
+                    break
+                elif kind == "suspended":
+                    last = "suspended by a draining server"
+                    terminal = True
+                    time.sleep(poll)
+                    break
+                elif kind in ("error", "job-error"):
+                    message = str(evt.get("message", ""))
+                    if "unknown spec hash" in message:
+                        # A restarted server that lost the sidecar: fall
+                        # back to resubmitting the full spec.
+                        spec_hash = None
+                    last = message or str(kind)
+                    terminal = True
+                    time.sleep(poll)
+                    break
+            if not terminal:
+                # Stream ended with no terminal event: a disconnect.
+                last = "stream ended mid-campaign"
+                time.sleep(poll)
+        except (OSError, ConnectionError) as exc:
+            last = f"{type(exc).__name__}: {exc}"
+            time.sleep(poll)
+    raise ServeError(
+        f"campaign did not converge within {budget:g}s (last: {last})"
+    )

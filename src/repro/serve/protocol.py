@@ -1,0 +1,76 @@
+"""Wire protocol of the campaign service: line-delimited JSON.
+
+One request object per connection, then a stream of event objects until
+a terminal event ends the exchange.  JSON lines over a plain socket —
+rather than HTTP — keeps the protocol dependency-free, trivially
+replayable from a shell (``nc`` + a JSON line), and byte-stable:
+:func:`encode_line` serializes with sorted keys, so the same event is
+the same bytes on every connection, which is what lets two clients of
+one campaign assert *byte-identical* streams.
+
+Requests (client -> server, one line)::
+
+    {"op": "submit", "spec": {...CampaignSpec.to_dict()...}}
+    {"op": "attach", "spec_hash": "a1b2c3d4e5f6"}
+    {"op": "status"}
+    {"op": "shutdown"}
+
+Events (server -> client, one line each):
+
+- ``accepted`` — the campaign is admitted (``spec_hash``, ``total``,
+  ``state``); follows with the replayed history, then live events.
+- ``rejected`` — admission refused (``reason`` of ``saturated`` or
+  ``draining``, plus ``retry_after`` seconds); terminal.
+- ``cell`` — one completed cell (``key``, ``done``/``total``,
+  ``cached`` when served from the store, ``result`` record).
+- ``failure`` — one quarantined cell (``record``).
+- ``done`` — the campaign converged (``completed``, ``failures``,
+  ``rollup`` text, ``fingerprint`` of the timing-independent results);
+  terminal.
+- ``suspended`` — the server is draining; reattach later; terminal.
+- ``job-error`` — the campaign runner itself failed; terminal.
+- ``error`` — the request was malformed; terminal.
+- ``status`` / ``shutting-down`` — replies to the control ops; terminal.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import ServeError
+
+#: Events that end a job's event stream (the connection closes after).
+JOB_TERMINAL_EVENTS = ("done", "suspended", "job-error")
+
+#: Every event that ends a connection's stream.
+TERMINAL_EVENTS = JOB_TERMINAL_EVENTS + (
+    "rejected",
+    "error",
+    "status",
+    "shutting-down",
+)
+
+
+def event(kind: str, **fields: object) -> dict[str, object]:
+    """Build one wire event; ``kind`` rides in the ``event`` field."""
+    message: dict[str, object] = {"event": kind}
+    message.update(fields)
+    return message
+
+
+def encode_line(message: dict[str, object]) -> bytes:
+    """One JSON line, sorted keys — the same message is the same bytes."""
+    return (json.dumps(message, sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode_line(line: bytes) -> dict[str, object]:
+    """Parse one wire line into a JSON object; raises :class:`ServeError`."""
+    try:
+        data = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServeError(f"undecodable protocol line: {exc}") from None
+    if not isinstance(data, dict):
+        raise ServeError(
+            f"protocol lines must be JSON objects, got {type(data).__name__}"
+        )
+    return data

@@ -1,0 +1,327 @@
+"""The asyncio front door: sockets, signals, and fault injection.
+
+One coroutine per connection: read one request line, dispatch to the
+:class:`~repro.serve.service.CampaignService`, stream events until a
+terminal one.  The handler is where the ``serve`` fault site lives —
+:func:`~repro.util.faults.async_fault_point` runs on the request path
+(``request:<op>``) and before every streamed event (``event:<kind>``),
+so injected delays, errors, disconnects, and crashes exercise exactly
+the paths a flaky network would.
+
+SIGTERM and SIGINT request a drain: admission closes, running campaigns
+suspend at their next batch edge (flushing completed cells to their
+stores), every connected client receives a ``suspended`` event, and the
+process exits cleanly.  Nothing is lost: a restarted server rebuilds
+from the stores and sidecars, and clients reattach by spec hash.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import signal
+import threading
+from typing import Callable
+
+from repro.errors import (
+    InjectedDisconnectError,
+    InjectedFaultError,
+    ReproError,
+    ServeError,
+)
+from repro.serve.protocol import (
+    JOB_TERMINAL_EVENTS,
+    decode_line,
+    encode_line,
+    event,
+)
+from repro.serve.service import CampaignJob, CampaignService, ServeConfig
+
+#: Fallback stream cadence: how often a drain check interrupts waits.
+_DRAIN_POLL = 0.05
+
+
+class CampaignServer:
+    """One listening socket over one :class:`CampaignService`."""
+
+    def __init__(self, config: ServeConfig | None = None) -> None:
+        self.config = config if config is not None else ServeConfig()
+        self.service: CampaignService | None = None
+        self.server: asyncio.AbstractServer | None = None
+        self.port: int | None = None
+        self._stop: asyncio.Event | None = None
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        """Bind and start serving; ``port=0`` picks an ephemeral port."""
+        loop = asyncio.get_running_loop()
+        self.service = CampaignService(self.config, loop)
+        self._stop = asyncio.Event()
+        self.server = await asyncio.start_server(self._handle, host, port)
+        self.port = int(self.server.sockets[0].getsockname()[1])
+
+    def request_stop(self) -> None:
+        """Begin the drain-and-exit sequence (signal handlers call this)."""
+        if self._stop is not None:
+            self._stop.set()
+
+    async def run(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        announce: "Callable[[dict[str, object]], None] | None" = None,
+        install_signals: bool = True,
+    ) -> None:
+        """Serve until stopped, then drain in-flight campaigns and exit."""
+        await self.start(host, port)
+        assert self.service is not None and self.server is not None
+        assert self._stop is not None
+        if announce is not None:
+            announce(event("listening", host=host, port=self.port))
+        if install_signals:
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                # Unavailable off the main thread (tests) and on some
+                # platforms; the drain path still works via shutdown ops.
+                with contextlib.suppress(
+                    NotImplementedError, RuntimeError, ValueError
+                ):
+                    loop.add_signal_handler(signum, self.request_stop)
+        try:
+            await self._stop.wait()
+            self.service.begin_drain()
+            while not self.service.drained():
+                await asyncio.sleep(_DRAIN_POLL)
+        finally:
+            self.server.close()
+            await self.server.wait_closed()
+            self.service.close()
+
+    # -- per-connection handler ----------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        from repro.util.faults import async_fault_point
+
+        assert self.service is not None
+        job: CampaignJob | None = None
+        queue: "asyncio.Queue[dict[str, object]] | None" = None
+        try:
+            line = await reader.readline()
+            if not line:
+                return
+            try:
+                request = decode_line(line)
+            except ServeError as exc:
+                await self._send(writer, event("error", message=str(exc)))
+                return
+            op = str(request.get("op", ""))
+            await async_fault_point("serve", f"request:{op}")
+            outcome = await self._dispatch(writer, op, request)
+            if not isinstance(outcome, CampaignJob):
+                return  # control op or terminal event, already sent
+            job = outcome
+            history, queue = job.subscribe()
+            await self._send(
+                writer,
+                event(
+                    "accepted",
+                    spec_hash=job.spec_hash,
+                    total=job.total,
+                    state=job.state,
+                    recovered=job.recovered,
+                ),
+            )
+            for evt in history:
+                await self._send_event(writer, evt)
+                if evt.get("event") in JOB_TERMINAL_EVENTS:
+                    return
+            while True:
+                evt = await queue.get()
+                await self._send_event(writer, evt)
+                if evt.get("event") in JOB_TERMINAL_EVENTS:
+                    return
+        except InjectedDisconnectError:
+            # Simulated transport death: vanish abruptly, no goodbye line.
+            writer.transport.abort()
+        except InjectedFaultError as exc:
+            # An injected server-side error: answer with a structured
+            # error event (best effort — the transport may be gone too).
+            with contextlib.suppress(Exception):
+                await self._send(writer, event("error", message=str(exc)))
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # the client vanished; the job keeps running
+        except asyncio.CancelledError:
+            pass  # loop shutdown mid-stream: finish the task quietly
+        finally:
+            if job is not None and queue is not None:
+                job.unsubscribe(queue)
+            with contextlib.suppress(Exception):
+                writer.close()
+            # Absorb a cancellation landing in the teardown await too —
+            # a task that ends "cancelled" is reported as noise by the
+            # stream protocol's connection_made callback at shutdown.
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                await writer.wait_closed()
+
+    async def _dispatch(
+        self,
+        writer: asyncio.StreamWriter,
+        op: str,
+        request: dict[str, object],
+    ) -> "CampaignJob | None":
+        """Run one request op; returns the job to stream, if any."""
+        assert self.service is not None
+        if op == "status":
+            await self._send(writer, self.service.status())
+            return None
+        if op == "shutdown":
+            self.request_stop()
+            await self._send(writer, event("shutting-down"))
+            return None
+        if op == "submit":
+            spec_data = request.get("spec")
+            if not isinstance(spec_data, dict):
+                await self._send(
+                    writer, event("error", message="submit needs a 'spec' object")
+                )
+                return None
+            try:
+                outcome = self.service.submit(spec_data)
+            except ReproError as exc:
+                await self._send(writer, event("error", message=str(exc)))
+                return None
+        elif op == "attach":
+            attached = self.service.attach(str(request.get("spec_hash", "")))
+            if attached is None:
+                await self._send(
+                    writer,
+                    event(
+                        "error",
+                        message=(
+                            f"unknown spec hash "
+                            f"{str(request.get('spec_hash', ''))!r}; submit "
+                            f"the full spec instead"
+                        ),
+                    ),
+                )
+                return None
+            outcome = attached
+        else:
+            await self._send(
+                writer,
+                event(
+                    "error",
+                    message=(
+                        f"unknown op {op!r}; expected submit, attach, "
+                        f"status, or shutdown"
+                    ),
+                ),
+            )
+            return None
+        if isinstance(outcome, dict):  # structured backpressure reject
+            await self._send(writer, outcome)
+            return None
+        return outcome
+
+    async def _send_event(
+        self, writer: asyncio.StreamWriter, evt: dict[str, object]
+    ) -> None:
+        from repro.util.faults import async_fault_point
+
+        await async_fault_point("serve", f"event:{evt.get('event')}")
+        await self._send(writer, evt)
+
+    async def _send(
+        self, writer: asyncio.StreamWriter, message: dict[str, object]
+    ) -> None:
+        writer.write(encode_line(message))
+        await writer.drain()
+
+
+def run_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    config: ServeConfig | None = None,
+    announce: "Callable[[dict[str, object]], None] | None" = None,
+) -> int:
+    """Blocking entry point for ``python -m repro serve``.
+
+    Announces the bound port as a JSON line (clients of an ephemeral
+    ``port=0`` read it from stdout), serves until SIGTERM/SIGINT or a
+    ``shutdown`` op, drains, and returns 0.
+    """
+    server = CampaignServer(config)
+    asyncio.run(server.run(host, port, announce=announce))
+    return 0
+
+
+class ServerHandle:
+    """A server running on a background thread (tests, recipes, smokes)."""
+
+    def __init__(
+        self, server: CampaignServer, thread: threading.Thread,
+        loop: asyncio.AbstractEventLoop, port: int,
+    ) -> None:
+        self.server = server
+        self.thread = thread
+        self.loop = loop
+        self.port = port
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Drain and stop the server; joins the background thread.
+
+        Idempotent: a server already stopped (a ``shutdown`` op, an
+        earlier ``stop``) is left alone.
+        """
+        if not self.thread.is_alive():
+            return
+        with contextlib.suppress(RuntimeError):  # loop already closed
+            self.loop.call_soon_threadsafe(self.server.request_stop)
+        self.thread.join(timeout=timeout)
+        if self.thread.is_alive():
+            raise ServeError("campaign server failed to drain and stop")
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def start_in_thread(
+    config: ServeConfig | None = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    timeout: float = 10.0,
+) -> ServerHandle:
+    """Start a server on a daemon thread; returns once it is listening."""
+    server = CampaignServer(config)
+    ready = threading.Event()
+    box: dict[str, object] = {}
+
+    def main() -> None:
+        async def body() -> None:
+            box["loop"] = asyncio.get_running_loop()
+            try:
+                await server.run(host, port, announce=lambda _evt: ready.set(),
+                                 install_signals=False)
+            except Exception as exc:  # surface startup failures to the waiter
+                box["error"] = exc
+                ready.set()
+
+        asyncio.run(body())
+
+    thread = threading.Thread(
+        target=main, name="repro-serve-server", daemon=True
+    )
+    thread.start()
+    if not ready.wait(timeout=timeout):
+        raise ServeError("campaign server did not start listening in time")
+    error = box.get("error")
+    if error is not None:
+        raise ServeError(f"campaign server failed to start: {error}")
+    loop = box["loop"]
+    assert isinstance(loop, asyncio.AbstractEventLoop)
+    assert server.port is not None
+    return ServerHandle(server, thread, loop, server.port)

@@ -22,14 +22,21 @@ Rules are ``<action>@<site>[:<glob>][,param=value]*``:
 
 - actions — ``crash`` (``os._exit``, simulating an OOM-kill),
   ``error`` (raise :class:`~repro.errors.InjectedFaultError`),
-  ``hang`` (sleep ``seconds``, default 30), and ``corrupt`` (scribble
-  over the file named by the injection key — the store site passes its
-  database path);
+  ``hang`` (sleep ``seconds``, default 30), ``delay`` (sleep
+  ``seconds`` too, but named for latency injection: pair it with a
+  small ``seconds=`` to slow a path down without tripping timeouts),
+  ``disconnect`` (raise :class:`~repro.errors.InjectedDisconnectError`
+  — the campaign service maps it to an abrupt connection abort), and
+  ``corrupt`` (scribble over the file named by the injection key — the
+  store site passes its database path);
 - sites — where :func:`fault_point` calls are compiled into the
   production code: ``cell`` (entry of every campaign-cell execution,
   keyed by the cell key), ``qplan`` (entry of every batched quantum,
-  key ``"run"``), and ``store`` (memo-store connection setup, keyed by
-  the database path);
+  key ``"run"``), ``store`` (memo-store connection setup, keyed by
+  the database path), and ``serve`` (the campaign service's request
+  and event paths, keyed ``request:<op>`` / ``event:<spec-hash>`` —
+  awaited via :func:`async_fault_point` so sleeps never block the
+  event loop);
 - params — ``p=<float>`` fire probability (default 1, decided by a hash
   of the plan seed, rule, site, and key — the same key always gets the
   same verdict, in every process), ``times=<int>`` total firing cap
@@ -52,17 +59,17 @@ from dataclasses import dataclass, field
 from fnmatch import fnmatchcase
 from pathlib import Path
 
-from repro.errors import FaultPlanError, InjectedFaultError
+from repro.errors import FaultPlanError, InjectedDisconnectError, InjectedFaultError
 from repro.util.invalidation import register_worker_state
 
 #: Environment variable holding the active plan text.
 PLAN_ENV = "REPRO_FAULT_PLAN"
 
 #: The supported rule actions.
-ACTIONS = ("crash", "error", "hang", "corrupt")
+ACTIONS = ("crash", "error", "hang", "delay", "disconnect", "corrupt")
 
 #: The compiled-in injection sites.
-SITES = ("cell", "qplan", "store")
+SITES = ("cell", "qplan", "store", "serve")
 
 #: Exit status of an injected worker crash (distinctive in core dumps
 #: and CI logs; any non-zero status breaks the pool identically).
@@ -204,8 +211,15 @@ class FaultPlan:
             return True
         return False
 
-    def fire(self, site: str, key: str) -> None:
-        """Fire every matching rule for one injection point."""
+    def claimed_rules(self, site: str, key: str) -> list[FaultRule]:
+        """The matching rules that decided to fire *and* won a token.
+
+        Claiming is separated from performing so the sync and async
+        entry points (:func:`fault_point` / :func:`async_fault_point`)
+        share the match/probability/ledger logic exactly and differ only
+        in how sleeps are executed.
+        """
+        fired: list[FaultRule] = []
         for rule in self.rules:
             if rule.site != site or not fnmatchcase(key, rule.match):
                 continue
@@ -213,6 +227,12 @@ class FaultPlan:
                 continue
             if not self._claim(rule):
                 continue
+            fired.append(rule)
+        return fired
+
+    def fire(self, site: str, key: str) -> None:
+        """Fire every matching rule for one injection point."""
+        for rule in self.claimed_rules(site, key):
             _perform(rule, site, key)
 
 
@@ -221,7 +241,9 @@ def _perform(rule: FaultRule, site: str, key: str) -> None:
         os._exit(CRASH_EXIT_STATUS)
     if rule.action == "error":
         raise InjectedFaultError(site, key)
-    if rule.action == "hang":
+    if rule.action == "disconnect":
+        raise InjectedDisconnectError(site, key)
+    if rule.action in ("hang", "delay"):
         time.sleep(rule.seconds)
         return
     if rule.action == "corrupt":
@@ -292,6 +314,27 @@ def fault_point(site: str, key: str) -> None:
     plan = active_fault_plan()
     if plan is not None:
         plan.fire(site, key)
+
+
+async def async_fault_point(site: str, key: str) -> None:
+    """:func:`fault_point` for coroutine code (the ``serve`` site).
+
+    Identical match/probability/ledger semantics, but ``hang`` and
+    ``delay`` rules ``await asyncio.sleep`` instead of blocking, so an
+    injected stall on one connection never freezes the whole event loop
+    (which would turn a targeted fault into a server-wide outage — and
+    trip the ``blocking-call-in-async`` check).
+    """
+    import asyncio
+
+    plan = active_fault_plan()
+    if plan is None:
+        return
+    for rule in plan.claimed_rules(site, key):
+        if rule.action in ("hang", "delay"):
+            await asyncio.sleep(rule.seconds)
+        else:
+            _perform(rule, site, key)
 
 
 def reset_ledger(plan: FaultPlan | None = None) -> None:

@@ -1,0 +1,1 @@
+"""Fixture subpackage standing in for ``repro.serve``."""

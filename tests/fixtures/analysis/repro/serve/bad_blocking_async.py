@@ -1,0 +1,19 @@
+"""Fixture: loop-blocking calls inside the service's coroutines."""
+
+import sqlite3
+import subprocess
+import time
+
+
+async def throttle() -> None:
+    time.sleep(0.5)  # flagged: stalls every connected client
+
+
+async def persist(row: str) -> None:
+    conn = sqlite3.connect("results.db")  # flagged: blocking I/O
+    conn.execute("INSERT INTO results VALUES (?)", (row,))
+
+
+async def spawn_worker(argv: list[str]) -> int:
+    proc = subprocess.run(argv, check=False)  # flagged: sync subprocess
+    return proc.returncode

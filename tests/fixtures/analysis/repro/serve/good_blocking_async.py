@@ -1,0 +1,26 @@
+"""Fixture: the non-blocking spellings of the same coroutines."""
+
+import asyncio
+import time
+
+
+async def throttle() -> None:
+    await asyncio.sleep(0.5)  # yields the loop while waiting
+
+
+async def spawn_worker(argv: list[str]) -> int:
+    proc = await asyncio.create_subprocess_exec(*argv)
+    return await proc.wait()
+
+
+async def measure() -> float:
+    def blocking_probe() -> float:
+        time.sleep(0.01)  # fine: runs on an executor thread when called
+        return time.monotonic()
+
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, blocking_probe)
+
+
+def warm_up() -> None:
+    time.sleep(0.01)  # fine: a plain def never runs on the loop

@@ -74,6 +74,10 @@ RULE_FIXTURES = {
         FAKE_REPRO / "bad_nested_registration.py",
         FAKE_REPRO / "good_nested_registration.py",
     ),
+    "blocking-call-in-async": (
+        FAKE_REPRO / "serve" / "bad_blocking_async.py",
+        FAKE_REPRO / "serve" / "good_blocking_async.py",
+    ),
 }
 
 

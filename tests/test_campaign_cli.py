@@ -114,6 +114,68 @@ class TestCampaignCommand:
         assert "Figure 7" in capsys.readouterr().out
 
 
+class TestGracefulInterrupt:
+    """SIGINT/SIGTERM mid-campaign: exit 130, store flushed, resume hint."""
+
+    @pytest.mark.parametrize("signum", ["SIGINT", "SIGTERM"])
+    def test_signal_mid_campaign_exits_130_with_hint(
+        self, in_tmp, capsys, monkeypatch, signum
+    ):
+        import os
+        import signal as signal_module
+        import time
+
+        import repro.campaign.executor as executor
+
+        def run_then_hang(*args, **kwargs):
+            # Deliver the signal to ourselves mid-"campaign"; the CLI's
+            # handler turns it into KeyboardInterrupt either way.
+            os.kill(os.getpid(), getattr(signal_module, signum))
+            time.sleep(30)  # interrupted immediately by the handler
+            raise AssertionError("signal was not delivered")
+
+        monkeypatch.setattr(executor, "run_campaign", run_then_hang)
+        assert main(SMALL_ARGS) == 130
+        out = capsys.readouterr().out
+        assert "interrupted: completed cells are flushed" in out
+        assert "resume with: python -m repro campaign" in out
+        assert "--resume" in out
+        assert "spec hash" in out
+
+    def test_interrupted_run_resumes_cleanly(self, in_tmp, capsys, monkeypatch):
+        """An interrupt after some cells completed leaves a store the
+        documented --resume invocation finishes from."""
+        import os
+        import signal as signal_module
+
+        import repro.campaign.executor as executor
+
+        real_run_campaign = executor.run_campaign
+        calls = {"n": 0}
+
+        def interrupt_on_progress(spec, **kwargs):
+            inner_progress = kwargs.pop("progress", None)
+
+            def progress(done, total, result):
+                if inner_progress is not None:
+                    inner_progress(done, total, result)
+                calls["n"] += 1
+                os.kill(os.getpid(), signal_module.SIGTERM)
+
+            return real_run_campaign(spec, progress=progress, **kwargs)
+
+        monkeypatch.setattr(executor, "run_campaign", interrupt_on_progress)
+        assert main(SMALL_ARGS) == 130
+        assert calls["n"] >= 1
+        capsys.readouterr()
+        monkeypatch.setattr(executor, "run_campaign", real_run_campaign)
+        assert main(SMALL_ARGS + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "Campaign rollup" in out
+        stores = list((in_tmp / ".repro-campaign").glob("*.jsonl"))
+        assert len(stores) == 1
+
+
 class TestGeneratedUsageBlock:
     """The docstring usage block is generated from the parser (no drift)."""
 

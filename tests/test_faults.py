@@ -163,6 +163,85 @@ class TestActivation:
         assert info.value.key == "run"
 
 
+class TestServeSiteActions:
+    """The serve-flavored grammar: delay/disconnect and the serve site."""
+
+    def test_parse_serve_rules(self, tmp_path):
+        plan = FaultPlan.parse(
+            f"ledger={tmp_path}; "
+            "delay@serve:event:*,seconds=0.25,times=2; "
+            "disconnect@serve:request:submit"
+        )
+        assert [r.action for r in plan.rules] == ["delay", "disconnect"]
+        assert all(r.site == "serve" for r in plan.rules)
+        assert plan.rules[0].seconds == 0.25
+        assert plan.rules[1].match == "request:submit"
+
+    def test_disconnect_raises_its_own_error(self, tmp_path):
+        from repro.errors import InjectedDisconnectError
+
+        plan = FaultPlan.parse(f"ledger={tmp_path}; disconnect@serve")
+        with pytest.raises(InjectedDisconnectError) as info:
+            plan.fire("serve", "event:cell")
+        assert isinstance(info.value, InjectedFaultError)  # one except path
+        assert (info.value.site, info.value.key) == ("serve", "event:cell")
+
+    def test_delay_sleeps_then_returns(self, tmp_path):
+        import time
+
+        plan = FaultPlan.parse(
+            f"ledger={tmp_path}; delay@serve,seconds=0.05,times=1"
+        )
+        start = time.perf_counter()
+        plan.fire("serve", "request:status")  # no exception: just latency
+        assert time.perf_counter() - start >= 0.04
+        start = time.perf_counter()
+        plan.fire("serve", "request:status")  # ledger spent: instant
+        assert time.perf_counter() - start < 0.04
+
+    def test_async_fault_point_delays_without_blocking_check(
+        self, monkeypatch, tmp_path
+    ):
+        """delay/hang on the async path must await asyncio.sleep, never
+        time.sleep — a blocked loop would stall every other client."""
+        import asyncio
+        import time as time_module
+
+        from repro.util.faults import async_fault_point
+
+        def forbidden_sleep(_seconds):
+            raise AssertionError("async fault path called time.sleep")
+
+        monkeypatch.setattr(time_module, "sleep", forbidden_sleep)
+        monkeypatch.setenv(
+            PLAN_ENV, f"ledger={tmp_path}; delay@serve,seconds=0.02"
+        )
+
+        async def scenario() -> float:
+            start = asyncio.get_running_loop().time()
+            await async_fault_point("serve", "event:done")
+            return asyncio.get_running_loop().time() - start
+
+        assert asyncio.run(scenario()) >= 0.015
+
+    def test_async_fault_point_disconnects(self, monkeypatch, tmp_path):
+        import asyncio
+
+        from repro.errors import InjectedDisconnectError
+        from repro.util.faults import async_fault_point
+
+        monkeypatch.setenv(PLAN_ENV, f"ledger={tmp_path}; disconnect@serve")
+        with pytest.raises(InjectedDisconnectError):
+            asyncio.run(async_fault_point("serve", "request:attach"))
+
+    def test_async_fault_point_without_plan_is_a_no_op(self):
+        import asyncio
+
+        from repro.util.faults import async_fault_point
+
+        asyncio.run(async_fault_point("serve", "request:status"))
+
+
 class TestRuleIdentity:
     def test_rule_ids_distinguish_duplicate_rules(self):
         plan = FaultPlan.parse("error@cell,times=1; error@cell,times=1")
