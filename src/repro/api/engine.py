@@ -27,6 +27,7 @@ from __future__ import annotations
 import atexit
 import contextlib
 import math
+import threading
 import time
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -161,44 +162,29 @@ register_worker_state(
     note="pool cache keyed by jobs; entries retired on epoch mismatch",
 )
 
+#: Serializes every read-modify-write of :data:`_SHARED_POOLS`.  The
+#: cache is reached from arbitrary threads (the campaign service runs
+#: engines on runner threads); without the lock two concurrent misses
+#: can create duplicate pools (one leaks resident workers for the
+#: process lifetime) or discard a pool a sibling is about to submit to.
+_SHARED_POOLS_LOCK = threading.Lock()
 
-def _shared_process_pool(jobs: int) -> ProcessPoolExecutor:
-    epoch = worker_state_epoch()
-    cached = _SHARED_POOLS.get(jobs)
-    if cached is not None:
-        pool_epoch, pool = cached
-        if pool_epoch == epoch:
-            return pool
-    # One pool at a time: a differently-sized (or stale) pool's idle
-    # workers would otherwise stay resident for the process lifetime.
-    for other in list(_SHARED_POOLS):
-        _discard_shared_pool(other)
-    pool = ProcessPoolExecutor(
+
+def _new_process_pool(jobs: int) -> ProcessPoolExecutor:
+    return ProcessPoolExecutor(
         max_workers=jobs,
         initializer=_pool_worker_init,
         initargs=_pool_init_args(),
     )
-    _SHARED_POOLS[jobs] = (epoch, pool)
-    return pool
 
 
-def _discard_shared_pool(jobs: int) -> None:
-    cached = _SHARED_POOLS.pop(jobs, None)
-    if cached is not None:
-        cached[1].shutdown(wait=False, cancel_futures=True)
-
-
-def _terminate_shared_pool(jobs: int) -> None:
-    """Forcibly kill the shared pool's workers (hung-cell recovery).
+def _kill_pool_processes(pool: ProcessPoolExecutor) -> None:
+    """Forcibly kill a pool's workers (hung-cell recovery).
 
     ``shutdown`` only refuses new work — a worker stuck in an infinite
     loop (or an injected hang) never returns, so the processes themselves
     must be terminated before a fresh pool can make progress.
     """
-    cached = _SHARED_POOLS.pop(jobs, None)
-    if cached is None:
-        return
-    pool = cached[1]
     for process in list((getattr(pool, "_processes", None) or {}).values()):
         try:
             process.terminate()
@@ -207,11 +193,98 @@ def _terminate_shared_pool(jobs: int) -> None:
     pool.shutdown(wait=False, cancel_futures=True)
 
 
+def _shared_process_pool(jobs: int) -> ProcessPoolExecutor:
+    with _SHARED_POOLS_LOCK:
+        epoch = worker_state_epoch()
+        cached = _SHARED_POOLS.get(jobs)
+        if cached is not None:
+            pool_epoch, pool = cached
+            if pool_epoch == epoch:
+                return pool
+        # One pool at a time: a differently-sized (or stale) pool's idle
+        # workers would otherwise stay resident for the process lifetime.
+        for other in list(_SHARED_POOLS):
+            stale = _SHARED_POOLS.pop(other)
+            stale[1].shutdown(wait=False, cancel_futures=True)
+        pool = _new_process_pool(jobs)
+        _SHARED_POOLS[jobs] = (epoch, pool)
+        return pool
+
+
+def _discard_shared_pool(jobs: int) -> None:
+    with _SHARED_POOLS_LOCK:
+        cached = _SHARED_POOLS.pop(jobs, None)
+    if cached is not None:
+        cached[1].shutdown(wait=False, cancel_futures=True)
+
+
+def _terminate_shared_pool(jobs: int) -> None:
+    """Kill the shared pool's workers (see :func:`_kill_pool_processes`)."""
+    with _SHARED_POOLS_LOCK:
+        cached = _SHARED_POOLS.pop(jobs, None)
+    if cached is not None:
+        _kill_pool_processes(cached[1])
+
+
 @atexit.register
 def _shutdown_shared_pools() -> None:
-    for _, pool in _SHARED_POOLS.values():
+    with _SHARED_POOLS_LOCK:
+        pools = [pool for _, pool in _SHARED_POOLS.values()]
+        _SHARED_POOLS.clear()
+    for pool in pools:
         pool.shutdown(wait=False, cancel_futures=True)
-    _SHARED_POOLS.clear()
+
+
+class _PoolHost:
+    """Hands worker pools to :class:`_FanOut` and retires them.
+
+    The default host wraps the module-wide shared cache.  A *private*
+    host owns a dedicated pool for one engine: engines that run
+    concurrently in a single process (the campaign service executes
+    several campaigns at once) must not share — recovering one
+    campaign's hung cell by terminating the pool would also kill every
+    sibling campaign's in-flight workers and misattribute their crashes.
+    """
+
+    def __init__(self, jobs: int, private: bool = False) -> None:
+        self.jobs = jobs
+        self.private = private
+        self._pool: ProcessPoolExecutor | None = None
+        self._epoch: int | None = None
+
+    def acquire(self) -> ProcessPoolExecutor:
+        if not self.private:
+            return _shared_process_pool(self.jobs)
+        epoch = worker_state_epoch()
+        if self._pool is not None and self._epoch != epoch:
+            self.discard()
+        if self._pool is None:
+            self._pool = _new_process_pool(self.jobs)
+            self._epoch = epoch
+        return self._pool
+
+    def discard(self) -> None:
+        """Retire the pool handle (its workers already died or drained)."""
+        if not self.private:
+            _discard_shared_pool(self.jobs)
+            return
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def terminate(self) -> None:
+        """Kill the pool's worker processes (hung-cell recovery)."""
+        if not self.private:
+            _terminate_shared_pool(self.jobs)
+            return
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            _kill_pool_processes(pool)
+
+    def close(self) -> None:
+        """Release a private pool; the shared cache persists by design."""
+        if self.private:
+            self.discard()
 
 
 def _workload_weight(ref: str) -> int:
@@ -295,6 +368,14 @@ class _FanOut:
     so a future-level exception always means the transport died — a
     crashed worker breaking the process pool — and only *incomplete*
     units are ever resubmitted.
+
+    At most ``jobs`` units are in flight on the process pool at once;
+    the rest wait in :attr:`pending`.  ``ProcessPoolExecutor`` marks a
+    future RUNNING as soon as it enters the call queue (which holds
+    ``max_workers + 1`` items), so without the cap a unit stuck behind
+    a full pool would look running, anchor its wall-clock deadline, and
+    age its lease with no worker heartbeating it — long cells would
+    spuriously expire queued neighbors and charge them crashes.
     """
 
     runs: "Sequence[RunSpec]"
@@ -309,6 +390,8 @@ class _FanOut:
     #: whose worker stops heartbeating for this long is presumed dead
     #: and resubmitted.  None disables leasing (the historical behavior).
     lease_seconds: float | None = None
+    #: Where process pools come from (shared cache or engine-private).
+    pool_host: "_PoolHost | None" = None
 
     #: Poll interval while waiting for a future to enter the running
     #: state (needed to anchor its wall-clock deadline).
@@ -316,11 +399,16 @@ class _FanOut:
 
     def __post_init__(self) -> None:
         count = len(self.runs)
+        self.pools: _PoolHost = (
+            self.pool_host if self.pool_host is not None
+            else _PoolHost(self.jobs)
+        )
         self.results: "list[RunResult | None]" = [None] * count
         self.failures: "list[CellFailure]" = []
         self.outstanding: set[int] = set(range(count))
         self.attempts_used = [0] * count
         self.first_submit: dict[int, float] = {}
+        self.pending: "list[list[int]]" = []  # units awaiting pool capacity
         self.active: "dict[Future[object], list[int]]" = {}
         self.run_started: "dict[Future[object], float]" = {}  # monotonic stamps
         self.delayed: list[tuple[float, int]] = []  # (due, index)
@@ -359,10 +447,27 @@ class _FanOut:
     def _submit_initial(self) -> None:
         if self.policy == "processes" and not self.single_mode:
             for chunk in _chunk_runs(self.runs, self.jobs):
-                self._submit(chunk)
+                self._enqueue(chunk)
         else:
             for index in range(len(self.runs)):
-                self._submit([index])
+                self._enqueue([index])
+        self._pump()
+
+    def _enqueue(self, indices: list[int]) -> None:
+        self.pending.append(indices)
+
+    def _pump(self) -> None:
+        """Submit queued units while the pool has capacity.
+
+        Thread futures report RUNNING accurately (the worker flips the
+        state right before the call), so the threads policy needs no
+        cap; process units are capped at ``jobs`` in flight — see the
+        class docstring.
+        """
+        while self.pending and (
+            self.policy == "threads" or len(self.active) < self.jobs
+        ):
+            self._submit(self.pending.pop(0))
 
     def _submit(self, indices: list[int]) -> None:
         from repro.campaign.executor import execute_chunk_outcomes, execute_run
@@ -386,7 +491,7 @@ class _FanOut:
             self.lease_counter += 1
             lease = self.lease_dir / f"unit-{self.lease_counter}.hb"
             grant_lease(lease)
-            future = _shared_process_pool(self.jobs).submit(
+            future = self.pools.acquire().submit(
                 execute_leased_outcomes,
                 [self.runs[i] for i in indices],
                 str(lease),
@@ -394,7 +499,7 @@ class _FanOut:
             )
             self.lease_files[future] = lease
         else:
-            future = _shared_process_pool(self.jobs).submit(
+            future = self.pools.acquire().submit(
                 execute_chunk_outcomes, [self.runs[i] for i in indices]
             )
         self.active[future] = indices
@@ -414,6 +519,7 @@ class _FanOut:
         for item in [d for d in self.delayed if d[0] <= now]:
             self.delayed.remove(item)
             self._dispatch(item[1])
+        self._pump()
         if self.probe is None and not self.active:
             while self.probe_queue:
                 index = self.probe_queue.pop(0)
@@ -520,7 +626,7 @@ class _FanOut:
             if index not in self.probe_queue:
                 self.probe_queue.append(index)
         else:
-            self._submit([index])
+            self._enqueue([index])
 
     def _resubmit(self, indices: list[int]) -> None:
         for index in indices:
@@ -579,7 +685,7 @@ class _FanOut:
         ordinary single cells.
         """
         self.pool_breaks += 1
-        _discard_shared_pool(self.jobs)
+        self.pools.discard()
         self.single_mode = True
         broken = [(future, indices)] + list(self.active.items())
         self.active.clear()
@@ -632,7 +738,7 @@ class _FanOut:
         # Processes: the only way to stop a hung worker is to kill the
         # pool, so every in-flight unit dies; the hung cells are charged
         # and the innocent bystanders resubmit uncharged on a fresh pool.
-        _terminate_shared_pool(self.jobs)
+        self.pools.terminate()
         victims = set(expired)
         units = list(self.active.items())
         self.active.clear()
@@ -669,7 +775,7 @@ class _FanOut:
             return
         # The presumed-dead worker may be merely stopped; kill the pool
         # so it cannot come back and double-report its cell.
-        _terminate_shared_pool(self.jobs)
+        self.pools.terminate()
         victims = set(expired)
         units = list(self.active.items())
         self.active.clear()
@@ -696,6 +802,7 @@ class _FanOut:
         )
 
     def _shutdown(self) -> None:
+        self.pending.clear()
         for future in list(self.active):
             future.cancel()
         self.active.clear()
@@ -754,6 +861,15 @@ class Engine:
     policy only and is silently ignored elsewhere; it bounds *silence*,
     not runtime — pair it with ``cell_timeout`` to also bound a worker
     that is alive but stuck.
+
+    ``private_pool`` gives this engine its own worker pool instead of
+    the process-wide shared cache.  Engines running *concurrently* in
+    one process (the campaign service runs several campaigns at once)
+    must set it: recovering one engine's hung cell terminates its pool,
+    and a shared pool would take every sibling engine's in-flight
+    workers down with it.  A private pool is reused across this
+    engine's ``run_many`` calls; call :meth:`close` (or use the engine
+    as a context manager) to release its workers.
     """
 
     jobs: int = 1
@@ -765,8 +881,10 @@ class Engine:
     cell_timeout: float | None = None
     keep_going: bool = False
     lease_seconds: float | None = None
+    private_pool: bool = False
 
     def __post_init__(self) -> None:
+        self._pool_host: _PoolHost | None = None
         if self.jobs < 1:
             raise CampaignError(f"jobs must be >= 1, got {self.jobs}")
         if self.policy is not None and self.policy not in EXECUTION_POLICIES:
@@ -786,6 +904,33 @@ class Engine:
             raise CampaignError(
                 f"lease_seconds must be positive, got {self.lease_seconds}"
             )
+
+    # -- worker-pool ownership -----------------------------------------------
+
+    def _pools_for(self, jobs: int) -> _PoolHost:
+        if not self.private_pool:
+            return _PoolHost(jobs)
+        if self._pool_host is None or self._pool_host.jobs != jobs:
+            if self._pool_host is not None:
+                self._pool_host.close()
+            self._pool_host = _PoolHost(jobs, private=True)
+        return self._pool_host
+
+    def close(self) -> None:
+        """Release this engine's dedicated worker pool, if it has one.
+
+        Only meaningful with ``private_pool`` (the shared cache is
+        process-wide and persists by design); safe to call repeatedly.
+        """
+        if self._pool_host is not None:
+            self._pool_host.close()
+            self._pool_host = None
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # -- single cell ---------------------------------------------------------
 
@@ -879,6 +1024,7 @@ class Engine:
             on_result=on_result,
             on_failure=on_failure,
             lease_seconds=lease_seconds,
+            pool_host=self._pools_for(jobs),
         ).execute()
         return [result for result in ordered if result is not None]
 

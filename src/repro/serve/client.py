@@ -13,6 +13,11 @@ saw the hash), and quarantined cells (each reattach is a repair pass) —
 until the campaign reports ``done`` with zero failures.  Because the
 service is idempotent and resumes from its store, the loop converges to
 the same timing-independent result fingerprint as a fault-free run.
+
+*Permanent* rejections are the exception: an ``error`` event the server
+marks ``retryable: false`` (an invalid spec, a malformed request) can
+never succeed on resubmission, so the loop fails fast with the server's
+diagnostic instead of polling it for the full budget.
 """
 
 from __future__ import annotations
@@ -107,7 +112,9 @@ def submit_converged(
     Returns the terminal ``done`` event (rollup, fingerprint) once the
     campaign completes with zero quarantined cells; raises
     :class:`ServeError` if that does not happen within ``budget``
-    seconds.  See the module docstring for the faults this loop absorbs.
+    seconds — or immediately on an ``error`` event the server marks
+    non-retryable (an invalid spec cannot converge, however long the
+    budget).  See the module docstring for the faults this loop absorbs.
     """
     spec_dict = _as_spec_dict(spec)
     spec_hash: str | None = None
@@ -149,6 +156,16 @@ def submit_converged(
                         # A restarted server that lost the sidecar: fall
                         # back to resubmitting the full spec.
                         spec_hash = None
+                    elif kind == "error" and not evt.get("retryable", False):
+                        # A structured permanent rejection (invalid
+                        # spec, malformed request): resubmitting the
+                        # identical request can never succeed, so
+                        # surface the diagnostic now instead of burning
+                        # the whole budget in a silent retry loop.
+                        raise ServeError(
+                            f"campaign server rejected the request: "
+                            f"{message or kind}"
+                        )
                     last = message or str(kind)
                     terminal = True
                     time.sleep(poll)

@@ -29,7 +29,11 @@ Events (server -> client, one line each):
   terminal.
 - ``suspended`` — the server is draining; reattach later; terminal.
 - ``job-error`` — the campaign runner itself failed; terminal.
-- ``error`` — the request was malformed; terminal.
+- ``error`` — the request could not be served; terminal.  Carries
+  ``retryable``: ``false`` for permanent rejections (invalid spec,
+  malformed request — resubmitting can never succeed, clients should
+  fail fast), ``true`` for transient trouble (injected faults, sidecar
+  disk errors, an unknown hash the client can fall back from).
 - ``status`` / ``shutting-down`` — replies to the control ops; terminal.
 """
 

@@ -24,6 +24,7 @@ import threading
 from typing import Callable
 
 from repro.errors import (
+    CampaignError,
     InjectedDisconnectError,
     InjectedFaultError,
     ReproError,
@@ -113,7 +114,10 @@ class CampaignServer:
             try:
                 request = decode_line(line)
             except ServeError as exc:
-                await self._send(writer, event("error", message=str(exc)))
+                await self._send(
+                    writer,
+                    event("error", message=str(exc), retryable=False),
+                )
                 return
             op = str(request.get("op", ""))
             await async_fault_point("serve", f"request:{op}")
@@ -147,8 +151,13 @@ class CampaignServer:
         except InjectedFaultError as exc:
             # An injected server-side error: answer with a structured
             # error event (best effort — the transport may be gone too).
+            # Injected faults simulate transient server trouble, so a
+            # retrying client must keep retrying through them.
             with contextlib.suppress(Exception):
-                await self._send(writer, event("error", message=str(exc)))
+                await self._send(
+                    writer,
+                    event("error", message=str(exc), retryable=True),
+                )
         except (ConnectionResetError, BrokenPipeError):
             pass  # the client vanished; the job keeps running
         except asyncio.CancelledError:
@@ -173,7 +182,7 @@ class CampaignServer:
         """Run one request op; returns the job to stream, if any."""
         assert self.service is not None
         if op == "status":
-            await self._send(writer, self.service.status())
+            await self._send(writer, await self.service.status())
             return None
         if op == "shutdown":
             self.request_stop()
@@ -183,16 +192,36 @@ class CampaignServer:
             spec_data = request.get("spec")
             if not isinstance(spec_data, dict):
                 await self._send(
-                    writer, event("error", message="submit needs a 'spec' object")
+                    writer,
+                    event(
+                        "error",
+                        message="submit needs a 'spec' object",
+                        retryable=False,
+                    ),
                 )
                 return None
             try:
-                outcome = self.service.submit(spec_data)
+                outcome = await self.service.submit(spec_data)
+            except CampaignError as exc:
+                # An invalid spec is permanently invalid: retrying the
+                # identical submission can never succeed, so tell the
+                # client to fail fast instead of burning its budget.
+                await self._send(
+                    writer,
+                    event("error", message=str(exc), retryable=False),
+                )
+                return None
             except ReproError as exc:
-                await self._send(writer, event("error", message=str(exc)))
+                # Anything else (sidecar disk trouble) may clear up.
+                await self._send(
+                    writer,
+                    event("error", message=str(exc), retryable=True),
+                )
                 return None
         elif op == "attach":
-            attached = self.service.attach(str(request.get("spec_hash", "")))
+            attached = await self.service.attach(
+                str(request.get("spec_hash", ""))
+            )
             if attached is None:
                 await self._send(
                     writer,
@@ -203,6 +232,7 @@ class CampaignServer:
                             f"{str(request.get('spec_hash', ''))!r}; submit "
                             f"the full spec instead"
                         ),
+                        retryable=True,
                     ),
                 )
                 return None
@@ -216,6 +246,7 @@ class CampaignServer:
                         f"unknown op {op!r}; expected submit, attach, "
                         f"status, or shutdown"
                     ),
+                    retryable=False,
                 ),
             )
             return None

@@ -4,7 +4,12 @@ The service owns every admitted campaign as a :class:`CampaignJob` keyed
 by spec hash.  All job bookkeeping — subscriber lists, event history,
 state transitions — happens on the server's event-loop thread, so it
 needs no locks; the engine runs each campaign on a worker thread from a
-bounded pool and posts events back with ``call_soon_threadsafe``.
+bounded pool (each with a *private* worker pool — see
+:attr:`repro.api.engine.Engine.private_pool` — so recovering one
+campaign's hung cell cannot kill a sibling campaign's workers) and
+posts events back with ``call_soon_threadsafe``.  Filesystem work on
+the admission path (spec sidecars, the status glob) runs via
+``asyncio.to_thread`` so a slow disk never stalls connected clients.
 
 Fault-first invariants, in one place:
 
@@ -38,7 +43,7 @@ from repro.campaign.executor import RunResult
 from repro.campaign.failures import CellFailure
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import ResultStore
-from repro.errors import CampaignError
+from repro.errors import CampaignError, ServeError
 from repro.serve.protocol import JOB_TERMINAL_EVENTS, event
 
 #: Result fields that are wall-clock artefacts of one execution, not
@@ -262,6 +267,9 @@ class CampaignJob:
                 )
             )
 
+        # A private pool: campaigns run concurrently, and hung-cell
+        # recovery (cell_timeout, lease reaping) terminates the pool —
+        # which must never take a sibling campaign's workers down.
         engine = Engine(
             jobs=config.jobs,
             policy=config.policy,
@@ -269,29 +277,31 @@ class CampaignJob:
             cell_timeout=config.cell_timeout,
             keep_going=True,
             lease_seconds=config.lease_seconds,
+            private_pool=True,
         )
         batch = max(1, config.batch_cells)
-        for start in range(0, len(todo), batch):
-            if self.service.draining:
-                self.post(
-                    event(
-                        "suspended",
-                        spec_hash=self.spec_hash,
-                        done=done,
-                        total=len(runs),
-                        reason="draining",
-                        hint=(
-                            "completed cells are in the store; reattach by "
-                            "spec hash to finish the rest"
-                        ),
+        with engine:
+            for start in range(0, len(todo), batch):
+                if self.service.draining:
+                    self.post(
+                        event(
+                            "suspended",
+                            spec_hash=self.spec_hash,
+                            done=done,
+                            total=len(runs),
+                            reason="draining",
+                            hint=(
+                                "completed cells are in the store; reattach "
+                                "by spec hash to finish the rest"
+                            ),
+                        )
                     )
+                    return
+                engine.run_many(
+                    todo[start : start + batch],
+                    on_result=on_result,
+                    on_failure=on_failure,
                 )
-                return
-            engine.run_many(
-                todo[start : start + batch],
-                on_result=on_result,
-                on_failure=on_failure,
-            )
         ordered = [
             results[run.cell_key()]
             for run in runs
@@ -332,12 +342,16 @@ class CampaignService:
 
     # -- admission -----------------------------------------------------------
 
-    def submit(self, spec_data: dict[str, object]) -> "CampaignJob | dict[str, object]":
+    async def submit(
+        self, spec_data: dict[str, object]
+    ) -> "CampaignJob | dict[str, object]":
         """Admit (or dedup onto) the campaign a spec describes.
 
         Returns the job, or a structured ``rejected`` event when the
         bounded queue is full or the server is draining.  Raises
-        :class:`~repro.errors.CampaignError` for an invalid spec.
+        :class:`~repro.errors.CampaignError` for an invalid spec and
+        :class:`~repro.errors.ServeError` when the sidecar cannot be
+        persisted (a transient disk problem — retryable).
         """
         spec = CampaignSpec.from_dict(spec_data)
         spec_hash = spec.spec_hash()
@@ -347,10 +361,26 @@ class CampaignService:
         reject = self._admission_reject()
         if reject is not None:
             return reject
-        self._write_sidecar(spec_hash, spec)
-        return self._start_job(spec, spec_hash, recovered=False)
+        # Register before the awaited sidecar write: the suspension
+        # point must not let a concurrent submit of the same spec
+        # double-admit (two runners racing on one store).
+        job = CampaignJob(self, spec, spec_hash, recovered=False)
+        self.jobs[spec_hash] = job
+        try:
+            # Sidecar I/O off the loop thread — and off the runner
+            # executor, whose threads long-running campaigns occupy.
+            await asyncio.to_thread(self._write_sidecar, spec_hash, spec)
+        except OSError as exc:
+            self.jobs.pop(spec_hash, None)
+            raise ServeError(
+                f"cannot persist campaign sidecar for {spec_hash}: {exc}"
+            ) from exc
+        job.runner = self.executor.submit(job.run)
+        return job
 
-    def attach(self, spec_hash: str) -> "CampaignJob | dict[str, object] | None":
+    async def attach(
+        self, spec_hash: str
+    ) -> "CampaignJob | dict[str, object] | None":
         """Rejoin a campaign by hash; rebuilds from the sidecar if needed.
 
         Returns None for a hash this server has never seen (no job, no
@@ -359,9 +389,14 @@ class CampaignService:
         existing = self.jobs.get(spec_hash)
         if existing is not None:
             return self._revive(existing)
-        spec = self._load_sidecar(spec_hash)
+        spec = await asyncio.to_thread(self._load_sidecar, spec_hash)
         if spec is None:
             return None
+        # Re-check after the suspension point: a submit of the same
+        # spec may have registered the job while the sidecar loaded.
+        existing = self.jobs.get(spec_hash)
+        if existing is not None:
+            return self._revive(existing)
         reject = self._admission_reject()
         if reject is not None:
             return reject
@@ -440,7 +475,7 @@ class CampaignService:
 
     # -- control plane -------------------------------------------------------
 
-    def status(self) -> dict[str, object]:
+    async def status(self) -> dict[str, object]:
         """The ``status`` control event: every known job, plus recovery."""
         jobs = [
             {
@@ -454,11 +489,14 @@ class CampaignService:
             }
             for job in self.jobs.values()
         ]
+        # The sidecar glob walks the store directory — keep that disk
+        # scan off the loop thread like every other admission-path I/O.
+        recoverable = await asyncio.to_thread(self.recoverable_hashes)
         return event(
             "status",
             draining=self.draining,
             jobs=jobs,
-            recoverable=self.recoverable_hashes(),
+            recoverable=recoverable,
         )
 
     def begin_drain(self) -> None:

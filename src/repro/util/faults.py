@@ -34,7 +34,7 @@ Rules are ``<action>@<site>[:<glob>][,param=value]*``:
   keyed by the cell key), ``qplan`` (entry of every batched quantum,
   key ``"run"``), ``store`` (memo-store connection setup, keyed by
   the database path), and ``serve`` (the campaign service's request
-  and event paths, keyed ``request:<op>`` / ``event:<spec-hash>`` —
+  and event paths, keyed ``request:<op>`` / ``event:<kind>`` —
   awaited via :func:`async_fault_point` so sleeps never block the
   event loop);
 - params — ``p=<float>`` fire probability (default 1, decided by a hash

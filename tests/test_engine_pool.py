@@ -2,11 +2,14 @@
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
+
 import pytest
 
 import repro.api.engine as engine_module
 from repro.api.engine import Engine, _chunk_runs
 from repro.campaign.spec import MachineVariant, RunSpec, SchedulerSpec
+from repro.util.faults import configure_fault_plan
 from repro.util.invalidation import bump_worker_state_epoch
 
 
@@ -77,6 +80,62 @@ class TestProcessPoolReuse:
         engine.run_many(_runs(["Radar"]))
         second = engine_module._SHARED_POOLS.get(2)[1]
         assert second is not first
+
+    def test_private_engine_leaves_the_shared_cache_alone(self):
+        for jobs in list(engine_module._SHARED_POOLS):
+            engine_module._discard_shared_pool(jobs)
+        runs = _runs(["MxM"])
+        with Engine(jobs=2, policy="processes", private_pool=True) as engine:
+            results = engine.run_many(runs)
+            assert [r.key for r in results] == [run.cell_key() for run in runs]
+            assert engine_module._SHARED_POOLS == {}
+
+    def test_private_pool_survives_across_calls_and_closes(self):
+        engine = Engine(jobs=2, policy="processes", private_pool=True)
+        try:
+            engine.run_many(_runs(["MxM"]))
+            host = engine._pool_host
+            assert host is not None and host.private
+            first = host._pool
+            assert first is not None
+            engine.run_many(_runs(["Radar"]))
+            assert engine._pool_host is host and host._pool is first
+        finally:
+            engine.close()
+        assert engine._pool_host is None
+
+    def test_hung_cell_recovery_does_not_disrupt_a_sibling_engine(
+        self, tmp_path
+    ):
+        """Two engines running concurrently in one process (the campaign
+        service's shape): one engine's cell-timeout recovery terminates
+        *its* pool only — the sibling's in-flight workers keep going."""
+        configure_fault_plan(
+            f"ledger={tmp_path}; hang@cell:MxM|*|LS|seed=0*,seconds=30,times=1"
+        )
+        try:
+            hung = Engine(
+                jobs=2, policy="processes", private_pool=True,
+                cell_timeout=1.0, keep_going=True,
+            )
+            healthy = Engine(jobs=2, policy="processes", private_pool=True)
+            healthy_runs = _runs(["Radar"], seeds=(0, 1, 2, 3))
+            with hung, healthy, ThreadPoolExecutor(max_workers=2) as threads:
+                hung_failures = []
+                hung_future = threads.submit(
+                    hung.run_many,
+                    _runs(["MxM"]),
+                    on_failure=hung_failures.append,
+                )
+                healthy_results = healthy.run_many(healthy_runs)
+                hung_results = hung_future.result(timeout=60)
+            assert [r.key for r in healthy_results] == [
+                run.cell_key() for run in healthy_runs
+            ]
+            assert [f.kind for f in hung_failures] == ["timeout"]
+            assert len(hung_results) == 1
+        finally:
+            configure_fault_plan(None)
 
     def test_plugin_registered_after_pool_reaches_workers(self):
         from repro.api.registries import SCHEDULERS

@@ -145,6 +145,39 @@ class TestEngineValidation:
 
 
 class TestReaper:
+    def test_queued_units_do_not_expire_behind_a_full_pool(
+        self, fault_plan, tmp_path
+    ):
+        """Cells legitimately running longer than the lease must never
+        expire units waiting for pool capacity.  The executor premarks
+        queued futures as running, so if they were dispatched eagerly a
+        queued unit would anchor its lease with no worker heartbeating
+        it — the engine instead caps in-flight units at ``jobs``, and a
+        lease only ages once a worker actually holds the unit."""
+        _terminate_shared_pool(2)
+        # Every cell runs ~1s (heartbeats keep flowing during the
+        # delay) against a 0.4s lease: with 4 cells on 2 workers, two
+        # units always wait while both workers are legitimately busy
+        # for longer than a full lease.
+        fault_plan(f"ledger={tmp_path}; delay@cell:*,seconds=1.0")
+        spec = CampaignSpec(
+            name="lease-queue",
+            workloads=("MxM",),
+            machines=(MachineVariant(),),
+            schedulers=(SchedulerSpec("RS"), SchedulerSpec("LS")),
+            seeds=(0, 1),
+            scale=0.25,
+        )
+        outcome = run_campaign(
+            spec,
+            jobs=2,
+            policy="processes",
+            lease_seconds=0.4,
+            keep_going=True,
+        )
+        assert not outcome.failures
+        assert len(outcome.results) == 4
+
     def test_leases_are_inert_on_healthy_runs(self):
         outcome = run_campaign(
             _spec(), jobs=2, policy="processes", lease_seconds=30.0

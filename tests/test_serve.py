@@ -155,6 +155,42 @@ class TestSubmitAndAttach:
             )
             assert evt["event"] == "error"
 
+    def test_error_events_carry_retryability(self, tmp_path):
+        """Permanent rejections say so; recoverable ones invite a retry."""
+        with start_in_thread(_config(tmp_path)) as handle:
+            client = ServeClient(handle.port)
+            (evt,) = list(
+                client.request({"op": "submit", "spec": {"bogus": True}})
+            )
+            assert evt["retryable"] is False
+            (evt,) = list(client.request({"op": "explode"}))
+            assert evt["retryable"] is False
+            # Unknown hash: the client falls back to a full submit.
+            (evt,) = list(client.attach("feedfacedead"))
+            assert evt["retryable"] is True
+
+    def test_invalid_spec_fails_fast_with_the_diagnostic(self, tmp_path):
+        """submit_converged must not poll a permanently invalid spec for
+        its whole budget: the server's non-retryable error surfaces
+        immediately."""
+        with start_in_thread(_config(tmp_path)) as handle:
+            client = ServeClient(handle.port)
+            started = time.monotonic()
+            with pytest.raises(ServeError, match="rejected the request"):
+                submit_converged(client, {"bogus": True}, budget=60.0)
+            assert time.monotonic() - started < 10.0
+
+    def test_admission_methods_run_off_the_loop_thread(self):
+        """Sidecar writes and the status glob are blocking filesystem
+        I/O; the admission surface is async so they can be awaited off
+        the event-loop thread (asyncio.to_thread)."""
+        import asyncio
+
+        from repro.serve.service import CampaignService
+
+        for name in ("submit", "attach", "status"):
+            assert asyncio.iscoroutinefunction(getattr(CampaignService, name))
+
 
 class TestBackpressure:
     def test_saturated_queue_rejects_with_retry_after(self, tmp_path):
